@@ -1,0 +1,33 @@
+// Ablation: LZ tree vs first-order probability graph.
+//
+// The LZ prefetch tree (Vitter/Krishnan/Curewitz) keeps variable-depth
+// context; a first-order probability graph (Griffioen & Appleton style,
+// the paper's reference [6]) keeps one block of context.  This bench
+// measures what the extra context buys on each workload — and where the
+// simple graph is already enough.
+#include "common.hpp"
+
+using namespace pfp;
+
+int main(int argc, char** argv) {
+  auto env = bench::parse_bench_args(
+      argc, argv,
+      "Ablation 2 — LZ tree vs first-order probability graph");
+
+  std::vector<core::policy::PolicySpec> policies = {
+      bench::spec_of(core::policy::PolicyKind::kNoPrefetch),
+      bench::spec_of(core::policy::PolicyKind::kProbGraph),
+      bench::spec_of(core::policy::PolicyKind::kTree),
+  };
+  std::vector<sim::RunSpec> specs;
+  for (const trace::Trace* t : bench::load_all_workloads(env)) {
+    const auto g = sim::grid(*t, {256, 1024, 4096}, policies);
+    specs.insert(specs.end(), g.begin(), g.end());
+  }
+  const auto results = bench::run_all(specs);
+  bench::emit(
+      env, results,
+      [](const sim::Result& r) { return r.metrics.miss_rate(); },
+      "miss rate (predictor ablation)", /*percent=*/true);
+  return 0;
+}

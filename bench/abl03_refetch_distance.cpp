@@ -1,0 +1,59 @@
+// Ablation: the re-prefetch distance x in Eq. 11.
+//
+// The paper leaves x (the distance at which an ejected block would be
+// prefetched again) unspecified; DESIGN.md's default is
+// x = min(d_b - 1, prefetch horizon).  This bench compares that rule with
+// the two extremes.  The rules only diverge when depth > 1 candidates are
+// profitable, i.e. when stalls exist — so the sweep runs at a small
+// compute/IO ratio as well as the paper's default.
+#include <iostream>
+
+#include "common.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+
+using namespace pfp;
+
+int main(int argc, char** argv) {
+  auto env = bench::parse_bench_args(
+      argc, argv, "Ablation 3 — Eq. 11 re-prefetch distance rule");
+
+  struct Rule {
+    core::policy::RefetchDistanceRule rule;
+    const char* name;
+  };
+  const Rule rules[] = {
+      {core::policy::RefetchDistanceRule::kHorizon, "x=min(d-1,horizon)"},
+      {core::policy::RefetchDistanceRule::kParentDepth, "x=d-1"},
+      {core::policy::RefetchDistanceRule::kImmediate, "x=0"},
+  };
+
+  for (const double t_cpu : {1.0, 50.0}) {
+    std::cout << "\n-- T_cpu = " << util::format_double(t_cpu, 0)
+              << " ms --\n";
+    util::TextTable table({"trace", "rule", "miss rate", "pf ejections",
+                           "pf hit rate"});
+    for (const trace::Trace* t : bench::load_all_workloads(env)) {
+      for (const Rule& rule : rules) {
+        sim::SimConfig config;
+        // Small cache: ejection pricing only matters when the pool is
+        // contended enough that prefetched blocks actually get ejected.
+        config.cache_blocks = 256;
+        config.timing.t_cpu = t_cpu;
+        config.policy = bench::spec_of(core::policy::PolicyKind::kTree);
+        config.policy.tree.refetch = rule.rule;
+        const auto r = sim::simulate(config, *t);
+        table.row({t->name(), rule.name,
+                   util::format_percent(r.metrics.miss_rate()),
+                   util::format_count(r.metrics.policy.prefetch_ejections),
+                   util::format_percent(
+                       r.metrics.prefetch_cache_hit_rate())});
+      }
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\nAt the paper's T_cpu = 50 ms all profitable candidates "
+               "sit at depth 1 and the\nrules coincide; the choice only "
+               "matters in stall-bound regimes.\n";
+  return 0;
+}

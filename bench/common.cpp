@@ -1,0 +1,94 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "util/string_utils.hpp"
+
+namespace pfp::bench {
+
+BenchEnv parse_bench_args(int argc, char** argv,
+                          const std::string& description) {
+  BenchEnv env;
+  env.options.add("refs", "0",
+                  "post-filter references per workload (0 = paper-scaled "
+                  "defaults)");
+  env.options.add("seed", "0", "workload seed perturbation");
+  env.options.add("csv", "", "also write the full per-run CSV to this path");
+  env.options.add("sizes", "128,256,512,1024,2048,4096,8192",
+                  "comma-separated cache sizes in blocks");
+  if (!env.options.parse(argc, argv)) {
+    std::exit(0);
+  }
+  env.seed = env.options.u64("seed");
+  env.refs_override = env.options.u64("refs");
+  env.csv_path = env.options.str("csv");
+  for (const auto& field : util::split(env.options.str("sizes"), ',')) {
+    const auto value = util::parse_u64(util::trim(field));
+    if (!value || *value < 2) {
+      std::fprintf(stderr, "bad cache size '%s'\n",
+                   std::string(field).c_str());
+      std::exit(2);
+    }
+    env.cache_sizes.push_back(static_cast<std::size_t>(*value));
+  }
+  std::cout << description << "\n";
+  return env;
+}
+
+const trace::Trace& load_workload(const BenchEnv& env, trace::Workload w) {
+  struct Key {
+    trace::Workload workload;
+    std::uint64_t refs;
+    std::uint64_t seed;
+    bool operator<(const Key& o) const {
+      return std::tie(workload, refs, seed) <
+             std::tie(o.workload, o.refs, o.seed);
+    }
+  };
+  static std::map<Key, trace::Trace> cache;
+  const std::uint64_t refs = env.refs_override != 0
+                                 ? env.refs_override
+                                 : sim::default_references(w);
+  const Key key{w, refs, env.seed};
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    std::cerr << "[bench] generating " << trace::workload_name(w) << " ("
+              << util::format_count(refs) << " refs)\n";
+    it = cache.emplace(key, trace::make_workload(w, refs, env.seed)).first;
+  }
+  return it->second;
+}
+
+std::vector<const trace::Trace*> load_all_workloads(const BenchEnv& env) {
+  std::vector<const trace::Trace*> out;
+  for (const trace::Workload w : trace::all_workloads()) {
+    out.push_back(&load_workload(env, w));
+  }
+  return out;
+}
+
+std::vector<sim::Result> run_all(const std::vector<sim::RunSpec>& specs) {
+  std::cerr << "[bench] running " << specs.size() << " simulations\n";
+  return sim::run_serial(specs);
+}
+
+core::policy::PolicySpec spec_of(core::policy::PolicyKind kind) {
+  core::policy::PolicySpec spec;
+  spec.kind = kind;
+  return spec;
+}
+
+void emit(const BenchEnv& env, const std::vector<sim::Result>& results,
+          const sim::MetricFn& metric, const std::string& metric_name,
+          bool percent) {
+  sim::print_series_by_cache_size(std::cout, results, metric, metric_name,
+                                  percent);
+  if (sim::maybe_write_csv(env.csv_path, results)) {
+    std::cout << "\n(full CSV written to " << env.csv_path << ")\n";
+  }
+}
+
+}  // namespace pfp::bench

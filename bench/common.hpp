@@ -1,0 +1,50 @@
+// Shared scaffolding for the paper-reproduction bench binaries.
+//
+// Every bench follows the same shape: parse --refs/--seed/--csv/--sizes,
+// build the four workloads once, run a grid of simulations, print the
+// exhibit's series as an aligned table (and optionally CSV).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "trace/workloads.hpp"
+#include "util/options.hpp"
+
+namespace pfp::bench {
+
+struct BenchEnv {
+  util::Options options;
+  std::uint64_t seed = 0;
+  /// Post-filter reference count override; 0 = paper-scaled defaults.
+  std::uint64_t refs_override = 0;
+  std::string csv_path;
+  std::vector<std::size_t> cache_sizes;
+};
+
+/// Registers the common options and parses argv; exits(0) on --help,
+/// exits(2) on bad input.  `description` heads the bench's output.
+BenchEnv parse_bench_args(int argc, char** argv,
+                          const std::string& description);
+
+/// Builds a workload at the bench's scale (cached per process).
+const trace::Trace& load_workload(const BenchEnv& env, trace::Workload w);
+
+/// All four paper workloads in Table 1 order.
+std::vector<const trace::Trace*> load_all_workloads(const BenchEnv& env);
+
+/// Runs all specs serially with a one-line progress note per run batch.
+std::vector<sim::Result> run_all(const std::vector<sim::RunSpec>& specs);
+
+/// PolicySpec shorthand.
+core::policy::PolicySpec spec_of(core::policy::PolicyKind kind);
+
+/// Prints one metric as a per-trace series table and writes CSV if asked.
+void emit(const BenchEnv& env, const std::vector<sim::Result>& results,
+          const sim::MetricFn& metric, const std::string& metric_name,
+          bool percent);
+
+}  // namespace pfp::bench

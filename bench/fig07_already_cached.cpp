@@ -1,0 +1,31 @@
+// Figure 7: fraction of prefetch candidates chosen by the cost-benefit
+// algorithm that already reside in one of the caches, vs cache size.
+//
+// Paper shape: above ~2048 blocks more than 85 % of chosen candidates are
+// already resident — the working sets fit, which is why the tree's
+// advantage fades at large caches.
+#include "common.hpp"
+
+using namespace pfp;
+
+int main(int argc, char** argv) {
+  auto env = bench::parse_bench_args(
+      argc, argv,
+      "Figure 7 — % of chosen prefetch candidates already cached (tree)");
+
+  const std::vector<core::policy::PolicySpec> policies = {
+      bench::spec_of(core::policy::PolicyKind::kTree)};
+  std::vector<sim::RunSpec> specs;
+  for (const trace::Trace* t : bench::load_all_workloads(env)) {
+    const auto g = sim::grid(*t, env.cache_sizes, policies);
+    specs.insert(specs.end(), g.begin(), g.end());
+  }
+  const auto results = bench::run_all(specs);
+  bench::emit(
+      env, results,
+      [](const sim::Result& r) {
+        return r.metrics.candidates_cached_fraction();
+      },
+      "candidates already cached (Figure 7)", /*percent=*/true);
+  return 0;
+}

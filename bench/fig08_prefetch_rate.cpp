@@ -1,0 +1,40 @@
+// Figure 8: blocks prefetched per access period (the measured s) vs cache
+// size, under the tree scheme.
+//
+// Paper shape: more prefetching at small caches (up to ~2/access on
+// snake, i.e. a 180 % traffic increase) declining to under one block
+// every three access periods at large caches.
+#include <iostream>
+
+#include "common.hpp"
+#include "util/string_utils.hpp"
+
+using namespace pfp;
+
+int main(int argc, char** argv) {
+  auto env = bench::parse_bench_args(
+      argc, argv,
+      "Figure 8 — blocks prefetched per access period (tree)");
+
+  const std::vector<core::policy::PolicySpec> policies = {
+      bench::spec_of(core::policy::PolicyKind::kTree)};
+  std::vector<sim::RunSpec> specs;
+  for (const trace::Trace* t : bench::load_all_workloads(env)) {
+    const auto g = sim::grid(*t, env.cache_sizes, policies);
+    specs.insert(specs.end(), g.begin(), g.end());
+  }
+  const auto results = bench::run_all(specs);
+  bench::emit(
+      env, results,
+      [](const sim::Result& r) { return r.metrics.prefetches_per_access(); },
+      "prefetches per access period (Figure 8)", /*percent=*/false);
+
+  std::cout << "\nExtra disk traffic from prefetching (vs demand fetches):\n";
+  for (const auto& r : results) {
+    std::cout << "  " << r.trace_name << " @" << r.config.cache_blocks
+              << ": +"
+              << util::format_percent(r.metrics.prefetch_traffic_ratio())
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 9: prefetch-cache hit rate (fraction of prefetched blocks that
+// are referenced before ejection) vs cache size, under the tree scheme.
+//
+// Paper shape: CAD far above the disk-level traces — its prefetched
+// blocks carry much higher probabilities (Figure 10) so they almost
+// always get used.
+#include "common.hpp"
+
+using namespace pfp;
+
+int main(int argc, char** argv) {
+  auto env = bench::parse_bench_args(
+      argc, argv, "Figure 9 — prefetch cache hit rate (tree)");
+
+  const std::vector<core::policy::PolicySpec> policies = {
+      bench::spec_of(core::policy::PolicyKind::kTree)};
+  std::vector<sim::RunSpec> specs;
+  for (const trace::Trace* t : bench::load_all_workloads(env)) {
+    const auto g = sim::grid(*t, env.cache_sizes, policies);
+    specs.insert(specs.end(), g.begin(), g.end());
+  }
+  const auto results = bench::run_all(specs);
+  bench::emit(
+      env, results,
+      [](const sim::Result& r) { return r.metrics.prefetch_cache_hit_rate(); },
+      "prefetch cache hit rate (Figure 9)", /*percent=*/true);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 10: mean tree-assigned probability of the blocks the cost-
+// benefit scheme prefetches, vs cache size.
+//
+// Paper shape: CAD's prefetched blocks carry clearly higher probabilities
+// than the other traces' — the explanation for its high prefetch-cache
+// hit rate (Figure 9).
+#include "common.hpp"
+
+using namespace pfp;
+
+int main(int argc, char** argv) {
+  auto env = bench::parse_bench_args(
+      argc, argv, "Figure 10 — mean probability of prefetched blocks (tree)");
+
+  const std::vector<core::policy::PolicySpec> policies = {
+      bench::spec_of(core::policy::PolicyKind::kTree)};
+  std::vector<sim::RunSpec> specs;
+  for (const trace::Trace* t : bench::load_all_workloads(env)) {
+    const auto g = sim::grid(*t, env.cache_sizes, policies);
+    specs.insert(specs.end(), g.begin(), g.end());
+  }
+  const auto results = bench::run_all(specs);
+  bench::emit(
+      env, results,
+      [](const sim::Result& r) {
+        return r.metrics.mean_prefetch_probability();
+      },
+      "mean prefetched-block probability (Figure 10)", /*percent=*/false);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 12: prefetch-cache hit rate as T_cpu sweeps from 20 to 640 ms
+// (tree scheme, 1024-block cache, all traces).
+//
+// Paper shape: the hit rate drops as T_cpu grows (more speculative
+// prefetching becomes affordable) and then flattens; overall miss rate
+// stays largely insensitive above T_cpu = 50 ms — the justification for
+// fixing T_cpu = 50 ms elsewhere.
+#include <iostream>
+
+#include "common.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+
+using namespace pfp;
+
+int main(int argc, char** argv) {
+  auto env = bench::parse_bench_args(
+      argc, argv,
+      "Figure 12 — prefetch cache hit rate vs T_cpu (1024-block cache)");
+
+  std::vector<sim::RunSpec> specs;
+  for (const trace::Trace* t : bench::load_all_workloads(env)) {
+    for (const double t_cpu : {2.0, 5.0, 10.0, 20.0, 50.0, 160.0,
+                               640.0}) {
+      sim::RunSpec spec;
+      spec.trace = t;
+      spec.config.cache_blocks = 1024;
+      spec.config.timing.t_cpu = t_cpu;
+      spec.config.policy = bench::spec_of(core::policy::PolicyKind::kTree);
+      specs.push_back(spec);
+    }
+  }
+  const auto results = bench::run_all(specs);
+
+  for (const trace::Workload w : trace::all_workloads()) {
+    const auto name = trace::workload_name(w);
+    std::cout << "\n== " << name << " ==\n";
+    util::TextTable table({"T_cpu(ms)", "prefetch hit rate", "miss rate"});
+    for (const auto& r : results) {
+      if (r.trace_name == name) {
+        table.row({util::format_double(r.config.timing.t_cpu, 0),
+                   util::format_percent(r.metrics.prefetch_cache_hit_rate()),
+                   util::format_percent(r.metrics.miss_rate())});
+      }
+    }
+    table.print(std::cout);
+  }
+  if (sim::maybe_write_csv(env.csv_path, results)) {
+    std::cout << "(full CSV written to " << env.csv_path << ")\n";
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 14: of the accesses the tree could predict (a child of the
+// current parse node), what fraction were NOT already cached — the head-
+// room left for a better candidate-selection scheme.
+//
+// Paper shape: low (~15 %) for snake/CAD/sitar — the tree identifies the
+// right candidates but most are already resident — and higher for cello.
+#include "common.hpp"
+
+using namespace pfp;
+
+int main(int argc, char** argv) {
+  auto env = bench::parse_bench_args(
+      argc, argv,
+      "Figure 14 — % of predictable blocks not already cached (tree)");
+
+  const std::vector<core::policy::PolicySpec> policies = {
+      bench::spec_of(core::policy::PolicyKind::kTree)};
+  std::vector<sim::RunSpec> specs;
+  for (const trace::Trace* t : bench::load_all_workloads(env)) {
+    const auto g = sim::grid(*t, env.cache_sizes, policies);
+    specs.insert(specs.end(), g.begin(), g.end());
+  }
+  const auto results = bench::run_all(specs);
+  bench::emit(
+      env, results,
+      [](const sim::Result& r) {
+        return r.metrics.predictable_uncached_fraction();
+      },
+      "predictable blocks not cached (Figure 14)", /*percent=*/true);
+  return 0;
+}

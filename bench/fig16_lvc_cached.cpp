@@ -1,0 +1,51 @@
+// Figure 16: fraction of last-visited children already cached when the
+// tree scheme visits their parent node — the reason prefetching the
+// last-visited child (tree-lvc) buys nothing.
+//
+// Paper shape: above ~85 % for most cache sizes.
+#include <iostream>
+
+#include "common.hpp"
+#include "util/string_utils.hpp"
+
+using namespace pfp;
+
+int main(int argc, char** argv) {
+  auto env = bench::parse_bench_args(
+      argc, argv,
+      "Figure 16 — % of last-visited children already cached (tree)");
+
+  const std::vector<core::policy::PolicySpec> policies = {
+      bench::spec_of(core::policy::PolicyKind::kTree)};
+  std::vector<sim::RunSpec> specs;
+  for (const trace::Trace* t : bench::load_all_workloads(env)) {
+    const auto g = sim::grid(*t, env.cache_sizes, policies);
+    specs.insert(specs.end(), g.begin(), g.end());
+  }
+  const auto results = bench::run_all(specs);
+  bench::emit(
+      env, results,
+      [](const sim::Result& r) { return r.metrics.lvc_cached_fraction(); },
+      "last-visited children already cached (Figure 16)", /*percent=*/true);
+
+  // Section 9.6's conclusion check: tree-lvc vs tree at one size.
+  std::vector<sim::RunSpec> cmp;
+  for (const trace::Trace* t : bench::load_all_workloads(env)) {
+    for (const auto kind : {core::policy::PolicyKind::kTree,
+                            core::policy::PolicyKind::kTreeLvc}) {
+      sim::RunSpec spec;
+      spec.trace = t;
+      spec.config.cache_blocks = 1024;
+      spec.config.policy = bench::spec_of(kind);
+      cmp.push_back(spec);
+    }
+  }
+  const auto cmp_results = bench::run_all(cmp);
+  std::cout << "\ntree vs tree-lvc miss rates @1024 blocks (Section 9.6: "
+               "no noticeable difference expected):\n";
+  for (const auto& r : cmp_results) {
+    std::cout << "  " << r.trace_name << " " << r.policy_name << ": "
+              << util::format_percent(r.metrics.miss_rate()) << "\n";
+  }
+  return 0;
+}

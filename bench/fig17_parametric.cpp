@@ -1,0 +1,92 @@
+// Figure 17: cost-benefit tree vs the BEST tuned tree-threshold and
+// tree-children configurations (cello and snake in the paper; all four
+// traces here), across cache sizes.
+//
+// Paper shape: tree, with no tuning, matches the best hand-tuned
+// parametric scheme on each trace.
+#include <iostream>
+#include <map>
+
+#include "common.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+
+using namespace pfp;
+
+int main(int argc, char** argv) {
+  auto env = bench::parse_bench_args(
+      argc, argv,
+      "Figure 17 — tree vs best tree-threshold / tree-children");
+
+  const std::vector<double> thresholds = {0.001, 0.002, 0.008, 0.025,
+                                          0.05,  0.1,   0.2};
+  const std::vector<std::uint32_t> child_counts = {1, 3, 5, 10};
+  const std::vector<std::size_t> cache_sizes = {256, 1024, 4096};
+
+  for (const trace::Workload w :
+       {trace::Workload::kCello, trace::Workload::kSnake,
+        trace::Workload::kCad, trace::Workload::kSitar}) {
+    const trace::Trace& t = bench::load_workload(env, w);
+    std::vector<sim::RunSpec> specs;
+    for (const std::size_t blocks : cache_sizes) {
+      sim::RunSpec base;
+      base.trace = &t;
+      base.config.cache_blocks = blocks;
+      base.config.policy = bench::spec_of(core::policy::PolicyKind::kTree);
+      specs.push_back(base);
+      for (const double threshold : thresholds) {
+        sim::RunSpec s = base;
+        s.config.policy =
+            bench::spec_of(core::policy::PolicyKind::kTreeThreshold);
+        s.config.policy.threshold = threshold;
+        specs.push_back(s);
+      }
+      for (const std::uint32_t k : child_counts) {
+        sim::RunSpec s = base;
+        s.config.policy =
+            bench::spec_of(core::policy::PolicyKind::kTreeChildren);
+        s.config.policy.children = k;
+        specs.push_back(s);
+      }
+    }
+    const auto results = bench::run_all(specs);
+
+    std::cout << "\n== " << trace::workload_name(w) << " ==\n";
+    util::TextTable table({"cache(blocks)", "tree", "best tree-threshold",
+                           "best tree-children"});
+    for (const std::size_t blocks : cache_sizes) {
+      double tree = 1.0;
+      double best_threshold = 1.0;
+      double best_children = 1.0;
+      std::string threshold_param = "-";
+      std::string children_param = "-";
+      for (const auto& r : results) {
+        if (r.config.cache_blocks != blocks) {
+          continue;
+        }
+        const double miss = r.metrics.miss_rate();
+        if (r.policy_name == "tree") {
+          tree = miss;
+        } else if (r.policy_name.starts_with("tree-threshold")) {
+          if (miss < best_threshold) {
+            best_threshold = miss;
+            threshold_param =
+                util::format_double(r.config.policy.threshold, 3);
+          }
+        } else if (r.policy_name.starts_with("tree-children")) {
+          if (miss < best_children) {
+            best_children = miss;
+            children_param = std::to_string(r.config.policy.children);
+          }
+        }
+      }
+      table.row({std::to_string(blocks), util::format_percent(tree),
+                 util::format_percent(best_threshold) + " (p=" +
+                     threshold_param + ")",
+                 util::format_percent(best_children) + " (k=" +
+                     children_param + ")"});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Google-benchmark microbenchmarks of the performance-critical pieces:
+// the LZ tree parse, candidate enumeration, cache operations, and whole-
+// simulator throughput per policy.
+#include <benchmark/benchmark.h>
+
+#include "cache/buffer_cache.hpp"
+#include "cache/lru_cache.hpp"
+#include "core/tree/enumerator.hpp"
+#include "core/tree/prefetch_tree.hpp"
+#include "sim/simulator.hpp"
+#include "trace/gen_cad.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using namespace pfp;
+
+const trace::Trace& cad_trace() {
+  static const trace::Trace t = [] {
+    trace::CadGenerator::Config config;
+    config.references = 100'000;
+    return trace::CadGenerator(config).generate();
+  }();
+  return t;
+}
+
+void BM_TreeParse(benchmark::State& state) {
+  const auto& t = cad_trace();
+  for (auto _ : state) {
+    core::tree::PrefetchTree tree;
+    for (const auto& r : t) {
+      benchmark::DoNotOptimize(tree.access(r.block));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_TreeParse)->Unit(benchmark::kMillisecond);
+
+void BM_TreeParseBounded(benchmark::State& state) {
+  const auto& t = cad_trace();
+  core::tree::TreeConfig config;
+  config.max_nodes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    core::tree::PrefetchTree tree(config);
+    for (const auto& r : t) {
+      benchmark::DoNotOptimize(tree.access(r.block));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_TreeParseBounded)->Arg(4096)->Arg(32768)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EnumerateCandidates(benchmark::State& state) {
+  const auto& t = cad_trace();
+  core::tree::PrefetchTree tree;
+  for (const auto& r : t) {
+    tree.access(r.block);
+  }
+  core::tree::EnumeratorLimits limits;
+  // Walk the parse along the trace while enumerating, to sample realistic
+  // positions rather than just the root.
+  std::size_t i = 0;
+  for (auto _ : state) {
+    tree.access(t[i % t.size()].block);
+    benchmark::DoNotOptimize(
+        core::tree::enumerate_candidates(tree, tree.current(), limits));
+    ++i;
+  }
+}
+BENCHMARK(BM_EnumerateCandidates);
+
+void BM_LruCacheAccess(benchmark::State& state) {
+  cache::LruCache cache(static_cast<std::size_t>(state.range(0)));
+  util::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(rng.below(100'000)));
+  }
+}
+BENCHMARK(BM_LruCacheAccess)->Arg(1024)->Arg(16384);
+
+void BM_DemandCacheHitWithDepth(benchmark::State& state) {
+  cache::BufferCache cache(1024);
+  for (trace::BlockId b = 0; b < 1024; ++b) {
+    cache.admit_demand(b);
+  }
+  util::Xoshiro256 rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(rng.below(1024)));
+  }
+}
+BENCHMARK(BM_DemandCacheHitWithDepth);
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  const auto& t = cad_trace();
+  const auto kind =
+      static_cast<core::policy::PolicyKind>(state.range(0));
+  for (auto _ : state) {
+    sim::SimConfig config;
+    config.cache_blocks = 1024;
+    config.policy.kind = kind;
+    benchmark::DoNotOptimize(sim::simulate(config, t));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.size()));
+  state.SetLabel(core::policy::kind_name(kind));
+}
+BENCHMARK(BM_SimulatorThroughput)
+    ->Arg(static_cast<int>(core::policy::PolicyKind::kNoPrefetch))
+    ->Arg(static_cast<int>(core::policy::PolicyKind::kNextLimit))
+    ->Arg(static_cast<int>(core::policy::PolicyKind::kTree))
+    ->Arg(static_cast<int>(core::policy::PolicyKind::kTreeNextLimit))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Table 2: prediction accuracy — the fraction of accesses present as a
+// child of the current prefetch-tree node.
+//
+// Paper values: cello 35.78 %, snake 61.50 %, CAD 59.90 %, sitar 71.39 %.
+#include <iostream>
+#include <map>
+
+#include "common.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+
+using namespace pfp;
+
+int main(int argc, char** argv) {
+  auto env = bench::parse_bench_args(
+      argc, argv, "Table 2 — prediction accuracy of the prefetch tree");
+
+  std::vector<sim::RunSpec> specs;
+  for (const trace::Trace* t : bench::load_all_workloads(env)) {
+    sim::RunSpec spec;
+    spec.trace = t;
+    spec.config.cache_blocks = 1024;
+    spec.config.policy = bench::spec_of(core::policy::PolicyKind::kTree);
+    specs.push_back(spec);
+  }
+  const auto results = bench::run_all(specs);
+
+  const std::map<std::string, double> paper = {
+      {"cello", 0.3578}, {"snake", 0.6150}, {"cad", 0.5990},
+      {"sitar", 0.7139}};
+  util::TextTable table(
+      {"trace", "prediction accuracy", "paper (Table 2)"});
+  for (const auto& r : results) {
+    table.row({r.trace_name,
+               util::format_percent(r.metrics.prediction_accuracy()),
+               util::format_percent(paper.at(r.trace_name))});
+  }
+  table.print(std::cout);
+  if (sim::maybe_write_csv(env.csv_path, results)) {
+    std::cout << "(full CSV written to " << env.csv_path << ")\n";
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Plot pfp bench CSVs (written with --csv) as paper-style figures.
+
+Usage:
+    bench/fig06_miss_rates --csv fig6.csv
+    scripts/plot_results.py fig6.csv --metric miss_rate --out fig6.png
+
+One line per (trace, policy) series, cache_blocks on a log-2 x axis.
+Requires matplotlib; everything else in this repository is offline-safe
+without it.
+"""
+import argparse
+import collections
+import csv
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csv_path")
+    parser.add_argument("--metric", default="miss_rate",
+                        help="column to plot (default: miss_rate)")
+    parser.add_argument("--x", default="cache_blocks",
+                        help="x-axis column (default: cache_blocks)")
+    parser.add_argument("--out", default=None,
+                        help="output image (default: show interactively)")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+        if args.out:
+            matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib is required for plotting", file=sys.stderr)
+        return 1
+
+    series = collections.defaultdict(list)
+    with open(args.csv_path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            key = (row["trace"], row["policy"])
+            series[key].append((float(row[args.x]), float(row[args.metric])))
+
+    traces = sorted({trace for trace, _ in series})
+    fig, axes = plt.subplots(1, len(traces),
+                             figsize=(4 * len(traces), 3.2), squeeze=False)
+    for ax, trace in zip(axes[0], traces):
+        for (t, policy), points in sorted(series.items()):
+            if t != trace:
+                continue
+            points.sort()
+            ax.plot([x for x, _ in points], [y for _, y in points],
+                    marker="o", label=policy)
+        ax.set_title(trace)
+        ax.set_xscale("log", base=2)
+        ax.set_xlabel(args.x)
+        ax.set_ylabel(args.metric)
+        ax.legend(fontsize=7)
+        ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    if args.out:
+        fig.savefig(args.out, dpi=150)
+        print(f"wrote {args.out}")
+    else:
+        plt.show()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,39 @@
+#include "cache/buffer_cache.hpp"
+
+#include "util/assert.hpp"
+
+namespace pfp::cache {
+
+BufferCache::BufferCache(std::size_t total_blocks)
+    : total_blocks_(total_blocks),
+      demand_(total_blocks),
+      prefetch_(total_blocks) {
+  PFP_REQUIRE(total_blocks >= 2);
+}
+
+AccessResult BufferCache::access(BlockId block) {
+  if (const auto depth = demand_.lookup_touch(block)) {
+    return DemandHit{*depth};
+  }
+  if (prefetch_.contains(block)) {
+    // Figure 2 (iii): first reference moves the block into the demand
+    // cache; the buffer count is unchanged.
+    const PrefetchEntry entry = prefetch_.remove(block);
+    demand_.insert(block);
+    return PrefetchHit{entry};
+  }
+  return Miss{};
+}
+
+void BufferCache::admit_demand(BlockId block) {
+  PFP_REQUIRE(free_buffers() >= 1);
+  demand_.insert(block);
+}
+
+void BufferCache::admit_prefetch(const PrefetchEntry& entry) {
+  PFP_REQUIRE(free_buffers() >= 1);
+  PFP_REQUIRE(!demand_.contains(entry.block));
+  prefetch_.insert(entry);
+}
+
+}  // namespace pfp::cache

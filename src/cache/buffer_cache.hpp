@@ -1,0 +1,68 @@
+// Combined, partitioned file buffer cache (Figure 2).
+//
+// A fixed pool of `total_blocks` buffers shared by the demand cache and
+// the prefetch cache.  The partition is dynamic: either side may grow
+// while the sum stays within the pool.  Movement rules follow Figure 2:
+// a referenced prefetch block migrates to the demand cache (iii); making
+// room for a new fetch reclaims a buffer from either side (i/ii) — but
+// *which* side is a policy decision, so BufferCache only provides the
+// mechanisms and checks the pool invariant.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+
+#include "cache/demand_cache.hpp"
+#include "cache/prefetch_cache.hpp"
+
+namespace pfp::cache {
+
+/// Outcome of referencing a block.
+struct DemandHit {
+  std::size_t stack_depth;  ///< 1-based LRU depth of the hit
+};
+struct PrefetchHit {
+  PrefetchEntry entry;  ///< metadata of the consumed prefetch
+};
+struct Miss {};
+using AccessResult = std::variant<DemandHit, PrefetchHit, Miss>;
+
+class BufferCache {
+ public:
+  explicit BufferCache(std::size_t total_blocks);
+
+  /// References a block: demand hit (promoted), prefetch hit (migrated to
+  /// the demand cache), or miss (no mutation).
+  AccessResult access(BlockId block);
+
+  bool contains(BlockId block) const {
+    return demand_.contains(block) || prefetch_.contains(block);
+  }
+
+  std::size_t total_blocks() const noexcept { return total_blocks_; }
+  std::size_t resident() const noexcept {
+    return demand_.size() + prefetch_.size();
+  }
+  std::size_t free_buffers() const noexcept {
+    return total_blocks_ - resident();
+  }
+
+  /// Admits a demand-fetched block; a buffer must be free.
+  void admit_demand(BlockId block);
+
+  /// Admits a prefetched block; a buffer must be free.
+  void admit_prefetch(const PrefetchEntry& entry);
+
+  DemandCache& demand() noexcept { return demand_; }
+  const DemandCache& demand() const noexcept { return demand_; }
+  PrefetchCache& prefetch() noexcept { return prefetch_; }
+  const PrefetchCache& prefetch() const noexcept { return prefetch_; }
+
+ private:
+  std::size_t total_blocks_;
+  DemandCache demand_;
+  PrefetchCache prefetch_;
+};
+
+}  // namespace pfp::cache

@@ -1,0 +1,123 @@
+#include "cache/demand_cache.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace pfp::cache {
+
+DemandCache::DemandCache(std::size_t max_blocks) : max_blocks_(max_blocks) {
+  PFP_REQUIRE(max_blocks >= 1);
+  slot_block_.resize(max_blocks);
+  slot_time_.resize(max_blocks);
+  free_slots_.reserve(max_blocks);
+  for (std::size_t i = max_blocks; i > 0; --i) {
+    free_slots_.push_back(static_cast<std::uint32_t>(i - 1));
+  }
+  lru_.resize(max_blocks);
+  map_.reserve(max_blocks * 2);
+  window_ = std::max<std::uint64_t>(4 * max_blocks, 4096);
+  fenwick_.assign(window_ + 1, 0);
+}
+
+void DemandCache::mark(std::uint64_t time, int delta) {
+  for (std::uint64_t i = time + 1; i < fenwick_.size();
+       i += i & (~i + 1)) {
+    fenwick_[i] += delta;
+  }
+}
+
+std::int64_t DemandCache::marks_at_most(std::uint64_t time) const {
+  std::int64_t sum = 0;
+  for (std::uint64_t i = time + 1; i > 0; i -= i & (~i + 1)) {
+    sum += fenwick_[i];
+  }
+  return sum;
+}
+
+std::size_t DemandCache::depth_of(std::uint64_t last_time) const {
+  // Blocks touched strictly after last_time sit above this block on the
+  // LRU stack; +1 converts to a 1-based position.
+  const std::int64_t above =
+      static_cast<std::int64_t>(map_.size()) - marks_at_most(last_time);
+  PFP_DASSERT(above >= 0);
+  return static_cast<std::size_t>(above) + 1;
+}
+
+void DemandCache::compact() {
+  // Renumber resident blocks 0..n-1 in LRU-to-MRU order and rebuild the
+  // Fenwick tree; happens once per `window_ - capacity` accesses.
+  std::fill(fenwick_.begin(), fenwick_.end(), 0);
+  std::uint64_t t = 0;
+  for (auto slot = lru_.back(); slot != util::LruList::npos;
+       slot = lru_.prev(slot)) {
+    slot_time_[slot] = t;
+    mark(t, +1);
+    ++t;
+  }
+  now_ = t;
+}
+
+std::optional<std::size_t> DemandCache::lookup_touch(BlockId block) {
+  const auto it = map_.find(block);
+  if (it == map_.end()) {
+    return std::nullopt;
+  }
+  const std::uint32_t slot = it->second;
+  const std::size_t depth = depth_of(slot_time_[slot]);
+  lru_.touch(slot);
+  if (now_ >= window_) {
+    compact();
+  }
+  mark(slot_time_[slot], -1);
+  slot_time_[slot] = now_;
+  mark(now_, +1);
+  ++now_;
+  return depth;
+}
+
+void DemandCache::insert(BlockId block) {
+  PFP_REQUIRE(!map_.contains(block));
+  PFP_REQUIRE(!free_slots_.empty());
+  const std::uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  if (now_ >= window_) {
+    compact();
+  }
+  slot_block_[slot] = block;
+  slot_time_[slot] = now_;
+  mark(now_, +1);
+  ++now_;
+  map_.emplace(block, slot);
+  lru_.push_front(slot);
+}
+
+BlockId DemandCache::evict_lru() {
+  const std::uint32_t slot = lru_.pop_back();
+  PFP_REQUIRE(slot != util::LruList::npos);
+  const BlockId block = slot_block_[slot];
+  mark(slot_time_[slot], -1);
+  map_.erase(block);
+  free_slots_.push_back(slot);
+  return block;
+}
+
+std::optional<BlockId> DemandCache::lru_block() const {
+  const auto slot = lru_.back();
+  if (slot == util::LruList::npos) {
+    return std::nullopt;
+  }
+  return slot_block_[slot];
+}
+
+void DemandCache::erase(BlockId block) {
+  const auto it = map_.find(block);
+  PFP_REQUIRE(it != map_.end());
+  const std::uint32_t slot = it->second;
+  lru_.erase(slot);
+  mark(slot_time_[slot], -1);
+  map_.erase(it);
+  free_slots_.push_back(slot);
+}
+
+}  // namespace pfp::cache

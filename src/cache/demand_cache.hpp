@@ -1,0 +1,74 @@
+// Demand cache: LRU-ordered blocks that have been referenced (Figure 2).
+//
+// Besides membership and LRU eviction, the cost model needs the LRU stack
+// depth of every hit to estimate H(n) - H(n-1) (Equation 13), so lookups
+// return the 1-based stack position computed with a Fenwick tree over
+// last-access timestamps (O(log n) per access, exact).
+//
+// The demand cache does not evict on its own: it shares a fixed buffer
+// pool with the prefetch cache, and the replacement decision between the
+// two is the policy's job (Section 7, step 2).  Capacity here is only the
+// upper bound implied by the total pool.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/record.hpp"
+#include "util/lru_list.hpp"
+
+namespace pfp::cache {
+
+using trace::BlockId;
+
+class DemandCache {
+ public:
+  explicit DemandCache(std::size_t max_blocks);
+
+  /// Hit test with promotion: on hit, returns the 1-based LRU stack depth
+  /// the block was found at (1 = was already MRU) and promotes it; on
+  /// miss returns nullopt.
+  std::optional<std::size_t> lookup_touch(BlockId block);
+
+  /// Non-mutating membership test.
+  bool contains(BlockId block) const { return map_.contains(block); }
+
+  /// Inserts a block at MRU.  The block must not be resident and the
+  /// cache must not be full.
+  void insert(BlockId block);
+
+  /// Evicts and returns the LRU block; the cache must be non-empty.
+  BlockId evict_lru();
+
+  /// The block an eviction would remove (no mutation); nullopt if empty.
+  std::optional<BlockId> lru_block() const;
+
+  /// Removes a specific resident block (used when a block is ejected for
+  /// reasons other than LRU order, e.g. invalidation in tests).
+  void erase(BlockId block);
+
+  std::size_t size() const noexcept { return map_.size(); }
+  std::size_t max_blocks() const noexcept { return max_blocks_; }
+
+ private:
+  std::size_t depth_of(std::uint64_t last_time) const;
+  void mark(std::uint64_t time, int delta);
+  std::int64_t marks_at_most(std::uint64_t time) const;
+  void compact();
+
+  std::size_t max_blocks_;
+  std::vector<BlockId> slot_block_;
+  std::vector<std::uint64_t> slot_time_;
+  std::vector<std::uint32_t> free_slots_;
+  std::unordered_map<BlockId, std::uint32_t> map_;
+  util::LruList lru_;
+
+  // Fenwick tree over timestamps within the current window.
+  std::vector<std::int64_t> fenwick_;
+  std::uint64_t now_ = 0;
+  std::uint64_t window_ = 0;
+};
+
+}  // namespace pfp::cache

@@ -1,0 +1,40 @@
+#include "cache/disk_model.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace pfp::cache {
+
+namespace {
+
+std::size_t disk_of(trace::BlockId block, std::size_t disks) {
+  // splitmix-style mix so sequential blocks stripe across the array.
+  std::uint64_t x = block;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<std::size_t>((x ^ (x >> 31)) % disks);
+}
+
+}  // namespace
+
+DiskArray::DiskArray(DiskConfig config) : config_(config) {
+  PFP_REQUIRE(config_.service_ms > 0.0);
+  if (config_.disks > 0) {
+    disk_free_at_.assign(config_.disks, 0.0);
+  }
+}
+
+double DiskArray::submit(trace::BlockId block, double now_ms) {
+  ++requests_;
+  if (config_.disks == 0) {
+    return now_ms + config_.service_ms;  // the paper's infinite array
+  }
+  double& free_at = disk_free_at_[disk_of(block, disk_free_at_.size())];
+  const double start = std::max(now_ms, free_at);
+  queue_delay_ms_ += start - now_ms;
+  free_at = start + config_.service_ms;
+  return free_at;
+}
+
+}  // namespace pfp::cache

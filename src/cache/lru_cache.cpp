@@ -1,0 +1,50 @@
+#include "cache/lru_cache.hpp"
+
+#include "util/assert.hpp"
+
+namespace pfp::cache {
+
+LruCache::LruCache(std::size_t capacity) : capacity_(capacity) {
+  PFP_REQUIRE(capacity >= 1);
+  slot_block_.resize(capacity);
+  free_slots_.reserve(capacity);
+  for (std::size_t i = capacity; i > 0; --i) {
+    free_slots_.push_back(static_cast<std::uint32_t>(i - 1));
+  }
+  lru_.resize(capacity);
+  map_.reserve(capacity * 2);
+}
+
+bool LruCache::access(BlockId block) {
+  if (const auto it = map_.find(block); it != map_.end()) {
+    lru_.touch(it->second);
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = lru_.pop_back();
+    PFP_DASSERT(slot != util::LruList::npos);
+    map_.erase(slot_block_[slot]);
+  }
+  slot_block_[slot] = block;
+  map_.emplace(block, slot);
+  lru_.push_front(slot);
+  return false;
+}
+
+std::vector<BlockId> LruCache::contents_mru_order() const {
+  std::vector<BlockId> out;
+  out.reserve(map_.size());
+  for (auto slot = lru_.front(); slot != util::LruList::npos;
+       slot = lru_.next(slot)) {
+    out.push_back(slot_block_[slot]);
+  }
+  return out;
+}
+
+}  // namespace pfp::cache

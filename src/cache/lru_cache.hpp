@@ -1,0 +1,52 @@
+// Plain LRU block cache.
+//
+// A reusable fixed-capacity LRU set of block ids, used by tests, examples
+// and as the reference model the no-prefetch configuration must match
+// exactly (a property test in tests/ checks this).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/record.hpp"
+#include "util/lru_list.hpp"
+
+namespace pfp::cache {
+
+using trace::BlockId;
+
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity);
+
+  /// References a block: returns true on hit (block promoted to MRU).
+  /// On miss the block is inserted, evicting the LRU block if full.
+  bool access(BlockId block);
+
+  bool contains(BlockId block) const { return map_.contains(block); }
+  std::size_t size() const noexcept { return map_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  double hit_rate() const noexcept {
+    const auto total = hits_ + misses_;
+    return total ? static_cast<double>(hits_) / static_cast<double>(total)
+                 : 0.0;
+  }
+
+  /// Resident blocks in MRU-to-LRU order (for tests; O(n)).
+  std::vector<BlockId> contents_mru_order() const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<BlockId> slot_block_;
+  std::vector<std::uint32_t> free_slots_;
+  std::unordered_map<BlockId, std::uint32_t> map_;
+  util::LruList lru_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace pfp::cache

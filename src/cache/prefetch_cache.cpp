@@ -1,0 +1,111 @@
+#include "cache/prefetch_cache.hpp"
+
+#include "util/assert.hpp"
+
+namespace pfp::cache {
+
+PrefetchCache::PrefetchCache(std::size_t max_blocks)
+    : max_blocks_(max_blocks) {
+  PFP_REQUIRE(max_blocks >= 1);
+  slots_.resize(max_blocks);
+  slot_generation_.resize(max_blocks, 0);
+  free_slots_.reserve(max_blocks);
+  for (std::size_t i = max_blocks; i > 0; --i) {
+    free_slots_.push_back(static_cast<std::uint32_t>(i - 1));
+  }
+  insert_lru_.resize(max_blocks);
+  obl_lru_.resize(max_blocks);
+  map_.reserve(max_blocks * 2);
+}
+
+std::optional<PrefetchEntry> PrefetchCache::lookup(BlockId block) const {
+  const auto it = map_.find(block);
+  if (it == map_.end()) {
+    return std::nullopt;
+  }
+  return slots_[it->second];
+}
+
+void PrefetchCache::insert(const PrefetchEntry& entry) {
+  PFP_REQUIRE(!map_.contains(entry.block));
+  PFP_REQUIRE(!free_slots_.empty());
+  const std::uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  slots_[slot] = entry;
+  slot_generation_[slot] = ++generation_;
+  map_.emplace(entry.block, slot);
+  insert_lru_.push_front(slot);
+  if (entry.obl) {
+    obl_lru_.push_front(slot);
+  }
+  heap_.push(HeapItem{entry.eject_cost, slot, slot_generation_[slot]});
+}
+
+PrefetchEntry PrefetchCache::remove(BlockId block) {
+  const auto it = map_.find(block);
+  PFP_REQUIRE(it != map_.end());
+  const std::uint32_t slot = it->second;
+  const PrefetchEntry entry = slots_[slot];
+  map_.erase(it);
+  insert_lru_.erase(slot);
+  if (entry.obl) {
+    obl_lru_.erase(slot);
+  }
+  slot_generation_[slot] = ++generation_;  // invalidates heap items
+  free_slots_.push_back(slot);
+  return entry;
+}
+
+void PrefetchCache::prune_heap() const {
+  while (!heap_.empty()) {
+    const HeapItem& top = heap_.top();
+    if (slot_generation_[top.slot] == top.generation) {
+      return;
+    }
+    heap_.pop();
+  }
+}
+
+std::optional<PrefetchEntry> PrefetchCache::cheapest() const {
+  prune_heap();
+  if (heap_.empty()) {
+    return std::nullopt;
+  }
+  return slots_[heap_.top().slot];
+}
+
+std::optional<BlockId> PrefetchCache::oldest_obl() const {
+  const auto slot = obl_lru_.back();
+  if (slot == util::LruList::npos) {
+    return std::nullopt;
+  }
+  return slots_[slot].block;
+}
+
+std::optional<BlockId> PrefetchCache::oldest_any() const {
+  const auto slot = insert_lru_.back();
+  if (slot == util::LruList::npos) {
+    return std::nullopt;
+  }
+  return slots_[slot].block;
+}
+
+void PrefetchCache::reprice(BlockId block, double eject_cost) {
+  const auto it = map_.find(block);
+  PFP_REQUIRE(it != map_.end());
+  const std::uint32_t slot = it->second;
+  slots_[slot].eject_cost = eject_cost;
+  slot_generation_[slot] = ++generation_;
+  heap_.push(HeapItem{eject_cost, slot, slot_generation_[slot]});
+}
+
+std::vector<PrefetchEntry> PrefetchCache::entries() const {
+  std::vector<PrefetchEntry> out;
+  out.reserve(map_.size());
+  for (const auto& [block, slot] : map_) {
+    out.push_back(slots_[slot]);
+  }
+  return out;
+}
+
+}  // namespace pfp::cache

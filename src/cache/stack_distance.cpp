@@ -1,0 +1,83 @@
+#include "cache/stack_distance.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace pfp::cache {
+
+StackDistanceEstimator::StackDistanceEstimator()
+    : StackDistanceEstimator(Config{}) {}
+
+StackDistanceEstimator::StackDistanceEstimator(Config config)
+    : config_(config) {
+  PFP_REQUIRE(config_.bucket_width >= 1);
+  PFP_REQUIRE(config_.max_depth >= config_.bucket_width);
+  PFP_REQUIRE(config_.decay > 0.0 && config_.decay <= 1.0);
+  bucket_hits_.resize(config_.max_depth / config_.bucket_width + 1, 0.0);
+}
+
+void StackDistanceEstimator::record(bool hit, std::size_t depth) {
+  // Exponential aging with an effective window of ~1 / (1 - decay)
+  // accesses.  Decaying every bucket on every access would be O(buckets)
+  // on the simulator hot path, so aging is applied in chunks of 1024
+  // accesses — to the buckets AND the total weight together, keeping
+  // every marginal a true ratio (never > 1 between chunk boundaries).
+  total_weight_ += 1.0;
+  if (config_.decay < 1.0 && ++accesses_since_decay_ >= 1024) {
+    double factor = 1.0;
+    for (int i = 0; i < 1024; ++i) {
+      factor *= config_.decay;
+    }
+    for (auto& b : bucket_hits_) {
+      b *= factor;
+    }
+    total_weight_ *= factor;
+    accesses_since_decay_ = 0;
+  }
+  if (!hit) {
+    return;
+  }
+  PFP_DASSERT(depth >= 1);
+  const std::size_t clamped = std::min(depth, config_.max_depth);
+  const std::size_t bucket = (clamped - 1) / config_.bucket_width;
+  bucket_hits_[std::min(bucket, bucket_hits_.size() - 1)] += 1.0;
+}
+
+double StackDistanceEstimator::marginal_hit_rate(std::size_t n) const {
+  if (n == 0 || total_weight_ <= 0.0) {
+    return 0.0;
+  }
+  const std::size_t clamped = std::min(n, config_.max_depth);
+  const std::size_t bucket = (clamped - 1) / config_.bucket_width;
+  const double hits =
+      bucket_hits_[std::min(bucket, bucket_hits_.size() - 1)];
+  // Bucket rate spread evenly over its depths.
+  return hits / static_cast<double>(config_.bucket_width) / total_weight_;
+}
+
+double StackDistanceEstimator::hit_rate(std::size_t n) const {
+  if (total_weight_ <= 0.0) {
+    return 0.0;
+  }
+  const std::size_t clamped = std::min(n, config_.max_depth);
+  const std::size_t full_buckets = clamped / config_.bucket_width;
+  double hits = 0.0;
+  for (std::size_t b = 0; b < full_buckets && b < bucket_hits_.size(); ++b) {
+    hits += bucket_hits_[b];
+  }
+  const std::size_t remainder = clamped % config_.bucket_width;
+  if (remainder != 0 && full_buckets < bucket_hits_.size()) {
+    hits += bucket_hits_[full_buckets] * static_cast<double>(remainder) /
+            static_cast<double>(config_.bucket_width);
+  }
+  return hits / total_weight_;
+}
+
+void StackDistanceEstimator::reset() {
+  std::fill(bucket_hits_.begin(), bucket_hits_.end(), 0.0);
+  total_weight_ = 0.0;
+  accesses_since_decay_ = 0;
+}
+
+}  // namespace pfp::cache

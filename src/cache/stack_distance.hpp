@@ -1,0 +1,51 @@
+// Marginal LRU hit-rate estimation, H(n) - H(n-1).
+//
+// Equation 13 prices ejecting the demand cache's LRU buffer at
+// (H(n) - H(n-1)) * (T_driver + T_disk): the hit rate lost by shrinking an
+// LRU cache by one buffer equals the rate of hits at stack depth exactly
+// n.  Patterson estimates this online by profiling the depth of each LRU
+// hit; we do the same with depth buckets (hits at depth d land in bucket
+// d / bucket_width) and exponential aging, which both denoises the sparse
+// deep-tail counts and adapts to phase changes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pfp::cache {
+
+class StackDistanceEstimator {
+ public:
+  struct Config {
+    std::size_t bucket_width = 32;   ///< depths per bucket
+    std::size_t max_depth = 65'536;  ///< deeper hits are clamped
+    double decay = 0.9995;           ///< per-access aging factor
+  };
+
+  StackDistanceEstimator();  // default config
+  explicit StackDistanceEstimator(Config config);
+
+  /// Records one cache reference.  For hits, depth is the 1-based LRU
+  /// stack position of the hit block (1 = MRU).  Misses still age the
+  /// window (call with hit = false).
+  void record(bool hit, std::size_t depth = 0);
+
+  /// Estimated rate of hits at stack depth exactly n, i.e. H(n) - H(n-1),
+  /// in hits per access.  n is 1-based.
+  double marginal_hit_rate(std::size_t n) const;
+
+  /// Estimated hit rate of an LRU cache of size n (sum of marginals).
+  double hit_rate(std::size_t n) const;
+
+  double accesses_weighted() const noexcept { return total_weight_; }
+
+  void reset();
+
+ private:
+  Config config_;
+  std::vector<double> bucket_hits_;
+  double total_weight_ = 0.0;
+  std::uint32_t accesses_since_decay_ = 0;
+};
+
+}  // namespace pfp::cache

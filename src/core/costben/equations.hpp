@@ -1,0 +1,59 @@
+// The paper's cost-benefit equations (Sections 5-7), as pure functions.
+//
+// Everything here is stateless: inputs are the timing constants, the
+// dynamic prefetch rate s (blocks prefetched per access period, estimated
+// online), and per-candidate quantities from the prefetch tree.  Keeping
+// the algebra free of simulator state lets tests check each equation
+// against hand-computed values.
+//
+//   Eq. 3  T_compute(d)   = d (T_cpu + T_hit + s T_driver)
+//   Eq. 6  T_stall(d)     = max(T_disk/d - (T_hit + T_cpu + s T_driver), 0)
+//                           with T_stall(0) = T_disk (demand fetch)
+//   Eq. 2  dT_pf(d)       = T_disk - T_stall(d), dT_pf(0) = 0
+//   Eq. 1  B(b)           = p_b dT_pf(d_b) - p_x dT_pf(d_b - 1)
+//   Eq. 11 C_pr(b)        = p_b (T_driver + T_stall(x)) / (d_b - x)
+//   Eq. 13 C_dc(n)        = (H(n) - H(n-1)) (T_driver + T_disk)
+//   Eq. 14 T_oh           = (1 - p_b/p_x) T_driver
+#pragma once
+
+#include <cstdint>
+
+#include "core/costben/timing_model.hpp"
+
+namespace pfp::core::costben {
+
+/// Eq. 3: computation overlapped during d access periods (d > 0).
+double t_compute(const TimingParams& timing, double s, std::uint32_t d);
+
+/// Eq. 6 (with the d = 0 demand-fetch boundary condition T_stall = T_disk):
+/// average CPU stall for a block prefetched d accesses ahead.
+double t_stall(const TimingParams& timing, double s, std::uint32_t d);
+
+/// Eq. 2: time saved by prefetching at distance d vs. fetching on demand.
+double delta_t_pf(const TimingParams& timing, double s, std::uint32_t d);
+
+/// Eq. 1: benefit of allocating one buffer to prefetch block b at depth
+/// d_b, whose path-parent x (at depth d_b - 1) has path probability p_x.
+double benefit(const TimingParams& timing, double s, double p_b,
+               double p_x, std::uint32_t d_b);
+
+/// Eq. 14: expected wasted driver time for prefetching b under parent x.
+double prefetch_overhead(const TimingParams& timing, double p_b, double p_x);
+
+/// Eq. 11: cost (per unit bufferage) of ejecting prefetched block b that
+/// would be re-prefetched at distance x < d_b.
+double cost_eject_prefetch(const TimingParams& timing, double s, double p_b,
+                           std::uint32_t d_b, std::uint32_t x);
+
+/// Eq. 13: cost of shrinking the demand cache by one buffer, given the
+/// measured marginal hit rate H(n) - H(n-1).
+double cost_eject_demand(const TimingParams& timing,
+                         double marginal_hit_rate);
+
+/// Prefetch horizon P-hat: smallest distance whose expected stall is zero,
+/// ceil(T_disk / (T_hit + T_cpu + s T_driver)).  Used as the re-prefetch
+/// distance x in Eq. 11 (a displaced block would be fetched again once it
+/// comes within the horizon; see DESIGN.md).
+std::uint32_t prefetch_horizon(const TimingParams& timing, double s);
+
+}  // namespace pfp::core::costben

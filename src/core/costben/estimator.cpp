@@ -1,0 +1,21 @@
+#include "core/costben/estimator.hpp"
+
+namespace pfp::core::costben {
+
+Estimators::Estimators() : Estimators(Config{}) {}
+
+Estimators::Estimators(Config config)
+    : s_(config.s_alpha, config.s_initial),
+      h_(config.h_alpha, config.h_initial),
+      obl_h_(config.h_alpha, config.h_initial) {}
+
+void Estimators::end_period(std::uint32_t issued) {
+  s_.add(static_cast<double>(issued));
+  ++periods_;
+}
+
+void Estimators::prefetch_outcome(bool accessed, bool obl) {
+  (obl ? obl_h_ : h_).add(accessed ? 1.0 : 0.0);
+}
+
+}  // namespace pfp::core::costben

@@ -1,0 +1,53 @@
+// Online estimators for the dynamic model inputs (Figure 4).
+//
+// The block diagram's dynamically calculated inputs are s (blocks
+// prefetched per access period) and h (fraction of prefetched blocks that
+// are eventually accessed); the paper computes both "during execution".
+// Both are EWMAs here: s is sampled once per access period with the
+// number of prefetches the controller issued; h is sampled per prefetched
+// block when its fate is known (referenced -> 1, ejected unused -> 0).
+// A separate hit-rate estimate is kept for one-block-lookahead blocks so
+// the combined tree-next-limit policy can price OBL entries' ejection.
+#pragma once
+
+#include <cstdint>
+
+#include "util/ewma.hpp"
+
+namespace pfp::core::costben {
+
+class Estimators {
+ public:
+  struct Config {
+    double s_alpha = 0.05;    ///< horizon ~20 access periods
+    double s_initial = 1.0;   ///< optimistic start: one prefetch/period
+    double h_alpha = 0.02;    ///< horizon ~50 prefetch outcomes
+    double h_initial = 0.5;
+  };
+
+  Estimators();  // default config
+  explicit Estimators(Config config);
+
+  /// Records how many prefetches were issued this access period.
+  void end_period(std::uint32_t issued);
+
+  /// Records the fate of one prefetched block.
+  void prefetch_outcome(bool accessed, bool obl);
+
+  /// Current estimate of s (>= 0).
+  double s() const noexcept { return s_.value(); }
+  /// Current estimate of h in [0, 1] (tree-predicted blocks).
+  double h() const noexcept { return h_.value(); }
+  /// Current OBL hit-ratio estimate in [0, 1].
+  double obl_h() const noexcept { return obl_h_.value(); }
+
+  std::uint64_t periods() const noexcept { return periods_; }
+
+ private:
+  util::Ewma s_;
+  util::Ewma h_;
+  util::Ewma obl_h_;
+  std::uint64_t periods_ = 0;
+};
+
+}  // namespace pfp::core::costben

@@ -1,0 +1,21 @@
+// System timing model (Sections 3 and 8).
+//
+// All durations are milliseconds.  Defaults are the paper's constants,
+// which it in turn takes from Patterson: T_hit = 0.243 ms,
+// T_driver = 0.580 ms, T_disk = 15.0 ms, T_cpu = 50 ms (Section 9.2.3
+// sweeps T_cpu from 20 to 640 ms).
+#pragma once
+
+namespace pfp::core::costben {
+
+struct TimingParams {
+  double t_hit = 0.243;    ///< read a block already in the buffer cache
+  double t_driver = 0.580; ///< initiate a fetch (buffer, queue, interrupt)
+  double t_disk = 15.0;    ///< constant disk access time
+  double t_cpu = 50.0;     ///< mean computation between I/Os
+
+  /// T_miss = T_driver + T_disk + T_hit (Section 6.2).
+  double t_miss() const noexcept { return t_driver + t_disk + t_hit; }
+};
+
+}  // namespace pfp::core::costben

@@ -1,0 +1,90 @@
+#include "core/policy/factory.hpp"
+
+#include <stdexcept>
+
+#include "core/policy/next_limit.hpp"
+#include "core/policy/no_prefetch.hpp"
+#include "core/policy/perfect_selector.hpp"
+#include "core/policy/tree_children.hpp"
+#include "core/policy/tree_lvc.hpp"
+#include "core/policy/tree_next_limit.hpp"
+#include "core/policy/tree_threshold.hpp"
+
+namespace pfp::core::policy {
+
+const std::vector<PolicyKind>& headline_policies() {
+  static const std::vector<PolicyKind> kAll = {
+      PolicyKind::kNoPrefetch, PolicyKind::kNextLimit, PolicyKind::kTree,
+      PolicyKind::kTreeNextLimit};
+  return kAll;
+}
+
+std::string kind_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kNoPrefetch:
+      return "no-prefetch";
+    case PolicyKind::kNextLimit:
+      return "next-limit";
+    case PolicyKind::kTree:
+      return "tree";
+    case PolicyKind::kTreeNextLimit:
+      return "tree-next-limit";
+    case PolicyKind::kTreeLvc:
+      return "tree-lvc";
+    case PolicyKind::kPerfectSelector:
+      return "perfect-selector";
+    case PolicyKind::kTreeThreshold:
+      return "tree-threshold";
+    case PolicyKind::kTreeChildren:
+      return "tree-children";
+    case PolicyKind::kProbGraph:
+      return "prob-graph";
+    case PolicyKind::kTreeAdaptive:
+      return "tree-adaptive";
+  }
+  return "?";
+}
+
+PolicyKind kind_from_name(const std::string& name) {
+  static const PolicyKind kAll[] = {
+      PolicyKind::kNoPrefetch,      PolicyKind::kNextLimit,
+      PolicyKind::kTree,            PolicyKind::kTreeNextLimit,
+      PolicyKind::kTreeLvc,         PolicyKind::kPerfectSelector,
+      PolicyKind::kTreeThreshold,   PolicyKind::kTreeChildren,
+      PolicyKind::kProbGraph,      PolicyKind::kTreeAdaptive,
+  };
+  for (const PolicyKind kind : kAll) {
+    if (kind_name(kind) == name) {
+      return kind;
+    }
+  }
+  throw std::invalid_argument("unknown policy '" + name + "'");
+}
+
+std::unique_ptr<Prefetcher> make_prefetcher(const PolicySpec& spec) {
+  switch (spec.kind) {
+    case PolicyKind::kNoPrefetch:
+      return std::make_unique<NoPrefetch>();
+    case PolicyKind::kNextLimit:
+      return std::make_unique<NextLimit>(spec.obl_quota);
+    case PolicyKind::kTree:
+      return std::make_unique<TreeCostBenefit>(spec.tree);
+    case PolicyKind::kTreeNextLimit:
+      return std::make_unique<TreeNextLimit>(spec.tree, spec.obl_quota);
+    case PolicyKind::kTreeLvc:
+      return std::make_unique<TreeLvc>(spec.tree);
+    case PolicyKind::kPerfectSelector:
+      return std::make_unique<PerfectSelector>(spec.tree.tree);
+    case PolicyKind::kTreeThreshold:
+      return std::make_unique<TreeThreshold>(spec.threshold, spec.tree.tree);
+    case PolicyKind::kTreeChildren:
+      return std::make_unique<TreeChildren>(spec.children, spec.tree.tree);
+    case PolicyKind::kProbGraph:
+      return std::make_unique<ProbGraph>(spec.graph);
+    case PolicyKind::kTreeAdaptive:
+      return std::make_unique<TreeAdaptive>(spec.tree, spec.adaptive);
+  }
+  throw std::invalid_argument("unknown policy kind");
+}
+
+}  // namespace pfp::core::policy

@@ -1,0 +1,54 @@
+// Policy construction from a declarative spec.
+//
+// Benches and examples describe a run as data (kind + parameters); the
+// factory turns that into a live Prefetcher.  Keeping the spec a value
+// type lets the sweep driver fan specs out across threads.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policy/prefetcher.hpp"
+#include "core/policy/prob_graph.hpp"
+#include "core/policy/tree_adaptive.hpp"
+#include "core/policy/tree_policy.hpp"
+
+namespace pfp::core::policy {
+
+enum class PolicyKind {
+  kNoPrefetch,
+  kNextLimit,
+  kTree,
+  kTreeNextLimit,
+  kTreeLvc,
+  kPerfectSelector,
+  kTreeThreshold,
+  kTreeChildren,
+  kProbGraph,  ///< first-order probability graph (related-work baseline)
+  kTreeAdaptive,  ///< tree + adaptive precision floor (paper future work)
+};
+
+struct PolicySpec {
+  PolicyKind kind = PolicyKind::kNoPrefetch;
+  TreePolicyConfig tree;          ///< tree/cost-benefit parameters
+  double obl_quota = 0.10;        ///< next-limit cache fraction
+  double threshold = 0.05;        ///< tree-threshold parameter
+  std::uint32_t children = 3;     ///< tree-children parameter
+  ProbGraphConfig graph;          ///< prob-graph parameters
+  AdaptiveConfig adaptive;        ///< tree-adaptive parameters
+};
+
+/// The four headline schemes of Section 9.1, in paper order.
+const std::vector<PolicyKind>& headline_policies();
+
+/// Stable name for a kind ("tree-next-limit", ...); parametric kinds get
+/// their parameter appended by the live policy's name() instead.
+std::string kind_name(PolicyKind kind);
+
+/// Inverse of kind_name; throws std::invalid_argument on junk.
+PolicyKind kind_from_name(const std::string& name);
+
+std::unique_ptr<Prefetcher> make_prefetcher(const PolicySpec& spec);
+
+}  // namespace pfp::core::policy

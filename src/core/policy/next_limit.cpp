@@ -1,0 +1,27 @@
+#include "core/policy/next_limit.hpp"
+
+#include "core/policy/eviction.hpp"
+
+namespace pfp::core::policy {
+
+void NextLimit::on_access(BlockId block, AccessOutcome outcome,
+                          Context& ctx) {
+  std::uint32_t issued = 0;
+  // Re-arm on demand fetches and on first references to prefetched
+  // blocks, so sequential runs stream after a single miss.
+  if (outcome == AccessOutcome::kMiss ||
+      outcome == AccessOutcome::kPrefetchHit) {
+    if (lookahead_.maybe_prefetch_next(block, ctx)) {
+      issued = 1;
+    }
+  }
+  ctx.estimators.end_period(issued);
+}
+
+void NextLimit::reclaim_for_demand(Context& ctx) {
+  // Keep the (quota-bounded) lookahead blocks; a demand fetch displaces
+  // the demand LRU block, as in an unpartitioned LRU cache.
+  evict_demand_first(ctx);
+}
+
+}  // namespace pfp::core::policy

@@ -1,0 +1,23 @@
+// One-block-lookahead with a 10 % cache quota (Section 9's "next-limit").
+#pragma once
+
+#include "core/policy/obl.hpp"
+#include "core/policy/prefetcher.hpp"
+
+namespace pfp::core::policy {
+
+class NextLimit final : public Prefetcher {
+ public:
+  explicit NextLimit(double quota_fraction = 0.10)
+      : lookahead_(quota_fraction) {}
+
+  std::string name() const override { return "next-limit"; }
+  void on_access(BlockId block, AccessOutcome outcome,
+                 Context& ctx) override;
+  void reclaim_for_demand(Context& ctx) override;
+
+ private:
+  SequentialLookahead lookahead_;
+};
+
+}  // namespace pfp::core::policy

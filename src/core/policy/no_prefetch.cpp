@@ -1,0 +1,19 @@
+#include "core/policy/no_prefetch.hpp"
+
+#include "core/policy/eviction.hpp"
+
+namespace pfp::core::policy {
+
+void NoPrefetch::on_access(BlockId block, AccessOutcome outcome,
+                           Context& ctx) {
+  (void)block;
+  (void)outcome;
+  ctx.estimators.end_period(0);
+}
+
+void NoPrefetch::reclaim_for_demand(Context& ctx) {
+  // The prefetch cache is always empty here, so this is plain LRU.
+  evict_demand_first(ctx);
+}
+
+}  // namespace pfp::core::policy

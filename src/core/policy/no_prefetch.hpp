@@ -1,0 +1,19 @@
+// Baseline: no prefetching (Section 9's "no-prefetch").
+//
+// The combined cache degenerates to a plain LRU demand cache; a property
+// test checks that its miss rate matches cache::LruCache exactly.
+#pragma once
+
+#include "core/policy/prefetcher.hpp"
+
+namespace pfp::core::policy {
+
+class NoPrefetch final : public Prefetcher {
+ public:
+  std::string name() const override { return "no-prefetch"; }
+  void on_access(BlockId block, AccessOutcome outcome,
+                 Context& ctx) override;
+  void reclaim_for_demand(Context& ctx) override;
+};
+
+}  // namespace pfp::core::policy

@@ -1,0 +1,10 @@
+#include "core/policy/prefetcher.hpp"
+
+namespace pfp::core::policy {
+
+void Prefetcher::on_prefetch_consumed(const cache::PrefetchEntry& entry,
+                                      Context& ctx) {
+  ctx.estimators.prefetch_outcome(/*accessed=*/true, entry.obl);
+}
+
+}  // namespace pfp::core::policy

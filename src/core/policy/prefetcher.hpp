@@ -1,0 +1,46 @@
+// Prefetching policy interface.
+//
+// The simulator drives each trace reference through the buffer cache and
+// then hands the observed outcome to the policy, which may issue
+// prefetches and is responsible for choosing replacement victims — both
+// when it wants room for a prefetch and when the simulator needs room for
+// a demand fetch (Figure 2's reclaim arrows are policy decisions, not
+// cache mechanics).
+#pragma once
+
+#include <string>
+
+#include "core/policy/context.hpp"
+
+namespace pfp::core::policy {
+
+enum class AccessOutcome {
+  kDemandHit,    ///< found in the demand cache
+  kPrefetchHit,  ///< found in the prefetch cache (migrated on reference)
+  kMiss,         ///< demand fetch required
+};
+
+class Prefetcher {
+ public:
+  virtual ~Prefetcher() = default;
+
+  /// Stable identifier ("tree", "next-limit", ...).
+  virtual std::string name() const = 0;
+
+  /// Called once per trace reference, after the cache state reflects the
+  /// access (hit promoted / prefetch migrated / missed block admitted).
+  /// This is where policies learn and issue prefetches.
+  virtual void on_access(BlockId block, AccessOutcome outcome,
+                         Context& ctx) = 0;
+
+  /// Called on a demand miss with a full cache: evict exactly one buffer
+  /// (from either cache) so the fetched block can be admitted.
+  virtual void reclaim_for_demand(Context& ctx) = 0;
+
+  /// Called when a prefetched block is referenced (before on_access).
+  /// Default: records the hit with the h estimators.
+  virtual void on_prefetch_consumed(const cache::PrefetchEntry& entry,
+                                    Context& ctx);
+};
+
+}  // namespace pfp::core::policy

@@ -1,0 +1,62 @@
+// prob-graph: first-order probability-graph prefetching.
+//
+// A related-work baseline in the spirit of Griffioen & Appleton's
+// "Reducing File System Latency Using a Predictive Approach" (the
+// paper's reference [6], simplified to a one-access lookahead window):
+// for every block keep counts of which blocks immediately followed it,
+// and after each access prefetch the successors whose observed chance
+// exceeds a threshold.  Unlike the LZ tree this keeps no context deeper
+// than one block, so it confuses interleaved streams — comparing the two
+// predictors is bench/abl02_predictor_duel.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/policy/prefetcher.hpp"
+
+namespace pfp::core::policy {
+
+struct ProbGraphConfig {
+  double min_probability = 0.2;    ///< successor chance cutoff
+  std::uint32_t max_prefetches = 4;
+  /// Successor lists are capped; the weakest edge is dropped when a new
+  /// successor appears in a full list (keeps memory linear in blocks).
+  std::uint32_t max_successors = 16;
+};
+
+class ProbGraph final : public Prefetcher {
+ public:
+  ProbGraph();  // default config
+  explicit ProbGraph(ProbGraphConfig config);
+
+  std::string name() const override { return "prob-graph"; }
+  void on_access(BlockId block, AccessOutcome outcome,
+                 Context& ctx) override;
+  void reclaim_for_demand(Context& ctx) override;
+
+  /// Observed P(next == successor | current == block); 0 if unknown.
+  double successor_probability(BlockId block, BlockId successor) const;
+
+  std::size_t tracked_blocks() const noexcept { return graph_.size(); }
+
+ private:
+  struct Edge {
+    BlockId successor = 0;
+    std::uint32_t count = 0;
+  };
+  struct Node {
+    std::uint64_t total = 0;          ///< departures observed from here
+    std::vector<Edge> edges;          ///< sorted by count, descending
+  };
+
+  void record_transition(BlockId from, BlockId to);
+
+  ProbGraphConfig config_;
+  std::unordered_map<BlockId, Node> graph_;
+  BlockId previous_ = 0;
+  bool has_previous_ = false;
+};
+
+}  // namespace pfp::core::policy

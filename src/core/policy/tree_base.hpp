@@ -1,0 +1,29 @@
+// Base for every policy that maintains an LZ prefetch tree.
+//
+// Centralizes the parse step and the instrumentation the paper reports
+// about tree behaviour regardless of policy: prediction accuracy
+// (Table 2), predictable-but-uncached (Figure 14), last-visited-child
+// revisit and residency (Table 3 / Figure 16), and tree size (Sec 9.3).
+#pragma once
+
+#include "core/policy/prefetcher.hpp"
+#include "core/tree/prefetch_tree.hpp"
+
+namespace pfp::core::policy {
+
+class TreeInstrumentedPrefetcher : public Prefetcher {
+ public:
+  explicit TreeInstrumentedPrefetcher(tree::TreeConfig config);
+
+  const tree::PrefetchTree& prefetch_tree() const noexcept { return tree_; }
+
+ protected:
+  /// Feeds the reference through the parse and updates the shared tree
+  /// metrics.  Call exactly once per on_access.
+  tree::AccessInfo observe_access(BlockId block, AccessOutcome outcome,
+                                  Context& ctx);
+
+  tree::PrefetchTree tree_;
+};
+
+}  // namespace pfp::core::policy

@@ -1,0 +1,29 @@
+// tree-children: Kroeger & Long's parametric scheme (Section 9.7).
+//
+// After each access, the k highest-probability children of the current
+// tree node are prefetched — no cost-benefit analysis.  The paper found
+// the optimal k ranges from 3 to 10 depending on workload; Figure 17
+// compares the cost-benefit tree against the best tuned k.
+#pragma once
+
+#include "core/policy/tree_base.hpp"
+
+namespace pfp::core::policy {
+
+class TreeChildren final : public TreeInstrumentedPrefetcher {
+ public:
+  explicit TreeChildren(std::uint32_t count,
+                        tree::TreeConfig config = tree::TreeConfig{});
+
+  std::string name() const override;
+  void on_access(BlockId block, AccessOutcome outcome,
+                 Context& ctx) override;
+  void reclaim_for_demand(Context& ctx) override;
+
+  std::uint32_t count() const noexcept { return count_; }
+
+ private:
+  std::uint32_t count_;
+};
+
+}  // namespace pfp::core::policy

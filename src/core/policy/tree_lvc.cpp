@@ -1,0 +1,39 @@
+#include "core/policy/tree_lvc.hpp"
+
+#include "core/costben/equations.hpp"
+#include "core/policy/eviction.hpp"
+
+namespace pfp::core::policy {
+
+TreeLvc::TreeLvc() : TreeLvc(TreePolicyConfig{}) {}
+
+TreeLvc::TreeLvc(TreePolicyConfig config) : TreeCostBenefit(config) {}
+
+void TreeLvc::on_access(BlockId block, AccessOutcome outcome, Context& ctx) {
+  observe_access(block, outcome, ctx);
+  std::uint32_t issued = run_cost_benefit(ctx);
+
+  // "...prefetches the last visited child of a node in addition to
+  // prefetching blocks determined by cost-benefit analysis" (Sec 9.6).
+  const tree::NodeId current = tree_.current();
+  const tree::NodeId lvc = tree_.last_visited_child(current);
+  if (lvc != tree::kNoNode) {
+    const BlockId target = tree_.node(lvc).block;
+    if (!ctx.cache.contains(target)) {
+      if (ctx.cache.free_buffers() == 0) {
+        evict_cheapest(ctx);
+      }
+      tree::Candidate candidate;
+      candidate.block = target;
+      candidate.probability = tree_.edge_probability(current, lvc);
+      candidate.parent_probability = 1.0;
+      candidate.depth = 1;
+      candidate.node = lvc;
+      admit_tree_prefetch(ctx, candidate);
+      ++issued;
+    }
+  }
+  ctx.estimators.end_period(issued);
+}
+
+}  // namespace pfp::core::policy

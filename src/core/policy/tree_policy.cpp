@@ -1,0 +1,133 @@
+#include "core/policy/tree_policy.hpp"
+
+#include <algorithm>
+
+#include "core/costben/equations.hpp"
+#include "core/policy/eviction.hpp"
+
+namespace pfp::core::policy {
+
+TreeCostBenefit::TreeCostBenefit() : TreeCostBenefit(TreePolicyConfig{}) {}
+
+TreeCostBenefit::TreeCostBenefit(TreePolicyConfig config)
+    : TreeInstrumentedPrefetcher(config.tree), config_(config) {}
+
+void TreeCostBenefit::on_access(BlockId block, AccessOutcome outcome,
+                                Context& ctx) {
+  observe_access(block, outcome, ctx);
+  const std::uint32_t issued = run_cost_benefit(ctx);
+  ctx.estimators.end_period(issued);
+}
+
+void TreeCostBenefit::reclaim_one(Context& ctx) {
+  switch (config_.reclaim) {
+    case ReclaimRule::kCostBased:
+      evict_cheapest(ctx);
+      return;
+    case ReclaimRule::kPrefetchFirst:
+      evict_prefetch_first(ctx);
+      return;
+    case ReclaimRule::kDemandFirst:
+      evict_demand_first(ctx);
+      return;
+  }
+}
+
+void TreeCostBenefit::reclaim_for_demand(Context& ctx) {
+  // Section 6.2: the same cost equations pick the replacement victim for
+  // demand fetches (unless an ablation overrides the rule).
+  reclaim_one(ctx);
+}
+
+void TreeCostBenefit::admit_tree_prefetch(Context& ctx,
+                                          const tree::Candidate& candidate) {
+  const double s = ctx.estimators.s();
+  // Re-prefetch distance x for Eq. 11: by default a displaced block would
+  // be fetched again once it comes within the prefetch horizon (see
+  // DESIGN.md); ablation rules pin x to the extremes.
+  std::uint32_t x = 0;
+  switch (config_.refetch) {
+    case RefetchDistanceRule::kHorizon:
+      x = std::min(candidate.depth - 1,
+                   costben::prefetch_horizon(ctx.timing, s));
+      break;
+    case RefetchDistanceRule::kParentDepth:
+      x = candidate.depth - 1;
+      break;
+    case RefetchDistanceRule::kImmediate:
+      x = 0;
+      break;
+  }
+  cache::PrefetchEntry entry;
+  entry.block = candidate.block;
+  entry.probability = candidate.probability;
+  entry.depth = candidate.depth;
+  entry.eject_cost = costben::cost_eject_prefetch(
+      ctx.timing, s, candidate.probability, candidate.depth, x);
+  entry.obl = false;
+  entry.issued_period = ctx.period;
+  entry.completion_ms = ctx.disks.submit(candidate.block, ctx.now_ms);
+  ctx.cache.admit_prefetch(entry);
+  ++ctx.metrics.prefetches_issued;
+  ++ctx.metrics.tree_prefetches_issued;
+  ctx.metrics.sum_prefetch_probability += candidate.probability;
+}
+
+std::uint32_t TreeCostBenefit::run_cost_benefit(Context& ctx) {
+  auto candidates = enumerate_candidates(tree_, tree_.current(),
+                                         config_.limits);
+  if (candidates.empty()) {
+    return 0;
+  }
+  // s is an EWMA refreshed once per access period, so benefits are fixed
+  // within the loop: evaluate once and process best-first.
+  const double s = ctx.estimators.s();
+  const double floor = probability_floor();
+  std::vector<std::pair<double, std::size_t>> order;
+  order.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const auto& c = candidates[i];
+    if (c.probability < floor) {
+      continue;  // below the (possibly adaptive) precision floor
+    }
+    const double b = costben::benefit(ctx.timing, s, c.probability,
+                                      c.parent_probability, c.depth);
+    if (b > 0.0) {
+      order.emplace_back(b, i);
+    }
+  }
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  std::uint32_t issued = 0;
+  for (const auto& [benefit_value, index] : order) {
+    if (issued >= config_.max_prefetches_per_period) {
+      break;
+    }
+    const auto& candidate = candidates[index];
+    ++ctx.metrics.candidates_chosen;
+    if (ctx.cache.contains(candidate.block)) {
+      // Figure 7: chosen, but already resident in one of the caches.
+      ++ctx.metrics.candidates_already_cached;
+      continue;
+    }
+    const double overhead = costben::prefetch_overhead(
+        ctx.timing, candidate.probability, candidate.parent_probability);
+    const double cost = ctx.cache.free_buffers() > 0
+                            ? 0.0
+                            : cheapest_eviction_cost(ctx);
+    if (benefit_value - overhead < cost) {
+      // Section 7 step 4: stop once replacing a block costs more than
+      // prefetching the next-best block gains.
+      break;
+    }
+    if (ctx.cache.free_buffers() == 0) {
+      reclaim_one(ctx);
+    }
+    admit_tree_prefetch(ctx, candidate);
+    ++issued;
+  }
+  return issued;
+}
+
+}  // namespace pfp::core::policy

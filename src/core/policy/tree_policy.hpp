@@ -1,0 +1,79 @@
+// The paper's contribution: cost-benefit predictive prefetching ("tree").
+//
+// Each access period (Sections 4 and 7):
+//   1. enumerate prefetch candidates from the tree with their path
+//      probabilities and pick the highest-benefit block (Eq. 1);
+//   2. price the cheapest replacement victim (Eq. 11 vs Eq. 13);
+//   3. prefetch while  B(b) - T_oh >= C  (Eq. 14 overhead), repeating
+//      until the inequality fails or the per-period issue cap is hit.
+//
+// s, the average number of prefetches per access period, feeds back into
+// the stall model (Eq. 6) through an online estimate updated at the end
+// of every period.
+#pragma once
+
+#include "core/policy/tree_base.hpp"
+#include "core/tree/enumerator.hpp"
+
+namespace pfp::core::policy {
+
+/// How the re-prefetch distance x of Eq. 11 is chosen for a block being
+/// priced for ejection (the paper leaves x unspecified; DESIGN.md
+/// discusses the default).  bench/abl03_refetch_distance measures the
+/// impact of this choice.
+enum class RefetchDistanceRule {
+  kHorizon,      ///< x = min(d_b - 1, prefetch horizon)  (default)
+  kParentDepth,  ///< x = d_b - 1 (re-prefetched at the last moment)
+  kImmediate,    ///< x = 0 (ejected blocks come back as demand fetches)
+};
+
+/// Which buffer a cost-benefit policy reclaims (for demand fetches and
+/// for prefetch admissions).  bench/abl04_eviction_policy compares them.
+enum class ReclaimRule {
+  kCostBased,      ///< cheaper of Eq. 11 / Eq. 13 victims (default)
+  kPrefetchFirst,  ///< oldest prefetched block, then demand LRU
+  kDemandFirst,    ///< demand LRU, then oldest prefetched block
+};
+
+struct TreePolicyConfig {
+  tree::TreeConfig tree;
+  tree::EnumeratorLimits limits;
+  /// Hard cap on prefetches per access period; a safety net, normally the
+  /// cost-benefit inequality stops the loop first.
+  std::uint32_t max_prefetches_per_period = 16;
+  RefetchDistanceRule refetch = RefetchDistanceRule::kHorizon;
+  ReclaimRule reclaim = ReclaimRule::kCostBased;
+};
+
+class TreeCostBenefit : public TreeInstrumentedPrefetcher {
+ public:
+  TreeCostBenefit();  // default config
+  explicit TreeCostBenefit(TreePolicyConfig config);
+
+  std::string name() const override { return "tree"; }
+  void on_access(BlockId block, AccessOutcome outcome,
+                 Context& ctx) override;
+  void reclaim_for_demand(Context& ctx) override;
+
+  const TreePolicyConfig& config() const noexcept { return config_; }
+
+ protected:
+  /// Minimum path probability a candidate must carry to be considered
+  /// this period.  The base policy imposes none beyond the enumerator's
+  /// static cutoff; tree-adaptive overrides this with its feedback floor.
+  virtual double probability_floor() const noexcept { return 0.0; }
+
+  /// Runs selection/pricing/decision for this period; returns the number
+  /// of prefetches issued (callers fold it into the s estimate).
+  std::uint32_t run_cost_benefit(Context& ctx);
+
+  /// Admits one tree-predicted block, computing its Eq. 11 ejection price.
+  void admit_tree_prefetch(Context& ctx, const tree::Candidate& candidate);
+
+  /// Evicts one buffer according to the configured reclaim rule.
+  void reclaim_one(Context& ctx);
+
+  TreePolicyConfig config_;
+};
+
+}  // namespace pfp::core::policy

@@ -1,0 +1,30 @@
+// tree-threshold: Curewitz et al.'s parametric scheme (Section 9.7).
+//
+// After each access, every child of the current tree node whose edge
+// probability meets a fixed threshold is prefetched — no cost-benefit
+// analysis.  Table 4 sweeps the threshold to show the best value is
+// workload-dependent and mischoice costs up to 15 %; Figure 17 shows the
+// cost-benefit tree matches the *best* tuned threshold.
+#pragma once
+
+#include "core/policy/tree_base.hpp"
+
+namespace pfp::core::policy {
+
+class TreeThreshold final : public TreeInstrumentedPrefetcher {
+ public:
+  explicit TreeThreshold(double threshold,
+                         tree::TreeConfig config = tree::TreeConfig{});
+
+  std::string name() const override;
+  void on_access(BlockId block, AccessOutcome outcome,
+                 Context& ctx) override;
+  void reclaim_for_demand(Context& ctx) override;
+
+  double threshold() const noexcept { return threshold_; }
+
+ private:
+  double threshold_;
+};
+
+}  // namespace pfp::core::policy

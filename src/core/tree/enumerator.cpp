@@ -1,0 +1,70 @@
+#include "core/tree/enumerator.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace pfp::core::tree {
+
+namespace {
+
+struct FrontierItem {
+  double probability;
+  double parent_probability;
+  NodeId node;
+  std::uint32_t depth;
+  bool operator<(const FrontierItem& other) const {
+    return probability < other.probability;  // max-heap on probability
+  }
+};
+
+}  // namespace
+
+std::vector<Candidate> enumerate_candidates(const PrefetchTree& tree,
+                                            NodeId from,
+                                            const EnumeratorLimits& limits) {
+  std::vector<Candidate> out;
+  if (tree.node(from).weight == 0) {
+    return out;  // empty tree: no statistics yet
+  }
+  out.reserve(limits.max_candidates);
+
+  std::priority_queue<FrontierItem> frontier;
+  const auto push_children = [&](NodeId node, double path_prob,
+                                 std::uint32_t depth) {
+    if (depth >= limits.max_depth) {
+      return;
+    }
+    // Children are kept sorted by descending weight, hence descending
+    // edge probability: stop at the first child below the cutoff.
+    for (const NodeId child : tree.children(node)) {
+      const double p = path_prob * tree.edge_probability(node, child);
+      if (p < limits.min_probability) {
+        break;
+      }
+      frontier.push(FrontierItem{p, path_prob, child, depth + 1});
+    }
+  };
+  push_children(from, 1.0, 0);
+
+  while (!frontier.empty() && out.size() < limits.max_candidates) {
+    const FrontierItem item = frontier.top();
+    frontier.pop();
+    const Node& node = tree.node(item.node);
+    // A block can be a descendant along several paths; heap order makes
+    // the first occurrence the most probable one.  The candidate list is
+    // small (<= max_candidates), so a linear scan beats hashing.
+    const bool duplicate =
+        std::any_of(out.begin(), out.end(), [&](const Candidate& c) {
+          return c.block == node.block;
+        });
+    if (!duplicate) {
+      out.push_back(Candidate{node.block, item.probability,
+                              item.parent_probability, item.depth,
+                              item.node});
+    }
+    push_children(item.node, item.probability, item.depth);
+  }
+  return out;
+}
+
+}  // namespace pfp::core::tree

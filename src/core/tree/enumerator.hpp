@@ -1,0 +1,44 @@
+// Prefetch-candidate enumeration.
+//
+// From the parse position the controller may prefetch along multiple
+// paths simultaneously (Section 3), so candidates are all descendants of
+// the current node, each carrying its path probability p_b (product of
+// edge probabilities), its distance d_b (edge count), and its parent's
+// path probability p_x — exactly the inputs of Equation 1's benefit and
+// Equation 14's overhead.
+//
+// Enumeration is best-first on path probability with depth / probability
+// / count pruning: probabilities only shrink along a path, so a
+// probability-ordered frontier yields the globally most probable
+// descendants first and the cut-offs are exact, not heuristic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tree/prefetch_tree.hpp"
+
+namespace pfp::core::tree {
+
+struct Candidate {
+  BlockId block = 0;
+  double probability = 0.0;         ///< p_b: path probability from current
+  double parent_probability = 1.0;  ///< p_x: path probability of parent
+  std::uint32_t depth = 1;          ///< d_b: edges from current node
+  NodeId node = kNoNode;            ///< tree node (introspection)
+};
+
+struct EnumeratorLimits {
+  std::uint32_t max_depth = 8;      ///< deepest descendant considered
+  double min_probability = 0.002;   ///< prune paths below this p_b
+  std::size_t max_candidates = 48;  ///< cap on emitted candidates
+};
+
+/// Descendants of `from`, most probable first.  Duplicate blocks (same
+/// block reachable along several paths) keep only their most probable
+/// occurrence.  The root's weight-0 state (empty tree) yields nothing.
+std::vector<Candidate> enumerate_candidates(const PrefetchTree& tree,
+                                            NodeId from,
+                                            const EnumeratorLimits& limits);
+
+}  // namespace pfp::core::tree

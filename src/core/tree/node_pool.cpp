@@ -1,0 +1,97 @@
+#include "core/tree/node_pool.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace pfp::core::tree {
+
+NodePool::NodePool() { edges_.reserve(1024); }
+
+NodeId NodePool::create(NodeId parent, BlockId block) {
+  NodeId id;
+  if (!free_.empty()) {
+    id = free_.back();
+    free_.pop_back();
+    nodes_[id] = Node{};
+  } else {
+    id = static_cast<NodeId>(nodes_.size());
+    PFP_REQUIRE(id != kNoNode);
+    nodes_.emplace_back();
+  }
+  Node& node = nodes_[id];
+  node.block = block;
+  node.weight = 1;
+  node.parent = parent;
+  if (parent != kNoNode) {
+    // Weight 1 is the minimum, so appending keeps the child list sorted.
+    node.pos_in_parent =
+        static_cast<std::uint32_t>(nodes_[parent].children.size());
+    nodes_[parent].children.push_back(id);
+    edges_.emplace(EdgeKey{parent, block}, id);
+  }
+  ++live_;
+  return id;
+}
+
+void NodePool::increment_weight(NodeId id) {
+  Node& node = nodes_[id];
+  [[maybe_unused]] const std::uint64_t old_weight = node.weight++;
+  if (node.parent == kNoNode) {
+    return;
+  }
+  auto& siblings = nodes_[node.parent].children;
+  const std::uint32_t pos = node.pos_in_parent;
+  PFP_DASSERT(siblings[pos] == id);
+  if (pos == 0 || nodes_[siblings[pos - 1]].weight >= node.weight) {
+    return;  // already in place
+  }
+  // All siblings in [target, pos) carry exactly old_weight (descending
+  // order + weights change by single increments), so one swap restores
+  // the invariant.  Binary search for the first sibling lighter than the
+  // new weight, i.e. weight == old_weight.
+  std::uint32_t lo = 0;
+  std::uint32_t hi = pos;
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (nodes_[siblings[mid]].weight >= node.weight) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  PFP_DASSERT(nodes_[siblings[lo]].weight == old_weight);
+  std::swap(siblings[lo], siblings[pos]);
+  nodes_[siblings[pos]].pos_in_parent = pos;
+  node.pos_in_parent = lo;
+}
+
+NodeId NodePool::find_child(NodeId parent, BlockId block) const {
+  const auto it = edges_.find(EdgeKey{parent, block});
+  return it == edges_.end() ? kNoNode : it->second;
+}
+
+void NodePool::destroy(NodeId id) {
+  Node& node = nodes_[id];
+  PFP_REQUIRE(node.children.empty());
+  const NodeId parent = node.parent;
+  if (parent != kNoNode) {
+    auto& siblings = nodes_[parent].children;
+    PFP_DASSERT(siblings[node.pos_in_parent] == id);
+    siblings.erase(siblings.begin() +
+                   static_cast<std::ptrdiff_t>(node.pos_in_parent));
+    for (std::size_t i = node.pos_in_parent; i < siblings.size(); ++i) {
+      nodes_[siblings[i]].pos_in_parent = static_cast<std::uint32_t>(i);
+    }
+    if (nodes_[parent].last_visited_child == id) {
+      nodes_[parent].last_visited_child = kNoNode;
+    }
+    edges_.erase(EdgeKey{parent, node.block});
+  }
+  node = Node{};
+  node.parent = kNoNode;
+  free_.push_back(id);
+  --live_;
+}
+
+}  // namespace pfp::core::tree

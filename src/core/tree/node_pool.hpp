@@ -1,0 +1,94 @@
+// Node storage for the LZ prefetch tree.
+//
+// Nodes live in a slab indexed by 32-bit ids with a free list, so the
+// bounded-tree experiments (Figure 13) can create and evict hundreds of
+// thousands of nodes without allocator churn, and so sizeof bookkeeping
+// matches the paper's "each node corresponds to 40 bytes" accounting.
+// Edge lookup (parent, block) -> child is a single hash probe in a global
+// edge map; per-node child lists support enumeration.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace pfp::core::tree {
+
+using trace::BlockId;
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+struct Node {
+  BlockId block = 0;            ///< disk block this node represents
+  std::uint64_t weight = 0;     ///< times this node has been visited
+  NodeId parent = kNoNode;
+  NodeId last_visited_child = kNoNode;  ///< Section 9.6 machinery
+  std::uint32_t pos_in_parent = 0;      ///< index in parent's child list
+  /// Children sorted by weight, descending.  Candidate enumeration and
+  /// the parametric policies rely on this order to stop scanning at their
+  /// probability cutoff instead of visiting every child (the root of a
+  /// low-locality trace can have tens of thousands).
+  std::vector<NodeId> children;
+};
+
+class NodePool {
+ public:
+  NodePool();
+
+  /// Allocates a node for `block` under `parent` (kNoNode for the root)
+  /// with initial weight 1, and registers the edge.
+  NodeId create(NodeId parent, BlockId block);
+
+  /// Child of `parent` labelled `block`, or kNoNode.
+  NodeId find_child(NodeId parent, BlockId block) const;
+
+  /// Increments a node's weight, restoring the parent's descending-weight
+  /// child order with one binary search + swap (weights only ever grow by
+  /// one, so the displaced entry has exactly the old weight).
+  void increment_weight(NodeId id);
+
+  /// Destroys a node.  The node must be a leaf (no children).  Unlinks it
+  /// from its parent's child list and the edge map.
+  void destroy(NodeId id);
+
+  Node& operator[](NodeId id) { return nodes_[id]; }
+  const Node& operator[](NodeId id) const { return nodes_[id]; }
+
+  std::size_t live_nodes() const noexcept { return live_; }
+  /// Upper bound on node ids ever allocated (for sizing side tables).
+  std::size_t id_bound() const noexcept { return nodes_.size(); }
+
+  /// Paper's storage accounting: 40 bytes per node (Section 9.3).
+  static constexpr std::size_t kPaperBytesPerNode = 40;
+  std::size_t approx_memory_bytes() const noexcept {
+    return live_ * kPaperBytesPerNode;
+  }
+
+ private:
+  struct EdgeKey {
+    NodeId parent;
+    BlockId block;
+    bool operator==(const EdgeKey&) const = default;
+  };
+  struct EdgeHash {
+    std::size_t operator()(const EdgeKey& key) const noexcept {
+      // splitmix-style combine; parent ids are dense, blocks sparse.
+      std::uint64_t x = key.block ^ (static_cast<std::uint64_t>(key.parent)
+                                     << 32);
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      return static_cast<std::size_t>(x ^ (x >> 31));
+    }
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<NodeId> free_;
+  std::unordered_map<EdgeKey, NodeId, EdgeHash> edges_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace pfp::core::tree

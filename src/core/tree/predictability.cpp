@@ -1,0 +1,26 @@
+#include "core/tree/predictability.hpp"
+
+namespace pfp::core::tree {
+
+PredictabilityReport measure_predictability(const trace::Trace& trace,
+                                            TreeConfig config) {
+  PrefetchTree tree(config);
+  PredictabilityReport report;
+  for (const auto& record : trace) {
+    const AccessInfo info = tree.access(record.block);
+    ++report.accesses;
+    if (info.predictable) {
+      ++report.predictable;
+    }
+    if (info.had_lvc) {
+      ++report.lvc_opportunities;
+      if (info.followed_lvc) {
+        ++report.lvc_followed;
+      }
+    }
+  }
+  report.tree_nodes = tree.node_count();
+  return report;
+}
+
+}  // namespace pfp::core::tree

@@ -1,0 +1,41 @@
+// Standalone predictability measurement (Table 2 without a simulator).
+//
+// Replays a trace through the LZ parse only and reports the paper's
+// Section 9.4 statistics: the fraction of accesses that were predictable
+// (present as a child of the current node) and the last-visited-child
+// revisit rate (Table 3).  Useful for characterizing a trace's
+// learnability before running cache simulations.
+#pragma once
+
+#include "core/tree/prefetch_tree.hpp"
+#include "trace/trace.hpp"
+
+namespace pfp::core::tree {
+
+struct PredictabilityReport {
+  std::uint64_t accesses = 0;
+  std::uint64_t predictable = 0;        ///< child of the current node
+  std::uint64_t lvc_opportunities = 0;  ///< node had a last-visited child
+  std::uint64_t lvc_followed = 0;       ///< and the access went there
+  std::size_t tree_nodes = 0;           ///< final tree size
+
+  /// Table 2's "prediction accuracy".
+  double prediction_accuracy() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(predictable) /
+                               static_cast<double>(accesses);
+  }
+  /// Table 3's last-visited-child revisit rate.
+  double lvc_revisit_rate() const {
+    return lvc_opportunities == 0
+               ? 0.0
+               : static_cast<double>(lvc_followed) /
+                     static_cast<double>(lvc_opportunities);
+  }
+};
+
+/// One LZ pass over the trace; O(n) with tree growth bounded by `config`.
+PredictabilityReport measure_predictability(
+    const trace::Trace& trace, TreeConfig config = TreeConfig{});
+
+}  // namespace pfp::core::tree

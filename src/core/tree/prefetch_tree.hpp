@@ -1,0 +1,115 @@
+// The LZ prefetch tree (Section 2).
+//
+// A directed tree built online from the block reference stream using the
+// Vitter–Krishnan / Curewitz parse: the stream is split into substrings,
+// each extending a previously seen substring by one new block.  Parsing
+// walks from the root along matching edges, incrementing the weight of
+// every node it arrives at (and the root's weight at every substring
+// start, so root children carry first-block-of-substring statistics —
+// Figure 1's a:5/6, b:1/6 example).  Hitting a missing edge adds a node
+// and restarts at the root.
+//
+// Probability of child c given node n is weight(c) / weight(n); path
+// probabilities multiply along edges, and the *distance* d_b of a
+// descendant is its edge count from the current node (Figure 1's d_c=2).
+//
+// The tree optionally bounds its node count (Section 9.3): nodes are kept
+// on an LRU list by last parse touch and the least recently used *leaf*
+// is evicted — removing an interior node would orphan a whole subtree of
+// still-useful context.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+
+#include "core/tree/node_pool.hpp"
+#include "util/lru_list.hpp"
+
+namespace pfp::core::tree {
+
+struct TreeConfig {
+  /// Maximum live nodes including the root; 0 = unbounded.  The paper's
+  /// sweet spot for the CAD trace is 32K nodes (~1.25 MB at 40 B/node).
+  std::size_t max_nodes = 0;
+};
+
+/// What the parse observed for one access; feeds Tables 2/3 and the
+/// Figure 14/16 instrumentation.
+struct AccessInfo {
+  /// The accessed block was a child of the pre-access current node
+  /// (the paper's "predictable" — Section 9.4).
+  bool predictable = false;
+  /// The pre-access current node had a last-visited child.
+  bool had_lvc = false;
+  /// The access went to exactly that last-visited child (Table 3).
+  bool followed_lvc = false;
+  /// Parsing added a new node (substring boundary; parse reset to root).
+  bool new_node = false;
+};
+
+class PrefetchTree {
+ public:
+  explicit PrefetchTree(TreeConfig config = TreeConfig{});
+
+  /// Feeds one reference through the LZ parse.
+  AccessInfo access(BlockId block);
+
+  /// Node the parse is currently positioned at (prediction context).
+  NodeId current() const noexcept { return current_; }
+  NodeId root() const noexcept { return root_; }
+
+  const Node& node(NodeId id) const { return pool_[id]; }
+  std::span<const NodeId> children(NodeId id) const {
+    return pool_[id].children;
+  }
+
+  /// weight(child) / weight(parent) — the edge probability.
+  double edge_probability(NodeId parent, NodeId child) const;
+
+  /// Child of `id` labelled `block`, or kNoNode.
+  NodeId find_child(NodeId id, BlockId block) const {
+    return pool_.find_child(id, block);
+  }
+
+  /// Last-visited child of `id`, or kNoNode (Section 9.6).
+  NodeId last_visited_child(NodeId id) const {
+    return pool_[id].last_visited_child;
+  }
+
+  std::size_t node_count() const noexcept { return pool_.live_nodes(); }
+  std::size_t approx_memory_bytes() const noexcept {
+    return pool_.approx_memory_bytes();
+  }
+  const TreeConfig& config() const noexcept { return config_; }
+
+  /// Persists the tree's structure (topology, blocks, weights) as a
+  /// compact binary stream, so a trained predictor can warm-start a later
+  /// run.  Parse position and last-visited-child pointers are transient
+  /// and not persisted.
+  void serialize(std::ostream& out) const;
+
+  /// Reconstructs a tree written by serialize().  The node bound of
+  /// `config` governs future growth only (loading never evicts).  Throws
+  /// std::runtime_error on malformed input.
+  static PrefetchTree deserialize(std::istream& in,
+                                  TreeConfig config = TreeConfig{});
+
+ private:
+  /// Deserialization helper: attach a child with a known weight, keeping
+  /// the leaf-LRU bookkeeping consistent.  Children must be restored in
+  /// descending-weight order (the serialized order).
+  NodeId restore_child(NodeId parent, BlockId block, std::uint64_t weight);
+  void touch(NodeId id);
+  void on_becomes_interior(NodeId id);
+  void evict_one_leaf();
+
+  TreeConfig config_;
+  NodePool pool_;
+  NodeId root_;
+  NodeId current_;
+  /// LRU over *leaf* nodes only; interior nodes are not evictable.
+  util::LruList leaf_lru_;
+};
+
+}  // namespace pfp::core::tree

@@ -1,0 +1,172 @@
+// Binary (de)serialization of the prefetch tree.
+//
+// Format: "PFTR" magic, little-endian u16 version, u64 node count, then a
+// preorder walk — the root contributes (weight u64, child count u32) and
+// every other node (block u64, weight u64, child count u32).  Children
+// appear in the stored descending-weight order, so reconstruction keeps
+// the sorted-children invariant by plain appends.
+#include <array>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+#include "core/tree/prefetch_tree.hpp"
+
+namespace pfp::core::tree {
+
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'P', 'F', 'T', 'R'};
+constexpr std::uint16_t kVersion = 1;
+
+void write_u16(std::ostream& out, std::uint16_t v) {
+  out.put(static_cast<char>(v & 0xff));
+  out.put(static_cast<char>((v >> 8) & 0xff));
+}
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.put(static_cast<char>(v & 0xff));
+    v >>= 8;
+  }
+}
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.put(static_cast<char>(v & 0xff));
+    v >>= 8;
+  }
+}
+
+std::uint16_t read_u16(std::istream& in) {
+  std::array<unsigned char, 2> b{};
+  in.read(reinterpret_cast<char*>(b.data()), b.size());
+  return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  std::array<unsigned char, 4> b{};
+  in.read(reinterpret_cast<char*>(b.data()), b.size());
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | b[static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  std::array<unsigned char, 8> b{};
+  in.read(reinterpret_cast<char*>(b.data()), b.size());
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | b[static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+[[noreturn]] void corrupt(const char* what) {
+  throw std::runtime_error(std::string("prefetch-tree stream: ") + what);
+}
+
+}  // namespace
+
+void PrefetchTree::serialize(std::ostream& out) const {
+  out.write(kMagic.data(), kMagic.size());
+  write_u16(out, kVersion);
+  write_u64(out, node_count());
+
+  // Preorder via explicit stack (trees can be deep on long traces).
+  write_u64(out, node(root()).weight);
+  write_u32(out, static_cast<std::uint32_t>(children(root()).size()));
+  std::vector<NodeId> stack(children(root()).rbegin(),
+                            children(root()).rend());
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    const Node& n = node(id);
+    write_u64(out, n.block);
+    write_u64(out, n.weight);
+    write_u32(out, static_cast<std::uint32_t>(n.children.size()));
+    stack.insert(stack.end(), n.children.rbegin(), n.children.rend());
+  }
+}
+
+NodeId PrefetchTree::restore_child(NodeId parent, BlockId block,
+                                   std::uint64_t weight) {
+  const bool parent_was_leaf =
+      parent != root_ && pool_[parent].children.empty();
+  const NodeId added = pool_.create(parent, block);
+  pool_[added].weight = weight;
+  if (leaf_lru_.capacity() <= added) {
+    leaf_lru_.resize(pool_.id_bound() * 2 + 16);
+  }
+  if (parent_was_leaf) {
+    on_becomes_interior(parent);
+  }
+  leaf_lru_.push_front(added);
+  return added;
+}
+
+PrefetchTree PrefetchTree::deserialize(std::istream& in, TreeConfig config) {
+  std::array<char, 4> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) {
+    corrupt("bad magic");
+  }
+  if (read_u16(in) != kVersion) {
+    corrupt("unsupported version");
+  }
+  const std::uint64_t expected_nodes = read_u64(in);
+  if (!in || expected_nodes == 0) {
+    corrupt("truncated header");
+  }
+
+  PrefetchTree tree(config);
+  tree.pool_[tree.root_].weight = read_u64(in);
+  const std::uint32_t root_children = read_u32(in);
+
+  struct Pending {
+    NodeId parent;
+    std::uint32_t remaining;
+    std::uint64_t last_child_weight;  // descending-order validation
+  };
+  std::vector<Pending> stack;
+  if (root_children > 0) {
+    stack.push_back(Pending{tree.root_, root_children, ~0ULL});
+  }
+  while (!stack.empty()) {
+    Pending& top = stack.back();
+    if (top.remaining == 0) {
+      stack.pop_back();
+      continue;
+    }
+    --top.remaining;
+    const BlockId block = read_u64(in);
+    const std::uint64_t weight = read_u64(in);
+    const std::uint32_t child_count = read_u32(in);
+    if (!in) {
+      corrupt("truncated body");
+    }
+    if (weight == 0 || weight > top.last_child_weight ||
+        (top.parent != tree.root_ &&
+         weight > tree.pool_[top.parent].weight)) {
+      corrupt("weight invariant violated");
+    }
+    if (tree.pool_.find_child(top.parent, block) != kNoNode) {
+      corrupt("duplicate edge");
+    }
+    top.last_child_weight = weight;
+    const NodeId parent = top.parent;  // `top` may dangle after push_back
+    const NodeId added = tree.restore_child(parent, block, weight);
+    if (child_count > 0) {
+      stack.push_back(Pending{added, child_count, ~0ULL});
+    }
+  }
+  if (tree.node_count() != expected_nodes) {
+    corrupt("node count mismatch");
+  }
+  return tree;
+}
+
+}  // namespace pfp::core::tree

@@ -1,0 +1,79 @@
+#include "sim/metrics.hpp"
+
+#include <sstream>
+
+#include "util/string_utils.hpp"
+
+namespace pfp::sim {
+
+namespace {
+
+double ratio(std::uint64_t num, std::uint64_t den) {
+  return den == 0 ? 0.0
+                  : static_cast<double>(num) / static_cast<double>(den);
+}
+
+}  // namespace
+
+double Metrics::miss_rate() const { return ratio(misses, accesses); }
+
+double Metrics::prefetch_cache_hit_rate() const {
+  return ratio(prefetch_hits, policy.prefetches_issued);
+}
+
+double Metrics::prefetches_per_access() const {
+  return accesses == 0 ? 0.0
+                       : static_cast<double>(policy.prefetches_issued) /
+                             static_cast<double>(accesses);
+}
+
+double Metrics::mean_prefetch_probability() const {
+  return policy.tree_prefetches_issued == 0
+             ? 0.0
+             : policy.sum_prefetch_probability /
+                   static_cast<double>(policy.tree_prefetches_issued);
+}
+
+double Metrics::candidates_cached_fraction() const {
+  return ratio(policy.candidates_already_cached, policy.candidates_chosen);
+}
+
+double Metrics::prediction_accuracy() const {
+  return ratio(policy.predictable, accesses);
+}
+
+double Metrics::predictable_uncached_fraction() const {
+  return ratio(policy.predictable_uncached, policy.predictable);
+}
+
+double Metrics::lvc_revisit_rate() const {
+  return ratio(policy.lvc_followed, policy.lvc_opportunities);
+}
+
+double Metrics::lvc_cached_fraction() const {
+  return ratio(policy.lvc_cached, policy.lvc_checks);
+}
+
+double Metrics::prefetch_traffic_ratio() const {
+  return ratio(policy.prefetches_issued, misses);
+}
+
+std::string Metrics::summary() const {
+  std::ostringstream os;
+  os << "accesses:            " << util::format_count(accesses) << "\n"
+     << "miss rate:           " << util::format_percent(miss_rate()) << "\n"
+     << "demand hits:         " << util::format_count(demand_hits) << "\n"
+     << "prefetch hits:       " << util::format_count(prefetch_hits) << "\n"
+     << "prefetches issued:   " << util::format_count(policy.prefetches_issued)
+     << " (" << util::format_double(prefetches_per_access(), 3)
+     << " per access)\n"
+     << "prefetch hit rate:   "
+     << util::format_percent(prefetch_cache_hit_rate()) << "\n"
+     << "prediction accuracy: " << util::format_percent(prediction_accuracy())
+     << "\n"
+     << "elapsed (simulated): " << util::format_double(elapsed_ms / 1000.0, 2)
+     << " s (stall " << util::format_double(stall_ms / 1000.0, 2) << " s)\n";
+  return os.str();
+}
+
+}  // namespace pfp::sim

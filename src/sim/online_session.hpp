@@ -1,0 +1,61 @@
+// Online (push-style) prefetching session.
+//
+// The Simulator consumes a whole recorded trace; OnlineSession exposes
+// the same machinery one access at a time, so the library can be embedded
+// in a host system or another simulator that discovers its reference
+// stream as it runs:
+//
+//   sim::OnlineSession session(config);
+//   for (;;) {
+//     const auto r = session.access(next_block());
+//     if (r.outcome == sim::OnlineSession::Outcome::kMiss) { ... }
+//   }
+//
+// Oracle policies (perfect-selector) cannot run online — they need the
+// future — and are rejected at construction.
+#pragma once
+
+#include <memory>
+
+#include "sim/simulator.hpp"
+
+namespace pfp::sim {
+
+class OnlineSession {
+ public:
+  enum class Outcome { kDemandHit, kPrefetchHit, kMiss };
+
+  struct AccessResult {
+    Outcome outcome = Outcome::kMiss;
+    /// Simulated latency of this access under the timing model (ms):
+    /// T_hit for hits, plus residual prefetch stall or the full
+    /// driver+disk penalty for misses.  Excludes T_cpu (the caller's
+    /// compute is theirs).
+    double latency_ms = 0.0;
+  };
+
+  /// Rejects PolicyKind::kPerfectSelector (requires future knowledge).
+  explicit OnlineSession(SimConfig config);
+  ~OnlineSession();
+
+  OnlineSession(OnlineSession&&) noexcept;
+  OnlineSession& operator=(OnlineSession&&) noexcept;
+
+  /// Feeds one block reference; updates caches, predictor and prefetches.
+  AccessResult access(trace::BlockId block);
+
+  /// Metrics accumulated so far (misses, prefetch hit rate, ...).
+  const Metrics& metrics() const;
+
+  /// The cache state, for introspection.
+  const cache::BufferCache& buffer_cache() const;
+
+  const SimConfig& config() const noexcept { return config_; }
+
+ private:
+  SimConfig config_;
+  std::unique_ptr<Simulator> simulator_;
+  trace::Trace window_;  ///< single-record scratch trace fed to step()
+};
+
+}  // namespace pfp::sim

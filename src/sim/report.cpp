@@ -1,0 +1,114 @@
+#include "sim/report.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+
+#include "util/csv.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+
+namespace pfp::sim {
+
+void print_series_by_cache_size(std::ostream& out,
+                                const std::vector<Result>& results,
+                                const MetricFn& metric,
+                                const std::string& metric_name,
+                                bool percent) {
+  // Preserve first-seen order of traces and policies.
+  std::vector<std::string> traces;
+  std::vector<std::string> policies;
+  for (const auto& r : results) {
+    if (std::find(traces.begin(), traces.end(), r.trace_name) ==
+        traces.end()) {
+      traces.push_back(r.trace_name);
+    }
+    if (std::find(policies.begin(), policies.end(), r.policy_name) ==
+        policies.end()) {
+      policies.push_back(r.policy_name);
+    }
+  }
+
+  for (const auto& trace_name : traces) {
+    // (cache size, policy) -> metric
+    std::map<std::size_t, std::map<std::string, double>> cells;
+    for (const auto& r : results) {
+      if (r.trace_name == trace_name) {
+        cells[r.config.cache_blocks][r.policy_name] = metric(r);
+      }
+    }
+    out << "\n== " << trace_name << " — " << metric_name << " ==\n";
+    std::vector<std::string> header = {"cache(blocks)"};
+    header.insert(header.end(), policies.begin(), policies.end());
+    util::TextTable table(header);
+    for (const auto& [blocks, row] : cells) {
+      std::vector<std::string> fields = {std::to_string(blocks)};
+      for (const auto& policy : policies) {
+        const auto it = row.find(policy);
+        if (it == row.end()) {
+          fields.emplace_back("-");
+        } else if (percent) {
+          fields.push_back(util::format_percent(it->second));
+        } else {
+          fields.push_back(util::format_double(it->second, 3));
+        }
+      }
+      table.row(std::move(fields));
+    }
+    table.print(out);
+  }
+}
+
+void write_results_csv(std::ostream& out,
+                       const std::vector<Result>& results) {
+  util::CsvWriter csv(
+      out, {"trace", "policy", "cache_blocks", "t_cpu_ms", "accesses",
+            "misses", "miss_rate", "demand_hits", "prefetch_hits",
+            "prefetches_issued", "prefetches_per_access",
+            "prefetch_cache_hit_rate", "mean_prefetch_probability",
+            "candidates_cached_fraction", "prediction_accuracy",
+            "predictable_uncached_fraction", "lvc_revisit_rate",
+            "lvc_cached_fraction", "tree_nodes", "elapsed_ms", "stall_ms"});
+  for (const auto& r : results) {
+    const auto& m = r.metrics;
+    csv.row()
+        .add(r.trace_name)
+        .add(r.policy_name)
+        .add(static_cast<std::uint64_t>(r.config.cache_blocks))
+        .add(r.config.timing.t_cpu)
+        .add(m.accesses)
+        .add(m.misses)
+        .add(m.miss_rate())
+        .add(m.demand_hits)
+        .add(m.prefetch_hits)
+        .add(m.policy.prefetches_issued)
+        .add(m.prefetches_per_access())
+        .add(m.prefetch_cache_hit_rate())
+        .add(m.mean_prefetch_probability())
+        .add(m.candidates_cached_fraction())
+        .add(m.prediction_accuracy())
+        .add(m.predictable_uncached_fraction())
+        .add(m.lvc_revisit_rate())
+        .add(m.lvc_cached_fraction())
+        .add(m.policy.tree_nodes)
+        .add(m.elapsed_ms)
+        .add(m.stall_ms)
+        .done();
+  }
+}
+
+bool maybe_write_csv(const std::string& path,
+                     const std::vector<Result>& results) {
+  if (path.empty()) {
+    return false;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  write_results_csv(out, results);
+  return true;
+}
+
+}  // namespace pfp::sim

@@ -1,0 +1,35 @@
+// Result formatting shared by the bench binaries.
+//
+// Each bench prints paper-style series: one table per trace with cache
+// size (or another x parameter) as rows and one column per policy, plus
+// an optional full CSV dump for offline plotting.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace pfp::sim {
+
+using MetricFn = std::function<double(const Result&)>;
+
+/// Groups `results` by trace name and prints, per trace, a table with one
+/// row per cache size and one column per policy.  `percent` renders the
+/// metric as a percentage.
+void print_series_by_cache_size(std::ostream& out,
+                                const std::vector<Result>& results,
+                                const MetricFn& metric,
+                                const std::string& metric_name, bool percent);
+
+/// Full per-run CSV (one row per result) with every derived metric.
+void write_results_csv(std::ostream& out, const std::vector<Result>& results);
+
+/// Writes write_results_csv output to `path` unless path is empty.
+/// Returns true if a file was written.
+bool maybe_write_csv(const std::string& path,
+                     const std::vector<Result>& results);
+
+}  // namespace pfp::sim

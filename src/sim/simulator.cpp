@@ -1,0 +1,98 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace pfp::sim {
+
+using core::policy::AccessOutcome;
+using core::policy::Context;
+
+Simulator::Simulator(SimConfig config)
+    : config_(config),
+      cache_(config.cache_blocks),
+      disks_(cache::DiskConfig{config.disks, config.timing.t_disk}),
+      policy_(core::policy::make_prefetcher(config.policy)) {}
+
+void Simulator::step(const trace::Trace& trace, std::size_t index) {
+  const trace::BlockId block = trace[index].block;
+  const double period_start = metrics_.elapsed_ms;
+  Context ctx{cache_,   disks_,          config_.timing,
+              estimators_, stack_,       metrics_.policy,
+              /*period=*/index,          /*now_ms=*/period_start,
+              trace.records().subspan(index + 1)};
+
+  const auto result = cache_.access(block);
+  ++metrics_.accesses;
+
+  // Every access period: read the block from the cache and compute.
+  metrics_.elapsed_ms += config_.timing.t_hit + config_.timing.t_cpu;
+
+  AccessOutcome outcome;
+  if (const auto* hit = std::get_if<cache::DemandHit>(&result)) {
+    outcome = AccessOutcome::kDemandHit;
+    ++metrics_.demand_hits;
+    stack_.record(/*hit=*/true, hit->stack_depth);
+  } else if (const auto* pf = std::get_if<cache::PrefetchHit>(&result)) {
+    outcome = AccessOutcome::kPrefetchHit;
+    ++metrics_.prefetch_hits;
+    stack_.record(/*hit=*/false);
+    // Residual stall: the prefetch's disk read may not have completed by
+    // the time its block is referenced (Figure 5's partial overlap).
+    const double stall =
+        std::max(pf->entry.completion_ms - period_start, 0.0);
+    metrics_.elapsed_ms += stall;
+    metrics_.stall_ms += stall;
+    policy_->on_prefetch_consumed(pf->entry, ctx);
+  } else {
+    outcome = AccessOutcome::kMiss;
+    ++metrics_.misses;
+    stack_.record(/*hit=*/false);
+    metrics_.elapsed_ms += config_.timing.t_driver;
+    const double completion = disks_.submit(block, metrics_.elapsed_ms);
+    const double stall = completion - metrics_.elapsed_ms;
+    metrics_.elapsed_ms = completion;
+    metrics_.stall_ms += stall;
+    if (cache_.free_buffers() == 0) {
+      policy_->reclaim_for_demand(ctx);
+      PFP_REQUIRE(cache_.free_buffers() >= 1);
+    }
+    cache_.admit_demand(block);
+  }
+
+  // Policy turn: learn from the access, then issue this period's
+  // prefetches; each costs T_driver of CPU time (Figure 3b).
+  const std::uint64_t issued_before = metrics_.policy.prefetches_issued;
+  policy_->on_access(block, outcome, ctx);
+  const std::uint64_t issued =
+      metrics_.policy.prefetches_issued - issued_before;
+  metrics_.elapsed_ms +=
+      static_cast<double>(issued) * config_.timing.t_driver;
+
+  // Keep the disk aggregates current so online (push-style) users see
+  // fresh metrics without a run() epilogue.
+  metrics_.disk_queue_delay_ms = disks_.queue_delay_ms();
+  metrics_.disk_requests = disks_.requests();
+
+  PFP_DASSERT(cache_.resident() <= cache_.total_blocks());
+}
+
+Result Simulator::run(const trace::Trace& trace) {
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    step(trace, i);
+  }
+  Result result;
+  result.config = config_;
+  result.policy_name = policy_->name();
+  result.trace_name = trace.name();
+  result.metrics = metrics_;
+  return result;
+}
+
+Result simulate(const SimConfig& config, const trace::Trace& trace) {
+  Simulator simulator(config);
+  return simulator.run(trace);
+}
+
+}  // namespace pfp::sim

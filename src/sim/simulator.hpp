@@ -1,0 +1,65 @@
+// The trace-driven simulator (Section 8).
+//
+// Drives a reference stream through the partitioned buffer cache under a
+// prefetching policy, charging the Section 3 timing model: every access
+// period costs T_hit + T_cpu plus T_driver per fetch initiated, and
+// stalls T_disk on a demand miss or the residual disk time on a prefetch
+// that had not finished by the time its block was referenced.
+#pragma once
+
+#include <memory>
+
+#include "cache/buffer_cache.hpp"
+#include "cache/disk_model.hpp"
+#include "cache/stack_distance.hpp"
+#include "core/costben/estimator.hpp"
+#include "core/costben/timing_model.hpp"
+#include "core/policy/factory.hpp"
+#include "sim/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace pfp::sim {
+
+struct SimConfig {
+  std::size_t cache_blocks = 1024;  ///< combined demand+prefetch capacity
+  /// Number of disks in the array; 0 = the paper's infinite-disk
+  /// assumption (every request completes in exactly T_disk).
+  std::uint32_t disks = 0;
+  core::costben::TimingParams timing;
+  core::policy::PolicySpec policy;
+};
+
+struct Result {
+  SimConfig config;
+  std::string policy_name;
+  std::string trace_name;
+  Metrics metrics;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(SimConfig config);
+
+  /// Runs the whole trace; the simulator is single-use.
+  Result run(const trace::Trace& trace);
+
+  /// Access to live state mid-run (tests drive step() directly).
+  void step(const trace::Trace& trace, std::size_t index);
+  const cache::BufferCache& buffer_cache() const { return cache_; }
+  const Metrics& metrics() const { return metrics_; }
+  const core::policy::Prefetcher& prefetcher() const { return *policy_; }
+
+ private:
+  SimConfig config_;
+  cache::BufferCache cache_;
+  cache::DiskArray disks_;
+  cache::StackDistanceEstimator stack_;
+  core::costben::Estimators estimators_;
+  std::unique_ptr<core::policy::Prefetcher> policy_;
+  Metrics metrics_;
+};
+
+/// Convenience: build and run in one call.
+Result simulate(const SimConfig& config, const trace::Trace& trace);
+
+}  // namespace pfp::sim

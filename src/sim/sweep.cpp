@@ -1,0 +1,26 @@
+#include "sim/sweep.hpp"
+
+#include <future>
+
+#include "util/thread_pool.hpp"
+
+namespace pfp::sim {
+
+std::vector<Result> run_parallel(const std::vector<RunSpec>& specs,
+                                 std::size_t threads) {
+  util::ThreadPool pool(threads);
+  std::vector<std::future<Result>> futures;
+  futures.reserve(specs.size());
+  for (const auto& spec : specs) {
+    futures.push_back(
+        pool.submit([&spec] { return simulate(spec.config, *spec.trace); }));
+  }
+  std::vector<Result> results;
+  results.reserve(specs.size());
+  for (auto& future : futures) {
+    results.push_back(future.get());
+  }
+  return results;
+}
+
+}  // namespace pfp::sim

@@ -1,0 +1,19 @@
+// Threaded sweep driver.
+//
+// Every simulation run is independent, so sweeps fan out over a thread
+// pool — result order matches spec order regardless of completion order.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace pfp::sim {
+
+/// Runs all specs on `threads` workers (0 = hardware concurrency).
+/// Exceptions from individual runs propagate to the caller.
+std::vector<Result> run_parallel(const std::vector<RunSpec>& specs,
+                                 std::size_t threads = 0);
+
+}  // namespace pfp::sim

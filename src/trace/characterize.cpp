@@ -1,0 +1,136 @@
+#include "trace/characterize.hpp"
+
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "util/string_utils.hpp"
+
+namespace pfp::trace {
+
+namespace {
+
+/// Fenwick tree over access positions; supports the classic one-pass LRU
+/// stack-distance algorithm (mark latest position of each block, distance
+/// = number of marks after the previous position).
+class Fenwick {
+ public:
+  explicit Fenwick(std::size_t n) : tree_(n + 1, 0) {}
+
+  void add(std::size_t index, int delta) {
+    for (std::size_t i = index + 1; i < tree_.size(); i += i & (~i + 1)) {
+      tree_[i] += delta;
+    }
+  }
+
+  /// Sum of [0, index].
+  std::int64_t prefix(std::size_t index) const {
+    std::int64_t sum = 0;
+    for (std::size_t i = index + 1; i > 0; i -= i & (~i + 1)) {
+      sum += tree_[i];
+    }
+    return sum;
+  }
+
+  std::int64_t total() const { return prefix(tree_.size() - 2); }
+
+ private:
+  std::vector<std::int64_t> tree_;
+};
+
+}  // namespace
+
+TraceProfile characterize(const Trace& trace) {
+  TraceProfile profile;
+  profile.name = trace.name();
+  profile.references = trace.size();
+  if (trace.empty()) {
+    return profile;
+  }
+
+  std::unordered_map<BlockId, std::size_t> last_position;
+  last_position.reserve(trace.size() / 4 + 16);
+  Fenwick marks(trace.size());
+
+  std::uint64_t sequential = 0;
+  std::uint64_t reused = 0;
+  std::uint64_t run_length = 1;
+  std::uint64_t run_count = 0;
+  std::uint64_t run_length_total = 0;
+
+  BlockId previous = trace[0].block;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const BlockId block = trace[i].block;
+    if (i > 0) {
+      if (block == previous + 1) {
+        ++sequential;
+        ++run_length;
+      } else {
+        run_length_total += run_length;
+        ++run_count;
+        run_length = 1;
+      }
+      previous = block;
+    }
+
+    const auto it = last_position.find(block);
+    if (it != last_position.end()) {
+      ++reused;
+      // Distinct blocks touched strictly after the previous reference =
+      // marks in (prev, i).
+      const std::int64_t distance =
+          marks.total() - marks.prefix(it->second);
+      profile.reuse_distances.add(static_cast<std::uint64_t>(distance));
+      marks.add(it->second, -1);
+      it->second = i;
+    } else {
+      last_position.emplace(block, i);
+    }
+    marks.add(i, +1);
+  }
+  run_length_total += run_length;
+  ++run_count;
+
+  profile.unique_blocks = last_position.size();
+  profile.sequential_fraction =
+      static_cast<double>(sequential) / static_cast<double>(trace.size() - 1);
+  profile.reuse_fraction =
+      static_cast<double>(reused) / static_cast<double>(trace.size());
+  profile.mean_run_length = static_cast<double>(run_length_total) /
+                            static_cast<double>(run_count);
+
+  // Median reuse distance from the log2 histogram (bucket midpoint).
+  const std::uint64_t half = profile.reuse_distances.total() / 2;
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < profile.reuse_distances.buckets(); ++b) {
+    cumulative += profile.reuse_distances.bucket_count(b);
+    if (profile.reuse_distances.total() > 0 && cumulative >= half) {
+      profile.median_reuse_distance =
+          (static_cast<double>(util::Log2Histogram::bucket_lo(b)) +
+           static_cast<double>(util::Log2Histogram::bucket_hi(b))) /
+          2.0;
+      break;
+    }
+  }
+  return profile;
+}
+
+std::string to_string(const TraceProfile& profile) {
+  std::ostringstream os;
+  os << "trace " << profile.name << ":\n"
+     << "  references:        " << util::format_count(profile.references)
+     << "\n"
+     << "  unique blocks:     " << util::format_count(profile.unique_blocks)
+     << "\n"
+     << "  sequential:        "
+     << util::format_percent(profile.sequential_fraction) << "\n"
+     << "  reuse:             " << util::format_percent(profile.reuse_fraction)
+     << "\n"
+     << "  median reuse dist: "
+     << util::format_double(profile.median_reuse_distance, 0) << " blocks\n"
+     << "  mean run length:   "
+     << util::format_double(profile.mean_run_length, 2) << "\n";
+  return os.str();
+}
+
+}  // namespace pfp::trace

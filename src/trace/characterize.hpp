@@ -1,0 +1,42 @@
+// Trace characterization.
+//
+// Computes the structural properties the paper's analysis turns on —
+// sequentiality (what one-block-lookahead can exploit), reuse (what a
+// cache can exploit) and repetition (what the LZ tree can exploit) — so
+// the synthetic workloads can be validated against the targets recorded
+// in DESIGN.md, and so users can profile their own traces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/trace.hpp"
+#include "util/histogram.hpp"
+
+namespace pfp::trace {
+
+struct TraceProfile {
+  std::string name;
+  std::uint64_t references = 0;
+  std::uint64_t unique_blocks = 0;
+
+  /// Fraction of references whose block equals previous block + 1.
+  double sequential_fraction = 0.0;
+  /// Fraction of references to a block seen earlier in the trace.
+  double reuse_fraction = 0.0;
+  /// Median LRU stack distance of re-references (blocks), i.e. the cache
+  /// size at which half of the reuse would hit.
+  double median_reuse_distance = 0.0;
+  /// Mean length of maximal runs of consecutive block numbers.
+  double mean_run_length = 0.0;
+  /// Log2 histogram of LRU stack distances of re-references.
+  util::Log2Histogram reuse_distances;
+};
+
+/// Single pass over the trace; O(n log n) from the stack-distance tree.
+TraceProfile characterize(const Trace& trace);
+
+/// Multi-line human-readable rendering.
+std::string to_string(const TraceProfile& profile);
+
+}  // namespace pfp::trace

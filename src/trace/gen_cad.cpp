@@ -1,0 +1,99 @@
+#include "trace/gen_cad.hpp"
+
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/prng.hpp"
+#include "util/zipf.hpp"
+
+namespace pfp::trace {
+
+namespace {
+
+/// Scatters object coordinates into a sparse 64-bit id space so that no
+/// two distinct objects are numerically adjacent (defeats one-block
+/// lookahead by construction, like real object identifiers).
+BlockId scatter_id(std::uint64_t tag) {
+  util::SplitMix64 sm(tag ^ 0xcadb10c5ULL);
+  return sm.next() >> 16;  // keep ids comfortably inside 48 bits
+}
+
+}  // namespace
+
+CadGenerator::CadGenerator(Config config) : config_(config) {
+  PFP_REQUIRE(config_.sequences >= 2);
+  PFP_REQUIRE(config_.min_length >= 1);
+  PFP_REQUIRE(config_.max_length >= config_.min_length);
+  PFP_REQUIRE(config_.successors >= 1);
+}
+
+Trace CadGenerator::generate() const {
+  util::Xoshiro256 rng(config_.seed);
+
+  const util::ZipfSampler pick_shared(config_.shared_pool,
+                                      config_.shared_skew);
+  const util::ZipfSampler pick_sequence(config_.sequences,
+                                        config_.sequence_skew);
+
+  // Build the traversal library.  Elements are either private to the
+  // sequence (hashed from sequence/offset) or drawn from the shared pool
+  // (hashed from the pool rank), so sequences overlap on hot objects.
+  std::vector<std::vector<BlockId>> library(config_.sequences);
+  for (std::uint64_t s = 0; s < config_.sequences; ++s) {
+    const auto length = rng.range(config_.min_length, config_.max_length);
+    auto& seq = library[s];
+    seq.reserve(length);
+    for (std::uint64_t i = 0; i < length; ++i) {
+      if (rng.bernoulli(config_.shared_prob)) {
+        seq.push_back(scatter_id(0x5ea00000000ULL + pick_shared(rng)));
+      } else {
+        seq.push_back(scatter_id((s << 20) | i));
+      }
+    }
+  }
+
+  // Fixed successor edges: a session finishing one traversal usually
+  // continues with a structurally related one.
+  std::vector<std::vector<std::uint64_t>> successor(config_.sequences);
+  for (std::uint64_t s = 0; s < config_.sequences; ++s) {
+    successor[s].reserve(config_.successors);
+    for (std::uint32_t k = 0; k < config_.successors; ++k) {
+      successor[s].push_back(rng.below(config_.sequences));
+    }
+  }
+
+  Trace trace("cad");
+  trace.reserve(config_.references);
+  std::uint64_t seq = pick_sequence(rng);
+  while (trace.size() < config_.references) {
+    const auto& elements = library[seq];
+    for (const BlockId object : elements) {
+      if (trace.size() >= config_.references) {
+        break;
+      }
+      if (rng.bernoulli(config_.skip_prob)) {
+        continue;
+      }
+      if (rng.bernoulli(config_.noise_prob)) {
+        trace.append(scatter_id(0x5ea00000000ULL + pick_shared(rng)),
+                     static_cast<StreamId>(seq));
+        continue;
+      }
+      trace.append(object, static_cast<StreamId>(seq));
+    }
+    if (rng.bernoulli(config_.follow_prob)) {
+      // Weight the first successor most heavily: sessions usually repeat
+      // the same follow-up, which drives the high last-visited-child
+      // revisit rate the paper measures for CAD (Table 3).
+      const auto& succ = successor[seq];
+      seq = rng.bernoulli(0.85) ? succ.front()
+                                : succ[rng.below(succ.size())];
+    } else {
+      seq = pick_sequence(rng);
+    }
+  }
+  trace.truncate(config_.references);
+  return trace;
+}
+
+}  // namespace pfp::trace

@@ -1,0 +1,92 @@
+#include "trace/gen_sequential.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/prng.hpp"
+#include "util/zipf.hpp"
+
+namespace pfp::trace {
+
+namespace {
+
+/// Per-stream cursor: which file is open and how far the read has gone.
+struct StreamState {
+  std::uint64_t file = 0;
+  std::uint64_t position = 0;  // next block offset within the file
+  std::uint64_t limit = 0;     // stop offset (partial reads end early)
+  bool open = false;
+};
+
+}  // namespace
+
+SitarGenerator::SitarGenerator(Config config) : config_(config) {
+  PFP_REQUIRE(config_.files >= 1);
+  PFP_REQUIRE(config_.streams >= 1);
+  PFP_REQUIRE(config_.max_file_blocks >= 1);
+}
+
+Trace SitarGenerator::generate() const {
+  util::Xoshiro256 rng(config_.seed);
+
+  // File sizes and a contiguous on-disk layout.  Metadata occupies blocks
+  // [0, metadata_blocks); file data follows.
+  std::vector<std::uint64_t> file_size(config_.files);
+  std::vector<std::uint64_t> file_base(config_.files);
+  std::uint64_t next_base = config_.metadata_blocks;
+  for (std::uint64_t f = 0; f < config_.files; ++f) {
+    const double raw = rng.lognormal(config_.size_mu, config_.size_sigma);
+    const auto blocks = std::clamp<std::uint64_t>(
+        static_cast<std::uint64_t>(raw) + 1, 1, config_.max_file_blocks);
+    file_size[f] = blocks;
+    file_base[f] = next_base;
+    next_base += blocks;
+  }
+
+  const util::ZipfSampler pick_file(config_.files, config_.popularity_skew);
+  const util::ZipfSampler pick_meta(config_.metadata_blocks,
+                                    config_.metadata_skew);
+
+  std::vector<StreamState> streams(config_.streams);
+  std::uint32_t current = 0;
+
+  Trace trace("sitar");
+  trace.reserve(config_.references);
+  while (trace.size() < config_.references) {
+    // Occasionally service a different open stream (interleaved users /
+    // applications), otherwise keep streaming the current file.
+    if (rng.bernoulli(config_.switch_prob)) {
+      current = static_cast<std::uint32_t>(rng.below(config_.streams));
+    }
+    StreamState& st = streams[current];
+    if (!st.open) {
+      st.file = pick_file(rng);
+      st.position = 0;
+      st.limit = file_size[st.file];
+      if (rng.bernoulli(config_.partial_read_prob) && st.limit > 1) {
+        st.limit = 1 + rng.below(st.limit);
+      }
+      st.open = true;
+      // Opening a file touches metadata first.
+      if (rng.bernoulli(0.5)) {
+        trace.append(pick_meta(rng), current);
+        continue;
+      }
+    }
+    if (rng.bernoulli(config_.metadata_prob)) {
+      trace.append(pick_meta(rng), current);
+      continue;
+    }
+    trace.append(file_base[st.file] + st.position, current);
+    ++st.position;
+    if (st.position >= st.limit) {
+      st.open = false;
+    }
+  }
+  trace.truncate(config_.references);
+  return trace;
+}
+
+}  // namespace pfp::trace

@@ -1,0 +1,51 @@
+#include "trace/l1_filter.hpp"
+
+#include "util/assert.hpp"
+
+namespace pfp::trace {
+
+L1Filter::L1Filter(std::size_t capacity_blocks) : capacity_(capacity_blocks) {
+  PFP_REQUIRE(capacity_blocks >= 1);
+  slot_block_.resize(capacity_blocks);
+  free_slots_.reserve(capacity_blocks);
+  for (std::size_t i = capacity_blocks; i > 0; --i) {
+    free_slots_.push_back(static_cast<std::uint32_t>(i - 1));
+  }
+  lru_.resize(capacity_blocks);
+  map_.reserve(capacity_blocks * 2);
+}
+
+bool L1Filter::access(BlockId block) {
+  if (const auto it = map_.find(block); it != map_.end()) {
+    lru_.touch(it->second);
+    ++hits_;
+    return false;
+  }
+  ++misses_;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = lru_.pop_back();
+    PFP_DASSERT(slot != util::LruList::npos);
+    map_.erase(slot_block_[slot]);
+  }
+  slot_block_[slot] = block;
+  map_.emplace(block, slot);
+  lru_.push_front(slot);
+  return true;
+}
+
+Trace L1Filter::filter(const Trace& input) {
+  Trace out(input.name());
+  out.reserve(input.size() / 2);
+  for (const auto& r : input) {
+    if (access(r.block)) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace pfp::trace

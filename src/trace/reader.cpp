@@ -1,0 +1,127 @@
+#include "trace/reader.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <string>
+
+#include "util/string_utils.hpp"
+
+namespace pfp::trace {
+
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'P', 'F', 'P', 'T'};
+constexpr std::uint16_t kVersion = 1;
+
+std::uint64_t read_u64le(std::istream& in) {
+  std::array<unsigned char, 8> buf{};
+  in.read(reinterpret_cast<char*>(buf.data()), buf.size());
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | buf[static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+std::uint32_t read_u32le(std::istream& in) {
+  std::array<unsigned char, 4> buf{};
+  in.read(reinterpret_cast<char*>(buf.data()), buf.size());
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | buf[static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+std::uint16_t read_u16le(std::istream& in) {
+  std::array<unsigned char, 2> buf{};
+  in.read(reinterpret_cast<char*>(buf.data()), buf.size());
+  return static_cast<std::uint16_t>(buf[0] | (buf[1] << 8));
+}
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+Trace read_text(std::istream& in, const std::string& name) {
+  Trace trace(name);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view view = line;
+    if (const auto hash = view.find('#'); hash != std::string_view::npos) {
+      view = view.substr(0, hash);
+    }
+    view = util::trim(view);
+    if (view.empty()) {
+      continue;
+    }
+    const auto space = view.find(' ');
+    const auto block_text = view.substr(0, space);
+    const auto block = util::parse_u64(block_text);
+    if (!block) {
+      throw TraceFormatError("line " + std::to_string(lineno) +
+                             ": bad block id '" + std::string(block_text) +
+                             "'");
+    }
+    StreamId stream = 0;
+    if (space != std::string_view::npos) {
+      const auto stream_text = util::trim(view.substr(space + 1));
+      const auto parsed = util::parse_u64(stream_text);
+      if (!parsed || *parsed > 0xffffffffULL) {
+        throw TraceFormatError("line " + std::to_string(lineno) +
+                               ": bad stream id '" + std::string(stream_text) +
+                               "'");
+      }
+      stream = static_cast<StreamId>(*parsed);
+    }
+    trace.append(*block, stream);
+  }
+  return trace;
+}
+
+Trace read_binary(std::istream& in, const std::string& name) {
+  std::array<char, 4> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) {
+    throw TraceFormatError("not a PFPT binary trace");
+  }
+  const auto version = read_u16le(in);
+  if (version != kVersion) {
+    throw TraceFormatError("unsupported PFPT version " +
+                           std::to_string(version));
+  }
+  const auto count = read_u64le(in);
+  if (!in) {
+    throw TraceFormatError("truncated PFPT header");
+  }
+  Trace trace(name);
+  trace.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto block = read_u64le(in);
+    const auto stream = read_u32le(in);
+    if (!in) {
+      throw TraceFormatError("truncated PFPT body at record " +
+                             std::to_string(i));
+    }
+    trace.append(block, stream);
+  }
+  return trace;
+}
+
+Trace read_file(const std::string& path) {
+  const bool binary = ends_with(path, ".pfpt");
+  std::ifstream in(path, binary ? std::ios::binary : std::ios::in);
+  if (!in) {
+    throw TraceFormatError("cannot open '" + path + "'");
+  }
+  return binary ? read_binary(in, path) : read_text(in, path);
+}
+
+}  // namespace pfp::trace

@@ -1,0 +1,30 @@
+// Trace record model.
+//
+// The paper's simulator consumes a stream of single-block read references
+// (Section 8: "an application issues I/O requests as single block
+// requests").  A record therefore carries just the referenced block and a
+// small amount of provenance (which logical stream/process produced it),
+// which the characterization tool and generators use but the simulator
+// ignores.
+#pragma once
+
+#include <cstdint>
+
+namespace pfp::trace {
+
+/// Disk block identifier.  Blocks are opaque 64-bit names; sequentiality
+/// means numeric adjacency (block b+1 follows b), matching how the paper's
+/// one-block-lookahead scheme interprets block numbers.
+using BlockId = std::uint64_t;
+
+/// Logical origin of a reference (process, client, or CAD session).
+using StreamId = std::uint32_t;
+
+struct TraceRecord {
+  BlockId block = 0;
+  StreamId stream = 0;
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+}  // namespace pfp::trace

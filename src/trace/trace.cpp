@@ -1,0 +1,22 @@
+#include "trace/trace.hpp"
+
+#include <unordered_set>
+
+namespace pfp::trace {
+
+std::size_t Trace::unique_blocks() const {
+  std::unordered_set<BlockId> seen;
+  seen.reserve(records_.size() / 4 + 16);
+  for (const auto& r : records_) {
+    seen.insert(r.block);
+  }
+  return seen.size();
+}
+
+void Trace::truncate(std::size_t n) {
+  if (n < records_.size()) {
+    records_.resize(n);
+  }
+}
+
+}  // namespace pfp::trace

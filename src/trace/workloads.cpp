@@ -1,0 +1,124 @@
+#include "trace/workloads.hpp"
+
+#include <stdexcept>
+
+#include "trace/gen_cad.hpp"
+#include "trace/gen_fileserver.hpp"
+#include "trace/gen_sequential.hpp"
+#include "trace/gen_timeshare.hpp"
+#include "trace/l1_filter.hpp"
+#include "util/assert.hpp"
+
+namespace pfp::trace {
+
+namespace {
+
+// 8 KiB blocks: 30 MiB and 5 MiB first-level caches (Table 1).
+constexpr std::uint64_t kCelloL1Blocks = 30ULL * 1024 * 1024 / 8192;  // 3840
+constexpr std::uint64_t kSnakeL1Blocks = 5ULL * 1024 * 1024 / 8192;   // 640
+
+/// Generates raw references with the given generator-config factory and
+/// replays them through an L1 filter until `references` misses survive.
+/// Doubling the raw length and regenerating keeps the result a pure
+/// function of (seed, references) — the generators are deterministic, so
+/// a longer run is a superset of a shorter one.
+template <typename Generator, typename Config>
+Trace filtered_workload(Config config, std::uint64_t l1_blocks,
+                        std::uint64_t references, const char* name) {
+  std::uint64_t raw = references * 3;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    config.references = raw;
+    const Trace full = Generator(config).generate();
+    L1Filter filter(l1_blocks);
+    Trace survived = filter.filter(full);
+    if (survived.size() >= references || attempt == 7) {
+      survived.truncate(references);
+      survived.set_name(name);
+      return survived;
+    }
+    raw *= 2;
+  }
+  PFP_REQUIRE(false);  // unreachable
+}
+
+}  // namespace
+
+const std::vector<Workload>& all_workloads() {
+  static const std::vector<Workload> kAll = {
+      Workload::kCello, Workload::kSnake, Workload::kCad, Workload::kSitar};
+  return kAll;
+}
+
+std::string workload_name(Workload workload) {
+  switch (workload) {
+    case Workload::kCello:
+      return "cello";
+    case Workload::kSnake:
+      return "snake";
+    case Workload::kCad:
+      return "cad";
+    case Workload::kSitar:
+      return "sitar";
+  }
+  return "?";
+}
+
+Workload workload_from_name(const std::string& name) {
+  for (const Workload w : all_workloads()) {
+    if (workload_name(w) == name) {
+      return w;
+    }
+  }
+  throw std::invalid_argument("unknown workload '" + name + "'");
+}
+
+std::uint64_t workload_l1_blocks(Workload workload) {
+  switch (workload) {
+    case Workload::kCello:
+      return kCelloL1Blocks;
+    case Workload::kSnake:
+      return kSnakeL1Blocks;
+    case Workload::kCad:
+    case Workload::kSitar:
+      return 0;
+  }
+  return 0;
+}
+
+Trace make_workload(Workload workload, std::uint64_t references,
+                    std::uint64_t seed) {
+  PFP_REQUIRE(references > 0);
+  switch (workload) {
+    case Workload::kCello: {
+      TimeshareGenerator::Config config;
+      config.seed ^= seed;
+      return filtered_workload<TimeshareGenerator>(config, kCelloL1Blocks,
+                                                   references, "cello");
+    }
+    case Workload::kSnake: {
+      FileServerGenerator::Config config;
+      config.seed ^= seed;
+      return filtered_workload<FileServerGenerator>(config, kSnakeL1Blocks,
+                                                    references, "snake");
+    }
+    case Workload::kCad: {
+      CadGenerator::Config config;
+      config.references = references;
+      config.seed ^= seed;
+      Trace trace = CadGenerator(config).generate();
+      trace.set_name("cad");
+      return trace;
+    }
+    case Workload::kSitar: {
+      SitarGenerator::Config config;
+      config.references = references;
+      config.seed ^= seed;
+      Trace trace = SitarGenerator(config).generate();
+      trace.set_name("sitar");
+      return trace;
+    }
+  }
+  throw std::invalid_argument("unknown workload enum value");
+}
+
+}  // namespace pfp::trace

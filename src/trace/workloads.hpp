@@ -1,0 +1,38 @@
+// Named paper workloads (Table 1).
+//
+// One factory per trace the paper studies, wiring the matching generator
+// and — for the disk-level traces cello and snake — the first-level cache
+// filter of the original system (30 MB and 5 MB; the paper's Table 1 notes
+// those traces contain no first-level hits).  Block size is taken as 8 KiB,
+// giving L1 capacities of 3840 and 640 blocks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace pfp::trace {
+
+enum class Workload { kCello, kSnake, kCad, kSitar };
+
+/// All four paper workloads, in Table 1 order.
+const std::vector<Workload>& all_workloads();
+
+/// "cello", "snake", "cad", "sitar".
+std::string workload_name(Workload workload);
+
+/// Inverse of workload_name; throws std::invalid_argument on junk.
+Workload workload_from_name(const std::string& name);
+
+/// First-level filter capacity in blocks applied below the generator
+/// (0 = trace is used unfiltered, as for CAD and sitar).
+std::uint64_t workload_l1_blocks(Workload workload);
+
+/// Builds the workload with `references` post-filter records.  The same
+/// (workload, references, seed) triple always yields the same trace.
+Trace make_workload(Workload workload, std::uint64_t references,
+                    std::uint64_t seed = 0);
+
+}  // namespace pfp::trace

@@ -1,0 +1,72 @@
+#include "trace/writer.hpp"
+
+#include <array>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace pfp::trace {
+
+namespace {
+
+void write_u64le(std::ostream& out, std::uint64_t v) {
+  std::array<char, 8> buf{};
+  for (auto& byte : buf) {
+    byte = static_cast<char>(v & 0xff);
+    v >>= 8;
+  }
+  out.write(buf.data(), buf.size());
+}
+
+void write_u32le(std::ostream& out, std::uint32_t v) {
+  std::array<char, 4> buf{};
+  for (auto& byte : buf) {
+    byte = static_cast<char>(v & 0xff);
+    v >>= 8;
+  }
+  out.write(buf.data(), buf.size());
+}
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+void write_text(std::ostream& out, const Trace& trace) {
+  out << "# pfp trace: " << trace.name() << "\n";
+  out << "# records: " << trace.size() << "\n";
+  for (const auto& r : trace) {
+    out << r.block;
+    if (r.stream != 0) {
+      out << ' ' << r.stream;
+    }
+    out << '\n';
+  }
+}
+
+void write_binary(std::ostream& out, const Trace& trace) {
+  out.write("PFPT", 4);
+  out.put(1);  // version, little-endian u16
+  out.put(0);
+  write_u64le(out, trace.size());
+  for (const auto& r : trace) {
+    write_u64le(out, r.block);
+    write_u32le(out, r.stream);
+  }
+}
+
+void write_file(const std::string& path, const Trace& trace) {
+  const bool binary = ends_with(path, ".pfpt");
+  std::ofstream out(path, binary ? std::ios::binary : std::ios::out);
+  if (!out) {
+    throw std::runtime_error("cannot open '" + path + "' for writing");
+  }
+  binary ? write_binary(out, trace) : write_text(out, trace);
+  if (!out) {
+    throw std::runtime_error("failed writing '" + path + "'");
+  }
+}
+
+}  // namespace pfp::trace

@@ -1,0 +1,20 @@
+// Trace serialization; formats documented in reader.hpp.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace pfp::trace {
+
+/// Writes the text format (block and stream per line).
+void write_text(std::ostream& out, const Trace& trace);
+
+/// Writes the binary format.
+void write_binary(std::ostream& out, const Trace& trace);
+
+/// Writes to `path`, dispatching on extension: ".pfpt" binary, else text.
+void write_file(const std::string& path, const Trace& trace);
+
+}  // namespace pfp::trace

@@ -1,0 +1,41 @@
+// Lightweight contract-checking macros.
+//
+// PFP_REQUIRE is an always-on precondition check (survives NDEBUG): the
+// simulator's correctness depends on configuration invariants (non-zero
+// cache sizes, probabilities in [0,1], ...) that must hold in Release
+// builds too, where all experiments run.  PFP_DASSERT is a debug-only
+// internal consistency check for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pfp::util {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "pfp: %s failed: %s (%s:%d)\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace pfp::util
+
+#define PFP_REQUIRE(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::pfp::util::contract_failure("precondition", #expr, __FILE__,       \
+                                    __LINE__);                             \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define PFP_DASSERT(expr) ((void)0)
+#else
+#define PFP_DASSERT(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::pfp::util::contract_failure("assertion", #expr, __FILE__,          \
+                                    __LINE__);                             \
+    }                                                                      \
+  } while (0)
+#endif

@@ -1,0 +1,65 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/string_utils.hpp"
+
+namespace pfp::util {
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_(out), columns_(header.size()) {
+  PFP_REQUIRE(!header.empty());
+  row(header);
+  rows_ = 0;  // header does not count as a data row
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  PFP_REQUIRE(fields.size() == columns_);
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) {
+      out_ << ',';
+    }
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) {
+    return std::string(field);
+  }
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') {
+      out.push_back('"');
+    }
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::add(std::string_view value) {
+  fields_.emplace_back(value);
+  return *this;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::add(double value) {
+  fields_.push_back(format_double(value, 6));
+  return *this;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::add(std::uint64_t value) {
+  fields_.push_back(std::to_string(value));
+  return *this;
+}
+
+void CsvWriter::RowBuilder::done() { writer_.row(fields_); }
+
+}  // namespace pfp::util

@@ -1,0 +1,54 @@
+// CSV emission for experiment results.
+//
+// Every bench prints a human-readable table and can additionally write the
+// same rows as CSV so figures can be re-plotted offline.  Quoting follows
+// RFC 4180 (fields containing comma, quote or newline are quoted; quotes
+// doubled).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pfp::util {
+
+/// Streams rows to an ostream.  Construct with the header, then add rows;
+/// each row must have exactly as many fields as the header.
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience for mixed numeric rows.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(CsvWriter& writer) : writer_(writer) {}
+    RowBuilder& add(std::string_view value);
+    RowBuilder& add(double value);
+    RowBuilder& add(std::uint64_t value);
+    /// Emits the row; builder must not be reused afterwards.
+    void done();
+
+   private:
+    CsvWriter& writer_;
+    std::vector<std::string> fields_;
+  };
+
+  RowBuilder row() { return RowBuilder(*this); }
+
+  std::size_t columns() const noexcept { return columns_; }
+  std::size_t rows_written() const noexcept { return rows_; }
+
+  /// Escapes one field per RFC 4180.
+  static std::string escape(std::string_view field);
+
+ private:
+  std::ostream& out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace pfp::util

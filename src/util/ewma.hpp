@@ -1,0 +1,46 @@
+// Exponentially weighted moving average.
+//
+// The cost-benefit controller needs running estimates of s (prefetches
+// issued per access period) and h (prefetch hit ratio); the paper computes
+// both "during execution".  An EWMA tracks them with O(1) state and a
+// configurable horizon.
+#pragma once
+
+#include "util/assert.hpp"
+
+namespace pfp::util {
+
+/// value' = alpha * sample + (1 - alpha) * value.  Until the first sample
+/// arrives, value() returns the configured initial estimate.
+class Ewma {
+ public:
+  explicit Ewma(double alpha, double initial = 0.0) noexcept
+      : alpha_(alpha), value_(initial) {
+    PFP_DASSERT(alpha > 0.0 && alpha <= 1.0);
+  }
+
+  void add(double sample) noexcept {
+    if (!seeded_) {
+      value_ = sample;
+      seeded_ = true;
+      return;
+    }
+    value_ += alpha_ * (sample - value_);
+  }
+
+  double value() const noexcept { return value_; }
+  bool seeded() const noexcept { return seeded_; }
+
+  /// Resets to the given initial estimate and forgets all samples.
+  void reset(double initial = 0.0) noexcept {
+    value_ = initial;
+    seeded_ = false;
+  }
+
+ private:
+  double alpha_;
+  double value_;
+  bool seeded_ = false;
+};
+
+}  // namespace pfp::util

@@ -1,0 +1,109 @@
+#include "util/histogram.hpp"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace pfp::util {
+
+LinearHistogram::LinearHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  PFP_REQUIRE(hi > lo);
+  PFP_REQUIRE(bins > 0);
+}
+
+void LinearHistogram::add(double x, std::uint64_t weight) {
+  total_ += weight;
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) {
+    idx = counts_.size() - 1;  // floating-point edge
+  }
+  counts_[idx] += weight;
+}
+
+double LinearHistogram::bin_lo(std::size_t i) const {
+  PFP_REQUIRE(i < counts_.size());
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double LinearHistogram::bin_hi(std::size_t i) const {
+  return bin_lo(i) + width_;
+}
+
+double LinearHistogram::quantile(double q) const {
+  PFP_REQUIRE(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) {
+    return lo_;
+  }
+  const double target = q * static_cast<double>(total_);
+  double cumulative = static_cast<double>(underflow_);
+  if (cumulative >= target) {
+    return lo_;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double frac =
+          (target - cumulative) / static_cast<double>(counts_[i]);
+      return bin_lo(i) + frac * width_;
+    }
+    cumulative = next;
+  }
+  return hi_;
+}
+
+void LinearHistogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  underflow_ = overflow_ = total_ = 0;
+}
+
+void Log2Histogram::add(std::uint64_t x, std::uint64_t weight) {
+  const std::size_t bucket =
+      x == 0 ? 0 : static_cast<std::size_t>(std::bit_width(x));
+  if (bucket >= counts_.size()) {
+    counts_.resize(bucket + 1, 0);
+  }
+  counts_[bucket] += weight;
+  total_ += weight;
+}
+
+std::uint64_t Log2Histogram::bucket_count(std::size_t i) const {
+  return i < counts_.size() ? counts_[i] : 0;
+}
+
+std::uint64_t Log2Histogram::bucket_lo(std::size_t i) noexcept {
+  return i == 0 ? 0 : (1ULL << (i - 1));
+}
+
+std::uint64_t Log2Histogram::bucket_hi(std::size_t i) noexcept {
+  return i == 0 ? 0 : (1ULL << i) - 1;
+}
+
+std::string Log2Histogram::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) {
+      continue;
+    }
+    os << bucket_lo(i) << "-" << bucket_hi(i) << ": " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+void Log2Histogram::reset() {
+  counts_.clear();
+  total_ = 0;
+}
+
+}  // namespace pfp::util

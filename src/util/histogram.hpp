@@ -1,0 +1,68 @@
+// Histograms for trace characterization and stack-distance profiling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pfp::util {
+
+/// Fixed-width linear histogram over [lo, hi); out-of-range samples land
+/// in underflow/overflow counters.
+class LinearHistogram {
+ public:
+  LinearHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, std::uint64_t weight = 1);
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Value below which the given fraction q (0..1) of samples fall,
+  /// linearly interpolated within the bin.  Under/overflow samples clamp
+  /// to the range edges.
+  double quantile(double q) const;
+
+  void reset();
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Power-of-two bucketed histogram for unbounded non-negative integer
+/// quantities (reuse distances, run lengths).  Bucket i holds values in
+/// [2^(i-1), 2^i), bucket 0 holds the value 0 and 1 separately folded.
+class Log2Histogram {
+ public:
+  void add(std::uint64_t x, std::uint64_t weight = 1);
+
+  std::size_t buckets() const noexcept { return counts_.size(); }
+  std::uint64_t bucket_count(std::size_t i) const;
+  /// Inclusive lower bound of bucket i.
+  static std::uint64_t bucket_lo(std::size_t i) noexcept;
+  /// Inclusive upper bound of bucket i.
+  static std::uint64_t bucket_hi(std::size_t i) noexcept;
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Render as "lo-hi: count" lines for reports.
+  std::string to_string() const;
+
+  void reset();
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace pfp::util

@@ -1,0 +1,53 @@
+// Leveled stderr logging.
+//
+// The library itself never logs on hot paths; logging exists for the
+// examples, benches and long sweeps (progress reporting).  Level is a
+// process-wide atomic so sweep worker threads can log safely.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace pfp::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line ("[level] message") to stderr, thread-atomically.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+/// Builds the message with ostream formatting, emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace pfp::util
+
+#define PFP_LOG_DEBUG()                                                    \
+  ::pfp::util::detail::LogLine(::pfp::util::LogLevel::kDebug)
+#define PFP_LOG_INFO() ::pfp::util::detail::LogLine(::pfp::util::LogLevel::kInfo)
+#define PFP_LOG_WARN() ::pfp::util::detail::LogLine(::pfp::util::LogLevel::kWarn)
+#define PFP_LOG_ERROR()                                                    \
+  ::pfp::util::detail::LogLine(::pfp::util::LogLevel::kError)

@@ -1,0 +1,138 @@
+// Index-based intrusive LRU list.
+//
+// The demand cache, prefetch cache, L1 filter and the bounded prefetch
+// tree all need recency ordering over pool slots.  Rather than a
+// std::list<T> per container (pointer-chasing, per-node allocation), this
+// list links external slot indices through two parallel vectors — cheap to
+// grow, cache-friendly, and trivially serializable.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace pfp::util {
+
+/// Doubly linked recency list over slot indices [0, capacity).
+/// Front = most recently used, back = least recently used.
+/// A slot is either linked (present) or unlinked; linking a linked slot or
+/// unlinking an unlinked one is a contract violation.
+class LruList {
+ public:
+  static constexpr std::uint32_t npos =
+      std::numeric_limits<std::uint32_t>::max();
+
+  LruList() = default;
+  explicit LruList(std::size_t capacity) { resize(capacity); }
+
+  /// Grows the slot universe; existing links are preserved.
+  void resize(std::size_t capacity) {
+    PFP_REQUIRE(capacity < npos - 1);  // npos and npos-1 are sentinels
+    next_.resize(capacity, unlinked);
+    prev_.resize(capacity, unlinked);
+  }
+
+  std::size_t capacity() const noexcept { return next_.size(); }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  bool contains(std::uint32_t slot) const noexcept {
+    return slot < next_.size() && next_[slot] != unlinked;
+  }
+
+  std::uint32_t front() const noexcept { return head_; }
+  std::uint32_t back() const noexcept { return tail_; }
+
+  /// Successor toward the LRU end; npos past the tail.
+  std::uint32_t next(std::uint32_t slot) const noexcept {
+    PFP_DASSERT(contains(slot));
+    return next_[slot] == end_mark ? npos : next_[slot];
+  }
+
+  /// Predecessor toward the MRU end; npos before the head.
+  std::uint32_t prev(std::uint32_t slot) const noexcept {
+    PFP_DASSERT(contains(slot));
+    return prev_[slot] == end_mark ? npos : prev_[slot];
+  }
+
+  /// Inserts an unlinked slot at the MRU position.
+  void push_front(std::uint32_t slot) {
+    PFP_DASSERT(slot < next_.size());
+    PFP_DASSERT(!contains(slot));
+    prev_[slot] = end_mark;
+    next_[slot] = head_ == npos ? end_mark : head_;
+    if (head_ != npos) {
+      prev_[head_] = slot;
+    } else {
+      tail_ = slot;
+    }
+    head_ = slot;
+    ++size_;
+  }
+
+  /// Removes a linked slot.
+  void erase(std::uint32_t slot) {
+    PFP_DASSERT(contains(slot));
+    const std::uint32_t p = prev_[slot];
+    const std::uint32_t n = next_[slot];
+    if (p == end_mark) {
+      head_ = (n == end_mark) ? npos : n;
+    } else {
+      next_[p] = n;
+    }
+    if (n == end_mark) {
+      tail_ = (p == end_mark) ? npos : p;
+    } else {
+      prev_[n] = p;
+    }
+    next_[slot] = unlinked;
+    prev_[slot] = unlinked;
+    --size_;
+  }
+
+  /// Marks a linked slot as most recently used.
+  void touch(std::uint32_t slot) {
+    if (head_ == slot) {
+      return;
+    }
+    erase(slot);
+    push_front(slot);
+  }
+
+  /// Removes and returns the LRU slot; npos when empty.
+  std::uint32_t pop_back() {
+    if (tail_ == npos) {
+      return npos;
+    }
+    const std::uint32_t victim = tail_;
+    erase(victim);
+    return victim;
+  }
+
+  void clear() {
+    for (std::uint32_t s = head_; s != npos;) {
+      const std::uint32_t n = (next_[s] == end_mark) ? npos : next_[s];
+      next_[s] = unlinked;
+      prev_[s] = unlinked;
+      s = n;
+    }
+    head_ = tail_ = npos;
+    size_ = 0;
+  }
+
+ private:
+  // unlinked marks slots outside the list; end_mark terminates the chain
+  // (distinct so contains() is O(1) without a separate bitmap).
+  static constexpr std::uint32_t unlinked = npos;
+  static constexpr std::uint32_t end_mark = npos - 1;
+
+  std::vector<std::uint32_t> next_;
+  std::vector<std::uint32_t> prev_;
+  std::uint32_t head_ = npos;
+  std::uint32_t tail_ = npos;
+  std::size_t size_ = 0;
+};
+
+}  // namespace pfp::util

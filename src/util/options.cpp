@@ -1,0 +1,120 @@
+#include "util/options.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/string_utils.hpp"
+
+namespace pfp::util {
+
+void Options::add(const std::string& name, const std::string& default_value,
+                  const std::string& help) {
+  specs_[name] = Spec{default_value, help, false};
+}
+
+void Options::add_flag(const std::string& name, const std::string& help) {
+  specs_[name] = Spec{"false", help, true};
+}
+
+bool Options::parse(int argc, const char* const* argv) {
+  values_.clear();
+  positional_.clear();
+  const std::string program = argc > 0 ? argv[0] : "pfp";
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    if (arg == "help") {
+      std::fputs(usage(program).c_str(), stdout);
+      return false;
+    }
+    std::string name;
+    std::string value;
+    bool have_value = false;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+      have_value = true;
+    } else {
+      name = std::string(arg);
+    }
+    const auto it = specs_.find(name);
+    if (it == specs_.end()) {
+      std::fprintf(stderr, "unknown option --%s\n%s", name.c_str(),
+                   usage(program).c_str());
+      return false;
+    }
+    if (it->second.is_flag && !have_value) {
+      value = "true";
+      have_value = true;
+    }
+    if (!have_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "option --%s requires a value\n", name.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    values_[name] = value;
+  }
+  return true;
+}
+
+std::string Options::str(const std::string& name) const {
+  const auto spec = specs_.find(name);
+  PFP_REQUIRE(spec != specs_.end());
+  const auto it = values_.find(name);
+  return it != values_.end() ? it->second : spec->second.default_value;
+}
+
+std::uint64_t Options::u64(const std::string& name) const {
+  const auto text = str(name);
+  const auto value = parse_u64(text);
+  if (!value) {
+    std::fprintf(stderr, "option --%s: '%s' is not an unsigned integer\n",
+                 name.c_str(), text.c_str());
+    std::exit(2);
+  }
+  return *value;
+}
+
+double Options::real(const std::string& name) const {
+  const auto text = str(name);
+  const auto value = parse_double(text);
+  if (!value) {
+    std::fprintf(stderr, "option --%s: '%s' is not a number\n", name.c_str(),
+                 text.c_str());
+    std::exit(2);
+  }
+  return *value;
+}
+
+bool Options::flag(const std::string& name) const {
+  const auto text = str(name);
+  const auto value = parse_bool(text);
+  if (!value) {
+    std::fprintf(stderr, "option --%s: '%s' is not a boolean\n", name.c_str(),
+                 text.c_str());
+    std::exit(2);
+  }
+  return *value;
+}
+
+std::string Options::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [options]\n";
+  for (const auto& [name, spec] : specs_) {
+    os << "  --" << name;
+    if (!spec.is_flag) {
+      os << " <value> (default: " << spec.default_value << ")";
+    }
+    os << "\n      " << spec.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pfp::util

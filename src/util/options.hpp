@@ -1,0 +1,54 @@
+// Minimal command-line option parser for the examples and benches.
+//
+// Supports "--name value", "--name=value" and boolean "--flag".  Unknown
+// options are an error so typos fail fast; positional arguments are
+// collected in order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pfp::util {
+
+class Options {
+ public:
+  /// Registers a string option with a default and help text.
+  void add(const std::string& name, const std::string& default_value,
+           const std::string& help);
+  /// Registers a boolean flag (default false).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv.  Returns false (after printing a diagnostic plus usage)
+  /// on unknown options, missing values or malformed input.  "--help"
+  /// prints usage and also returns false.
+  bool parse(int argc, const char* const* argv);
+
+  /// Accessors; fatal (PFP_REQUIRE) if the option was never registered.
+  std::string str(const std::string& name) const;
+  std::uint64_t u64(const std::string& name) const;
+  double real(const std::string& name) const;
+  bool flag(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Usage text generated from the registered options.
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Spec {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pfp::util

@@ -1,0 +1,139 @@
+#include "util/prng.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace pfp::util {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) {
+    word = sm.next();
+  }
+  // An all-zero state would be a fixed point; SplitMix64 cannot emit four
+  // consecutive zeros, but keep the guarantee explicit.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) {
+    s_[0] = 0x9e3779b97f4a7c15ULL;
+  }
+}
+
+std::uint64_t Xoshiro256::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256::uniform() noexcept {
+  // Top 53 bits -> [0,1) with full double precision.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) noexcept {
+  PFP_DASSERT(bound > 0);
+  // Lemire's multiply-shift rejection method: unbiased and avoids a modulo
+  // in the common case.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t Xoshiro256::range(std::uint64_t lo, std::uint64_t hi) noexcept {
+  PFP_DASSERT(lo <= hi);
+  return lo + below(hi - lo + 1);
+}
+
+bool Xoshiro256::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+std::uint64_t Xoshiro256::geometric(double p) noexcept {
+  if (p >= 1.0) return 0;
+  PFP_DASSERT(p > 0.0);
+  const double u = 1.0 - uniform();  // u in (0,1]
+  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+double Xoshiro256::exponential(double mean) noexcept {
+  PFP_DASSERT(mean > 0.0);
+  return -mean * std::log1p(-uniform());
+}
+
+std::uint64_t Xoshiro256::poisson(double mean) noexcept {
+  PFP_DASSERT(mean >= 0.0);
+  if (mean <= 0.0) return 0;
+  if (mean < 64.0) {
+    // Knuth inversion.
+    const double limit = std::exp(-mean);
+    double product = uniform();
+    std::uint64_t count = 0;
+    while (product > limit) {
+      product *= uniform();
+      ++count;
+    }
+    return count;
+  }
+  // Normal approximation suffices for the large means the workload
+  // generators use (burst sizes), clamped at zero.
+  const double v = normal(mean, std::sqrt(mean));
+  return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+}
+
+double Xoshiro256::normal() noexcept {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  // Marsaglia polar method.
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  have_spare_normal_ = true;
+  return u * factor;
+}
+
+double Xoshiro256::normal(double mu, double sigma) noexcept {
+  return mu + sigma * normal();
+}
+
+double Xoshiro256::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+}  // namespace pfp::util

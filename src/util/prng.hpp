@@ -1,0 +1,91 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the workload generators draw from
+// Xoshiro256** seeded through SplitMix64, so every trace and therefore
+// every experiment in the repository is exactly reproducible from a
+// 64-bit seed.  We avoid std::mt19937 both for speed and because its
+// distributions are not bit-identical across standard library
+// implementations; ours are.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace pfp::util {
+
+/// SplitMix64: tiny, high-quality 64-bit generator.  Used directly for
+/// cheap hashing/streams and to seed Xoshiro256**.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64 uniformly distributed bits.
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast general-purpose PRNG with 2^256-1 period.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one 64-bit seed via SplitMix64.
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Next 64 uniformly distributed bits.
+  std::uint64_t next() noexcept;
+
+  /// UniformRandomBitGenerator interface.
+  std::uint64_t operator()() noexcept { return next(); }
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Geometric number of failures before first success, success prob p.
+  /// Returns 0 when p >= 1.
+  std::uint64_t geometric(double p) noexcept;
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) noexcept;
+
+  /// Poisson-distributed count with the given mean (inversion for small
+  /// means, normal approximation above 64).
+  std::uint64_t poisson(double mean) noexcept;
+
+  /// Standard normal variate (polar method).
+  double normal() noexcept;
+
+  /// Normal variate with mean mu and standard deviation sigma.
+  double normal(double mu, double sigma) noexcept;
+
+  /// Log-normal variate parameterized by the underlying normal.
+  double lognormal(double mu, double sigma) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace pfp::util

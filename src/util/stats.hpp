@@ -1,0 +1,70 @@
+// Streaming summary statistics.
+//
+// Welford's online algorithm: numerically stable single-pass mean and
+// variance, plus min/max.  Used for per-run metric summaries and for the
+// trace characterization tool.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pfp::util {
+
+/// Accumulates count/mean/variance/min/max of a stream of doubles.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (parallel sweep reduction).
+  void merge(const RunningStats& other) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Population variance; 0 with fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+  void reset() noexcept { *this = RunningStats{}; }
+
+  /// "mean=.. sd=.. min=.. max=.. n=.." one-liner for logs.
+  std::string summary() const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Ratio counter: numerator/denominator with a safe value() accessor.
+/// Most paper metrics (miss rate, hit ratios, prediction accuracy) are
+/// ratios of event counts; this keeps them honest in one place.
+class RatioCounter {
+ public:
+  void hit() noexcept {
+    ++num_;
+    ++den_;
+  }
+  void miss() noexcept { ++den_; }
+  void add(bool in_numerator) noexcept { in_numerator ? hit() : miss(); }
+
+  std::uint64_t numerator() const noexcept { return num_; }
+  std::uint64_t denominator() const noexcept { return den_; }
+
+  /// num/den, or 0 when no events recorded.
+  double value() const noexcept {
+    return den_ ? static_cast<double>(num_) / static_cast<double>(den_) : 0.0;
+  }
+
+  void reset() noexcept { num_ = den_ = 0; }
+
+ private:
+  std::uint64_t num_ = 0;
+  std::uint64_t den_ = 0;
+};
+
+}  // namespace pfp::util

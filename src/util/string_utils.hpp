@@ -1,0 +1,43 @@
+// Small string helpers shared by the CLI parser, readers and report
+// formatting.  Deliberately minimal — no locale, ASCII semantics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pfp::util {
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Removes leading/trailing whitespace (space, tab, CR, LF).
+std::string_view trim(std::string_view text);
+
+/// Case-sensitive prefix test.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Strict parse of a non-negative integer; nullopt on any junk.
+std::optional<std::uint64_t> parse_u64(std::string_view text);
+
+/// Strict parse of a double; nullopt on any junk.
+std::optional<double> parse_double(std::string_view text);
+
+/// Strict parse of a boolean: accepts 0/1/true/false/yes/no/on/off.
+std::optional<bool> parse_bool(std::string_view text);
+
+/// "12.3%" style percentage with the given decimals.
+std::string format_percent(double fraction, int decimals = 2);
+
+/// Human-readable byte count ("1.25 MiB").
+std::string format_bytes(double bytes);
+
+/// Fixed-decimal double without trailing-zero surprises.
+std::string format_double(double value, int decimals = 3);
+
+/// Thousands-separated integer ("3,530,115").
+std::string format_count(std::uint64_t value);
+
+}  // namespace pfp::util

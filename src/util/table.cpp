@@ -1,0 +1,74 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace pfp::util {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) {
+    return false;
+  }
+  for (const char c : s) {
+    if ((c < '0' || c > '9') && c != '.' && c != '-' && c != '+' &&
+        c != '%' && c != 'e' && c != ',') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  PFP_REQUIRE(!header_.empty());
+}
+
+void TextTable::row(std::vector<std::string> fields) {
+  PFP_REQUIRE(fields.size() == header_.size());
+  rows_.push_back(std::move(fields));
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  std::vector<bool> numeric(header_.size(), !rows_.empty());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+    for (const auto& r : rows_) {
+      widths[c] = std::max(widths[c], r[c].size());
+      if (!looks_numeric(r[c])) {
+        numeric[c] = false;
+      }
+    }
+  }
+  const auto emit = [&](const std::vector<std::string>& fields) {
+    for (std::size_t c = 0; c < fields.size(); ++c) {
+      if (c != 0) {
+        out << "  ";
+      }
+      const auto pad = widths[c] - fields[c].size();
+      if (numeric[c]) {
+        out << std::string(pad, ' ') << fields[c];
+      } else {
+        out << fields[c] << std::string(pad, ' ');
+      }
+    }
+    out << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (const auto w : widths) {
+    total += w;
+  }
+  total += 2 * (widths.size() - 1);
+  out << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) {
+    emit(r);
+  }
+}
+
+}  // namespace pfp::util

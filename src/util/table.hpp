@@ -1,0 +1,31 @@
+// Aligned console tables for bench output.
+//
+// Each bench reproduces a paper table/figure as rows on stdout; this
+// printer right-aligns numeric columns so series are easy to eyeball and
+// diff.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pfp::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must match the header width.
+  void row(std::vector<std::string> fields);
+
+  /// Renders with a header underline; columns padded to the widest cell.
+  void print(std::ostream& out) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pfp::util

@@ -1,0 +1,69 @@
+#include "util/zipf.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace pfp::util {
+
+namespace {
+
+// (exp(t) - 1) / t, stable near t = 0.
+double expm1_over_t(double t) {
+  if (std::abs(t) > 1e-8) {
+    return std::expm1(t) / t;
+  }
+  return 1.0 + t * 0.5 * (1.0 + t / 3.0 * (1.0 + t * 0.25));
+}
+
+// log1p(t) / t, stable near t = 0.
+double log1p_over_t(double t) {
+  if (std::abs(t) > 1e-8) {
+    return std::log1p(t) / t;
+  }
+  return 1.0 - t * (0.5 - t * (1.0 / 3.0 - t * 0.25));
+}
+
+}  // namespace
+
+// H(x) = integral of x^(-s): ((x^(1-s)) - 1) / (1 - s), continued to s = 1.
+double ZipfSampler::h(double x) const {
+  const double log_x = std::log(x);
+  return expm1_over_t((1.0 - s_) * log_x) * log_x;
+}
+
+double ZipfSampler::h_inverse(double x) const {
+  double t = x * (1.0 - s_);
+  if (t < -1.0) {
+    t = -1.0;  // round-off guard; maps back into the domain
+  }
+  return std::exp(log1p_over_t(t) * x);
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
+  PFP_REQUIRE(n >= 1);
+  PFP_REQUIRE(s > 0.0);
+  h_x1_ = h(1.5) - 1.0;
+  h_n_ = h(static_cast<double>(n) + 0.5);
+  threshold_ = 2.0 - h_inverse(h(2.5) - std::exp(-s_ * std::log(2.0)));
+}
+
+std::uint64_t ZipfSampler::operator()(Xoshiro256& rng) const {
+  // Hörmann & Derflinger rejection-inversion.
+  for (;;) {
+    const double u = h_n_ + rng.uniform() * (h_x1_ - h_n_);
+    const double x = h_inverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) {
+      k = 1.0;
+    } else if (k > static_cast<double>(n_)) {
+      k = static_cast<double>(n_);
+    }
+    if (k - x <= threshold_ ||
+        u >= h(k + 0.5) - std::exp(-s_ * std::log(k))) {
+      return static_cast<std::uint64_t>(k) - 1;  // ranks are 0-based
+    }
+  }
+}
+
+}  // namespace pfp::util

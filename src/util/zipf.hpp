@@ -1,0 +1,40 @@
+// Zipf-distributed sampling over {0, ..., n-1}.
+//
+// The workload generators use Zipfian popularity for files, processes and
+// objects (file popularity in real traces is famously heavy-tailed).  We
+// implement Hörmann's rejection-inversion sampler, which is O(1) per draw
+// and exact for any skew s > 0, s != 1 handled via the same transform.
+#pragma once
+
+#include <cstdint>
+
+#include "util/prng.hpp"
+
+namespace pfp::util {
+
+/// Samples ranks 0..n-1 with P(rank k) proportional to 1/(k+1)^s.
+/// Rank 0 is the most popular item.
+class ZipfSampler {
+ public:
+  /// n must be >= 1; skew s must be > 0.  s around 0.8-1.2 matches
+  /// measured file-access popularity curves.
+  ZipfSampler(std::uint64_t n, double s);
+
+  /// Draws one rank in [0, n).
+  std::uint64_t operator()(Xoshiro256& rng) const;
+
+  std::uint64_t size() const noexcept { return n_; }
+  double skew() const noexcept { return s_; }
+
+ private:
+  double h(double x) const;
+  double h_inverse(double x) const;
+
+  std::uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double threshold_;  // rejection shortcut for rank 0
+};
+
+}  // namespace pfp::util

@@ -1,0 +1,80 @@
+#include "cache/buffer_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pfp::cache {
+namespace {
+
+PrefetchEntry entry(BlockId block) {
+  PrefetchEntry e;
+  e.block = block;
+  e.probability = 0.4;
+  e.depth = 1;
+  e.eject_cost = 0.2;
+  return e;
+}
+
+TEST(BufferCache, MissOnEmpty) {
+  BufferCache c(4);
+  EXPECT_TRUE(std::holds_alternative<Miss>(c.access(1)));
+  EXPECT_EQ(c.resident(), 0u);
+  EXPECT_EQ(c.free_buffers(), 4u);
+}
+
+TEST(BufferCache, DemandHitReportsDepth) {
+  BufferCache c(4);
+  c.admit_demand(1);
+  c.admit_demand(2);
+  const auto r = c.access(1);
+  const auto* hit = std::get_if<DemandHit>(&r);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->stack_depth, 2u);
+}
+
+TEST(BufferCache, PrefetchHitMigratesToDemand) {
+  BufferCache c(4);
+  c.admit_prefetch(entry(7));
+  EXPECT_EQ(c.prefetch().size(), 1u);
+  EXPECT_EQ(c.demand().size(), 0u);
+
+  const auto r = c.access(7);
+  const auto* hit = std::get_if<PrefetchHit>(&r);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->entry.block, 7u);
+  // Figure 2 (iii): block moved, total residency unchanged.
+  EXPECT_EQ(c.prefetch().size(), 0u);
+  EXPECT_EQ(c.demand().size(), 1u);
+  EXPECT_EQ(c.resident(), 1u);
+
+  // Second access is now a demand hit.
+  EXPECT_TRUE(std::holds_alternative<DemandHit>(c.access(7)));
+}
+
+TEST(BufferCache, ResidencyAccountsBothSides) {
+  BufferCache c(4);
+  c.admit_demand(1);
+  c.admit_prefetch(entry(2));
+  EXPECT_EQ(c.resident(), 2u);
+  EXPECT_EQ(c.free_buffers(), 2u);
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_TRUE(c.contains(2));
+  EXPECT_FALSE(c.contains(3));
+}
+
+TEST(BufferCache, PartitionIsDynamic) {
+  BufferCache c(4);
+  // All four buffers can be prefetch...
+  for (BlockId b = 0; b < 4; ++b) {
+    c.admit_prefetch(entry(b));
+  }
+  EXPECT_EQ(c.free_buffers(), 0u);
+  // ...and migrate one-by-one into the demand side.
+  for (BlockId b = 0; b < 4; ++b) {
+    c.access(b);
+  }
+  EXPECT_EQ(c.demand().size(), 4u);
+  EXPECT_EQ(c.prefetch().size(), 0u);
+}
+
+}  // namespace
+}  // namespace pfp::cache

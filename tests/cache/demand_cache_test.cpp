@@ -1,0 +1,106 @@
+#include "cache/demand_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "util/prng.hpp"
+
+namespace pfp::cache {
+namespace {
+
+TEST(DemandCache, MissOnEmpty) {
+  DemandCache c(4);
+  EXPECT_FALSE(c.lookup_touch(1).has_value());
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(DemandCache, InsertThenHitAtDepthOne) {
+  DemandCache c(4);
+  c.insert(1);
+  const auto depth = c.lookup_touch(1);
+  ASSERT_TRUE(depth.has_value());
+  EXPECT_EQ(*depth, 1u);  // MRU position
+}
+
+TEST(DemandCache, DepthReflectsStackPosition) {
+  DemandCache c(8);
+  c.insert(1);
+  c.insert(2);
+  c.insert(3);  // stack: 3 2 1
+  EXPECT_EQ(*c.lookup_touch(1), 3u);  // deepest
+  // now stack: 1 3 2
+  EXPECT_EQ(*c.lookup_touch(3), 2u);
+  EXPECT_EQ(*c.lookup_touch(3), 1u);  // promoted to MRU by previous touch
+}
+
+TEST(DemandCache, EvictLruReturnsOldest) {
+  DemandCache c(4);
+  c.insert(1);
+  c.insert(2);
+  c.insert(3);
+  EXPECT_EQ(c.evict_lru(), 1u);
+  EXPECT_EQ(c.evict_lru(), 2u);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(DemandCache, LruBlockPeeksWithoutRemoving) {
+  DemandCache c(4);
+  EXPECT_FALSE(c.lru_block().has_value());
+  c.insert(9);
+  c.insert(10);
+  EXPECT_EQ(*c.lru_block(), 9u);
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(DemandCache, EraseRemovesSpecificBlock) {
+  DemandCache c(4);
+  c.insert(1);
+  c.insert(2);
+  c.erase(1);
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_TRUE(c.contains(2));
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(DemandCache, TouchChangesEvictionOrder) {
+  DemandCache c(4);
+  c.insert(1);
+  c.insert(2);
+  c.lookup_touch(1);
+  EXPECT_EQ(c.evict_lru(), 2u);
+}
+
+// Long-run exercise crossing the internal timestamp-compaction window:
+// depths must stay correct throughout.
+TEST(DemandCache, DepthsSurviveCompaction) {
+  constexpr std::size_t kCapacity = 32;
+  DemandCache c(kCapacity);
+  std::deque<BlockId> model;  // front = MRU
+  util::Xoshiro256 rng(77);
+
+  for (int step = 0; step < 200'000; ++step) {
+    const BlockId b = rng.below(64);
+    const auto it = std::find(model.begin(), model.end(), b);
+    const auto got = c.lookup_touch(b);
+    if (it == model.end()) {
+      ASSERT_FALSE(got.has_value()) << "step " << step;
+      if (model.size() == kCapacity) {
+        ASSERT_EQ(c.evict_lru(), model.back());
+        model.pop_back();
+      }
+      c.insert(b);
+      model.push_front(b);
+    } else {
+      const auto expected_depth =
+          static_cast<std::size_t>(std::distance(model.begin(), it)) + 1;
+      ASSERT_TRUE(got.has_value()) << "step " << step;
+      ASSERT_EQ(*got, expected_depth) << "step " << step;
+      model.erase(it);
+      model.push_front(b);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pfp::cache

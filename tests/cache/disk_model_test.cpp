@@ -1,0 +1,66 @@
+#include "cache/disk_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pfp::cache {
+namespace {
+
+TEST(DiskArray, InfiniteDisksNeverQueue) {
+  DiskArray disks(DiskConfig{0, 15.0});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(disks.submit(static_cast<trace::BlockId>(i), 100.0),
+                     115.0);
+  }
+  EXPECT_DOUBLE_EQ(disks.queue_delay_ms(), 0.0);
+  EXPECT_EQ(disks.requests(), 100u);
+}
+
+TEST(DiskArray, SingleDiskSerializesRequests) {
+  DiskArray disks(DiskConfig{1, 10.0});
+  EXPECT_DOUBLE_EQ(disks.submit(1, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(disks.submit(2, 0.0), 20.0);  // queued behind first
+  EXPECT_DOUBLE_EQ(disks.submit(3, 0.0), 30.0);
+  EXPECT_DOUBLE_EQ(disks.queue_delay_ms(), 10.0 + 20.0);
+}
+
+TEST(DiskArray, IdleDiskServesImmediately) {
+  DiskArray disks(DiskConfig{1, 10.0});
+  disks.submit(1, 0.0);       // busy until 10
+  EXPECT_DOUBLE_EQ(disks.submit(2, 50.0), 60.0);  // idle again at 50
+  EXPECT_DOUBLE_EQ(disks.queue_delay_ms(), 0.0);
+}
+
+TEST(DiskArray, ManyDisksSpreadLoad) {
+  // With plenty of disks, simultaneous requests to distinct blocks
+  // mostly land on different spindles.
+  DiskArray few(DiskConfig{1, 10.0});
+  DiskArray many(DiskConfig{64, 10.0});
+  for (trace::BlockId b = 0; b < 32; ++b) {
+    few.submit(b, 0.0);
+    many.submit(b, 0.0);
+  }
+  EXPECT_GT(few.queue_delay_ms(), many.queue_delay_ms());
+}
+
+TEST(DiskArray, StripingIsDeterministic) {
+  DiskArray a(DiskConfig{4, 10.0});
+  DiskArray b(DiskConfig{4, 10.0});
+  for (trace::BlockId blk = 0; blk < 50; ++blk) {
+    EXPECT_DOUBLE_EQ(a.submit(blk, 0.0), b.submit(blk, 0.0));
+  }
+}
+
+TEST(DiskArray, SequentialBlocksStripeAcrossDisks) {
+  // Sequential block numbers must not all map to one disk (the stripe
+  // hash exists precisely for this).
+  DiskArray disks(DiskConfig{8, 10.0});
+  double max_completion = 0.0;
+  for (trace::BlockId b = 0; b < 8; ++b) {
+    max_completion = std::max(max_completion, disks.submit(b, 0.0));
+  }
+  // If all eight landed on one disk the last would finish at 80.
+  EXPECT_LT(max_completion, 80.0);
+}
+
+}  // namespace
+}  // namespace pfp::cache

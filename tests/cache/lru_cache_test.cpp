@@ -1,0 +1,64 @@
+#include "cache/lru_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pfp::cache {
+namespace {
+
+TEST(LruCache, MissesThenHits) {
+  LruCache c(2);
+  EXPECT_FALSE(c.access(1));
+  EXPECT_TRUE(c.access(1));
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+  EXPECT_DOUBLE_EQ(c.hit_rate(), 0.5);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache c(2);
+  c.access(1);
+  c.access(2);
+  c.access(3);               // evicts 1
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_TRUE(c.contains(2));
+  EXPECT_TRUE(c.contains(3));
+}
+
+TEST(LruCache, HitPromotes) {
+  LruCache c(2);
+  c.access(1);
+  c.access(2);
+  c.access(1);  // 1 MRU
+  c.access(3);  // evicts 2
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_FALSE(c.contains(2));
+}
+
+TEST(LruCache, SizeNeverExceedsCapacity) {
+  LruCache c(4);
+  for (BlockId b = 0; b < 100; ++b) {
+    c.access(b);
+    EXPECT_LE(c.size(), 4u);
+  }
+  EXPECT_EQ(c.size(), 4u);
+}
+
+TEST(LruCache, ContentsMruOrder) {
+  LruCache c(3);
+  c.access(1);
+  c.access(2);
+  c.access(3);
+  c.access(1);
+  EXPECT_EQ(c.contents_mru_order(), (std::vector<BlockId>{1, 3, 2}));
+}
+
+TEST(LruCache, CapacityOneThrashes) {
+  LruCache c(1);
+  EXPECT_FALSE(c.access(1));
+  EXPECT_FALSE(c.access(2));
+  EXPECT_FALSE(c.access(1));
+  EXPECT_TRUE(c.access(1));
+}
+
+}  // namespace
+}  // namespace pfp::cache

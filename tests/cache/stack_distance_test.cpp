@@ -1,0 +1,114 @@
+#include "cache/stack_distance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pfp::cache {
+namespace {
+
+StackDistanceEstimator::Config no_decay() {
+  StackDistanceEstimator::Config config;
+  config.bucket_width = 1;  // exact depths for unit tests
+  config.decay = 1.0;
+  return config;
+}
+
+TEST(StackDistance, EmptyEstimatesZero) {
+  StackDistanceEstimator e;
+  EXPECT_DOUBLE_EQ(e.marginal_hit_rate(1), 0.0);
+  EXPECT_DOUBLE_EQ(e.hit_rate(10), 0.0);
+}
+
+TEST(StackDistance, SingleDepthConcentratesMass) {
+  StackDistanceEstimator e(no_decay());
+  for (int i = 0; i < 10; ++i) {
+    e.record(true, 3);
+  }
+  EXPECT_DOUBLE_EQ(e.marginal_hit_rate(3), 1.0);
+  EXPECT_DOUBLE_EQ(e.marginal_hit_rate(2), 0.0);
+  EXPECT_DOUBLE_EQ(e.marginal_hit_rate(4), 0.0);
+}
+
+TEST(StackDistance, MissesDiluteRates) {
+  StackDistanceEstimator e(no_decay());
+  e.record(true, 1);
+  e.record(false);
+  e.record(false);
+  e.record(false);
+  EXPECT_DOUBLE_EQ(e.marginal_hit_rate(1), 0.25);
+}
+
+TEST(StackDistance, HitRateSumsMarginals) {
+  StackDistanceEstimator e(no_decay());
+  e.record(true, 1);
+  e.record(true, 2);
+  e.record(true, 5);
+  e.record(false);
+  // H(2) = hits at depth <= 2 over 4 accesses = 0.5
+  EXPECT_DOUBLE_EQ(e.hit_rate(2), 0.5);
+  EXPECT_DOUBLE_EQ(e.hit_rate(5), 0.75);
+  // H(n) - H(n-1) == marginal at n
+  EXPECT_NEAR(e.hit_rate(5) - e.hit_rate(4), e.marginal_hit_rate(5), 1e-12);
+}
+
+TEST(StackDistance, HitRateMonotoneInN) {
+  StackDistanceEstimator e(no_decay());
+  for (std::size_t d = 1; d <= 20; ++d) {
+    e.record(true, d);
+  }
+  double last = 0.0;
+  for (std::size_t n = 1; n <= 25; ++n) {
+    const double h = e.hit_rate(n);
+    EXPECT_GE(h, last);
+    last = h;
+  }
+  EXPECT_NEAR(last, 1.0, 1e-12);
+}
+
+TEST(StackDistance, BucketsSpreadMassEvenly) {
+  StackDistanceEstimator::Config config;
+  config.bucket_width = 4;
+  config.decay = 1.0;
+  StackDistanceEstimator e(config);
+  e.record(true, 2);  // lands in bucket covering depths 1-4
+  for (std::size_t d = 1; d <= 4; ++d) {
+    EXPECT_DOUBLE_EQ(e.marginal_hit_rate(d), 0.25);
+  }
+  EXPECT_DOUBLE_EQ(e.marginal_hit_rate(5), 0.0);
+}
+
+TEST(StackDistance, DeepHitsClampToMaxDepth) {
+  StackDistanceEstimator::Config config;
+  config.bucket_width = 1;
+  config.max_depth = 16;
+  config.decay = 1.0;
+  StackDistanceEstimator e(config);
+  e.record(true, 1'000'000);
+  EXPECT_GT(e.marginal_hit_rate(16), 0.0);
+}
+
+TEST(StackDistance, DecayForgetsOldPhases) {
+  StackDistanceEstimator::Config config;
+  config.bucket_width = 1;
+  config.decay = 0.99;
+  StackDistanceEstimator e(config);
+  for (int i = 0; i < 500; ++i) {
+    e.record(true, 2);
+  }
+  const double before = e.marginal_hit_rate(2);
+  for (int i = 0; i < 5'000; ++i) {
+    e.record(true, 9);  // phase change
+  }
+  EXPECT_LT(e.marginal_hit_rate(2), before * 0.1);
+  EXPECT_GT(e.marginal_hit_rate(9), 0.5);
+}
+
+TEST(StackDistance, ResetClears) {
+  StackDistanceEstimator e(no_decay());
+  e.record(true, 1);
+  e.reset();
+  EXPECT_DOUBLE_EQ(e.marginal_hit_rate(1), 0.0);
+  EXPECT_DOUBLE_EQ(e.accesses_weighted(), 0.0);
+}
+
+}  // namespace
+}  // namespace pfp::cache

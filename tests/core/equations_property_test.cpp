@@ -1,0 +1,118 @@
+// Parameterized property sweeps over the Section 5/6 equations: bounds
+// and monotonicity that must hold for any (T_cpu, s) operating point.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/costben/equations.hpp"
+
+namespace pfp::core::costben {
+namespace {
+
+using Param = std::tuple<double, double>;  // (t_cpu, s)
+
+class EquationSweep : public ::testing::TestWithParam<Param> {
+ protected:
+  TimingParams timing() const {
+    TimingParams t;
+    t.t_cpu = std::get<0>(GetParam());
+    return t;
+  }
+  double s() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(EquationSweep, StallIsBoundedByDiskTime) {
+  const auto t = timing();
+  for (std::uint32_t d = 0; d <= 64; ++d) {
+    const double stall = t_stall(t, s(), d);
+    EXPECT_GE(stall, 0.0) << "d=" << d;
+    EXPECT_LE(stall, t.t_disk + 1e-12) << "d=" << d;
+  }
+}
+
+TEST_P(EquationSweep, StallIsNonIncreasingInDepth) {
+  const auto t = timing();
+  double last = t_stall(t, s(), 0);
+  for (std::uint32_t d = 1; d <= 64; ++d) {
+    const double stall = t_stall(t, s(), d);
+    EXPECT_LE(stall, last + 1e-12) << "d=" << d;
+    last = stall;
+  }
+}
+
+TEST_P(EquationSweep, SavedTimeIsBoundedAndMonotone) {
+  const auto t = timing();
+  double last = delta_t_pf(t, s(), 0);
+  EXPECT_DOUBLE_EQ(last, 0.0);
+  for (std::uint32_t d = 1; d <= 64; ++d) {
+    const double saved = delta_t_pf(t, s(), d);
+    EXPECT_GE(saved, last - 1e-12);
+    EXPECT_LE(saved, t.t_disk + 1e-12);
+    last = saved;
+  }
+}
+
+TEST_P(EquationSweep, HorizonIsExactlyWhereStallVanishes) {
+  const auto t = timing();
+  const std::uint32_t horizon = prefetch_horizon(t, s());
+  ASSERT_GE(horizon, 1u);
+  EXPECT_DOUBLE_EQ(t_stall(t, s(), horizon), 0.0);
+  if (horizon > 1) {
+    EXPECT_GT(t_stall(t, s(), horizon - 1), 0.0);
+  }
+}
+
+TEST_P(EquationSweep, BenefitAtDepthOneIsProbabilityScaledSaving) {
+  const auto t = timing();
+  for (const double p : {0.1, 0.5, 1.0}) {
+    EXPECT_NEAR(benefit(t, s(), p, 1.0, 1),
+                p * delta_t_pf(t, s(), 1), 1e-12);
+  }
+}
+
+TEST_P(EquationSweep, OverheadIsBoundedByDriverTime) {
+  const auto t = timing();
+  for (const double px : {0.2, 0.6, 1.0}) {
+    for (double pb = 0.01; pb <= px; pb += 0.05) {
+      const double oh = prefetch_overhead(t, pb, px);
+      EXPECT_GE(oh, 0.0);
+      EXPECT_LE(oh, t.t_driver + 1e-12);
+    }
+  }
+}
+
+TEST_P(EquationSweep, EjectionCostDecreasesWithSlack) {
+  // More access periods between ejection and re-prefetch (larger
+  // d_b - x) amortize the loss: the cost must fall.
+  const auto t = timing();
+  double last = cost_eject_prefetch(t, s(), 0.5, 2, 1);
+  for (std::uint32_t d = 3; d <= 32; ++d) {
+    const double cost = cost_eject_prefetch(t, s(), 0.5, d, 1);
+    EXPECT_LT(cost, last);
+    last = cost;
+  }
+}
+
+TEST_P(EquationSweep, EjectionCostScalesWithProbability) {
+  const auto t = timing();
+  double last = 0.0;
+  for (double p = 0.1; p <= 1.0; p += 0.1) {
+    const double cost = cost_eject_prefetch(t, s(), p, 4, 1);
+    EXPECT_GT(cost, last);
+    last = cost;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OperatingPoints, EquationSweep,
+    ::testing::Combine(::testing::Values(0.5, 2.0, 15.0, 50.0, 640.0),
+                       ::testing::Values(0.0, 1.0, 4.0, 16.0)),
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      const double t_cpu = std::get<0>(param_info.param);
+      const double s = std::get<1>(param_info.param);
+      return "tcpu" + std::to_string(static_cast<int>(t_cpu * 10)) +
+             "_s" + std::to_string(static_cast<int>(s));
+    });
+
+}  // namespace
+}  // namespace pfp::core::costben

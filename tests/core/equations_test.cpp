@@ -1,0 +1,163 @@
+#include "core/costben/equations.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pfp::core::costben {
+namespace {
+
+// Paper constants (Section 8.1).
+TimingParams paper() { return TimingParams{}; }
+
+TEST(Timing, PaperDefaults) {
+  const TimingParams t;
+  EXPECT_DOUBLE_EQ(t.t_hit, 0.243);
+  EXPECT_DOUBLE_EQ(t.t_driver, 0.580);
+  EXPECT_DOUBLE_EQ(t.t_disk, 15.0);
+  EXPECT_DOUBLE_EQ(t.t_cpu, 50.0);
+  EXPECT_DOUBLE_EQ(t.t_miss(), 0.580 + 15.0 + 0.243);
+}
+
+// Eq. 3: T_compute(d) = d (T_cpu + T_hit + s T_driver).
+TEST(Equations, TComputeHandValues) {
+  const auto t = paper();
+  // s = 2: per period 50 + 0.243 + 2*0.58 = 51.403
+  EXPECT_NEAR(t_compute(t, 2.0, 1), 51.403, 1e-9);
+  EXPECT_NEAR(t_compute(t, 2.0, 3), 3 * 51.403, 1e-9);
+  // s = 0 degenerates to T_cpu + T_hit.
+  EXPECT_NEAR(t_compute(t, 0.0, 2), 2 * 50.243, 1e-9);
+}
+
+// Eq. 6 boundary condition: T_stall(0) = T_disk (demand fetch).
+TEST(Equations, TStallAtZeroIsFullDiskTime) {
+  EXPECT_DOUBLE_EQ(t_stall(paper(), 1.0, 0), 15.0);
+}
+
+// With the paper's T_cpu = 50 ms, one access period already hides a
+// 15 ms disk access: T_stall(d >= 1) = 0.
+TEST(Equations, TStallZeroWhenComputeDominates) {
+  const auto t = paper();
+  for (std::uint32_t d = 1; d <= 8; ++d) {
+    EXPECT_DOUBLE_EQ(t_stall(t, 1.0, d), 0.0) << "d=" << d;
+  }
+}
+
+// With tiny T_cpu the stall follows Eq. 6 exactly.
+TEST(Equations, TStallHandValueSmallCpu) {
+  TimingParams t;
+  t.t_cpu = 1.0;  // per period: 1 + 0.243 + s*0.58
+  // s = 1: per-period = 1.823; d = 2: 15/2 - 1.823 = 5.677
+  EXPECT_NEAR(t_stall(t, 1.0, 2), 5.677, 1e-9);
+  // d = 8: 15/8 - 1.823 = 0.052
+  EXPECT_NEAR(t_stall(t, 1.0, 8), 0.052, 1e-9);
+  // d = 9: negative -> clamped to 0
+  EXPECT_DOUBLE_EQ(t_stall(t, 1.0, 9), 0.0);
+}
+
+TEST(Equations, TStallDecreasesWithDepth) {
+  TimingParams t;
+  t.t_cpu = 0.5;
+  double last = t_stall(t, 1.0, 1);
+  for (std::uint32_t d = 2; d <= 30; ++d) {
+    const double s = t_stall(t, 1.0, d);
+    EXPECT_LE(s, last);
+    last = s;
+  }
+}
+
+TEST(Equations, TStallDecreasesWithS) {
+  TimingParams t;
+  t.t_cpu = 1.0;
+  EXPECT_GT(t_stall(t, 0.0, 2), t_stall(t, 5.0, 2));
+}
+
+// Eq. 2: dT_pf(d) = T_disk - T_stall(d); dT_pf(0) = 0.
+TEST(Equations, DeltaTpfBoundaries) {
+  const auto t = paper();
+  EXPECT_DOUBLE_EQ(delta_t_pf(t, 1.0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(delta_t_pf(t, 1.0, 1), 15.0);  // fully hidden
+}
+
+TEST(Equations, DeltaTpfHandValueSmallCpu) {
+  TimingParams t;
+  t.t_cpu = 1.0;
+  // d = 2, s = 1: stall 5.677 -> saved 9.323
+  EXPECT_NEAR(delta_t_pf(t, 1.0, 2), 9.323, 1e-9);
+}
+
+// Eq. 1: B = p_b dT_pf(d_b) - p_x dT_pf(d_b - 1).
+TEST(Equations, BenefitDepthOneIsPureGain) {
+  const auto t = paper();
+  // d_b = 1: parent term uses dT_pf(0) = 0.
+  EXPECT_NEAR(benefit(t, 1.0, 0.4, 1.0, 1), 0.4 * 15.0, 1e-12);
+}
+
+TEST(Equations, BenefitDeeperIsNegativeWhenNoStallRemains) {
+  const auto t = paper();  // T_cpu = 50: dT_pf saturates at T_disk
+  // p_b < p_x and both saved times equal T_disk -> negative benefit.
+  EXPECT_LT(benefit(t, 1.0, 0.3, 0.6, 2), 0.0);
+}
+
+TEST(Equations, BenefitHandValueSmallCpu) {
+  TimingParams t;
+  t.t_cpu = 1.0;
+  // s = 1: dT_pf(1) = 15 - (15 - 1.823) = 1.823; dT_pf(2) = 9.323
+  // B = 0.5 * 9.323 - 0.8 * 1.823 = 4.6615 - 1.4584 = 3.2031
+  EXPECT_NEAR(benefit(t, 1.0, 0.5, 0.8, 2), 3.2031, 1e-9);
+}
+
+// Eq. 14: T_oh = (1 - p_b / p_x) T_driver.
+TEST(Equations, OverheadHandValues) {
+  const auto t = paper();
+  EXPECT_NEAR(prefetch_overhead(t, 0.25, 0.5), 0.5 * 0.580, 1e-12);
+  EXPECT_DOUBLE_EQ(prefetch_overhead(t, 0.5, 0.5), 0.0);  // certain child
+  EXPECT_DOUBLE_EQ(prefetch_overhead(t, 0.7, 0.5), 0.0);  // clamped
+}
+
+// Eq. 11: C_pr = p_b (T_driver + T_stall(x)) / (d_b - x).
+TEST(Equations, EjectPrefetchHandValues) {
+  const auto t = paper();
+  // x = 0: stall(0) = T_disk -> p * (0.58 + 15) / d_b
+  EXPECT_NEAR(cost_eject_prefetch(t, 1.0, 0.5, 1, 0), 0.5 * 15.58, 1e-12);
+  EXPECT_NEAR(cost_eject_prefetch(t, 1.0, 0.5, 4, 0), 0.5 * 15.58 / 4.0,
+              1e-12);
+  // x >= 1 with T_cpu = 50: stall 0 -> p * T_driver / (d - x)
+  EXPECT_NEAR(cost_eject_prefetch(t, 1.0, 0.6, 5, 2), 0.6 * 0.58 / 3.0,
+              1e-12);
+}
+
+// Eq. 13: C_dc = (H(n) - H(n-1)) (T_driver + T_disk).
+TEST(Equations, EjectDemandHandValues) {
+  const auto t = paper();
+  EXPECT_NEAR(cost_eject_demand(t, 0.01), 0.01 * 15.58, 1e-12);
+  EXPECT_DOUBLE_EQ(cost_eject_demand(t, 0.0), 0.0);
+}
+
+TEST(Equations, PrefetchHorizonPaperConstants) {
+  const auto t = paper();
+  // 15 / (0.243 + 50 + s*0.58) < 1 -> horizon 1 for any s >= 0.
+  EXPECT_EQ(prefetch_horizon(t, 0.0), 1u);
+  EXPECT_EQ(prefetch_horizon(t, 4.0), 1u);
+}
+
+TEST(Equations, PrefetchHorizonSmallCpu) {
+  TimingParams t;
+  t.t_cpu = 1.0;
+  // s = 1: per period 1.823 -> ceil(15 / 1.823) = ceil(8.228) = 9
+  EXPECT_EQ(prefetch_horizon(t, 1.0), 9u);
+  // larger s shortens the horizon
+  EXPECT_LE(prefetch_horizon(t, 10.0), 9u);
+}
+
+TEST(Equations, BenefitMonotoneInProbability) {
+  TimingParams t;
+  t.t_cpu = 1.0;
+  double last = -1e9;
+  for (double p = 0.05; p <= 1.0; p += 0.05) {
+    const double b = benefit(t, 1.0, p, 1.0, 2);
+    EXPECT_GT(b, last);
+    last = b;
+  }
+}
+
+}  // namespace
+}  // namespace pfp::core::costben

@@ -1,0 +1,65 @@
+#include "core/costben/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pfp::core::costben {
+namespace {
+
+TEST(Estimators, InitialValues) {
+  Estimators e;
+  EXPECT_DOUBLE_EQ(e.s(), 1.0);   // optimistic one prefetch/period
+  EXPECT_DOUBLE_EQ(e.h(), 0.5);
+  EXPECT_DOUBLE_EQ(e.obl_h(), 0.5);
+  EXPECT_EQ(e.periods(), 0u);
+}
+
+TEST(Estimators, SConvergesToIssueRate) {
+  Estimators e;
+  for (int i = 0; i < 500; ++i) {
+    e.end_period(3);
+  }
+  EXPECT_NEAR(e.s(), 3.0, 1e-6);
+  EXPECT_EQ(e.periods(), 500u);
+}
+
+TEST(Estimators, STracksChanges) {
+  Estimators e;
+  for (int i = 0; i < 200; ++i) {
+    e.end_period(0);
+  }
+  EXPECT_NEAR(e.s(), 0.0, 1e-3);
+  for (int i = 0; i < 200; ++i) {
+    e.end_period(5);
+  }
+  EXPECT_NEAR(e.s(), 5.0, 0.01);
+}
+
+TEST(Estimators, HSeparatesTreeAndObl) {
+  Estimators e;
+  for (int i = 0; i < 300; ++i) {
+    e.prefetch_outcome(true, /*obl=*/false);
+    e.prefetch_outcome(false, /*obl=*/true);
+  }
+  EXPECT_NEAR(e.h(), 1.0, 0.01);
+  EXPECT_NEAR(e.obl_h(), 0.0, 0.01);
+}
+
+TEST(Estimators, HConvergesToHitFraction) {
+  Estimators e;
+  for (int i = 0; i < 1'000; ++i) {
+    e.prefetch_outcome(i % 4 != 0, /*obl=*/false);  // 75% hits
+  }
+  EXPECT_NEAR(e.h(), 0.75, 0.1);
+}
+
+TEST(Estimators, CustomConfigRespected) {
+  Estimators::Config config;
+  config.s_initial = 2.5;
+  config.h_initial = 0.9;
+  Estimators e(config);
+  EXPECT_DOUBLE_EQ(e.s(), 2.5);
+  EXPECT_DOUBLE_EQ(e.h(), 0.9);
+}
+
+}  // namespace
+}  // namespace pfp::core::costben

@@ -1,0 +1,121 @@
+#include "core/policy/eviction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/costben/equations.hpp"
+#include "policy_harness.hpp"
+
+namespace pfp::core::policy {
+namespace {
+
+using testing::Harness;
+
+TEST(Eviction, CheapestCostInfinityWhenEmpty) {
+  Harness h(4);
+  EXPECT_TRUE(std::isinf(cheapest_eviction_cost(h.ctx)));
+}
+
+TEST(Eviction, CheapestCostUsesStoredPrefetchCost) {
+  Harness h(4);
+  h.prefetch(1, 0.25);
+  EXPECT_DOUBLE_EQ(cheapest_eviction_cost(h.ctx), 0.25);
+}
+
+TEST(Eviction, CheapestCostUsesDemandMarginal) {
+  Harness h(4);
+  h.demand(1);
+  // Feed the stack-distance profile: all hits at depth 1 out of 2
+  // accesses -> marginal(1) spread over bucket width 32 -> 1/(32*2).
+  h.stack.record(true, 1);
+  h.stack.record(false);
+  const double expected = costben::cost_eject_demand(
+      h.timing, h.stack.marginal_hit_rate(1));
+  EXPECT_DOUBLE_EQ(cheapest_eviction_cost(h.ctx), expected);
+  EXPECT_GT(expected, 0.0);
+}
+
+TEST(Eviction, EvictCheapestPrefersCheaperSide) {
+  Harness h(4);
+  h.demand(1);
+  h.prefetch(2, /*cost=*/1e-9);  // prefetch side much cheaper
+  // Give the demand side a real marginal hit rate so its ejection cost
+  // is positive (an unprofiled cache prices its LRU buffer at zero).
+  for (int i = 0; i < 8; ++i) {
+    h.stack.record(true, 1);
+  }
+  evict_cheapest(h.ctx);
+  EXPECT_TRUE(h.cache.demand().contains(1));
+  EXPECT_FALSE(h.cache.prefetch().contains(2));
+  EXPECT_EQ(h.metrics.prefetch_ejections, 1u);
+}
+
+TEST(Eviction, EvictCheapestPrefersDemandWhenPrefetchExpensive) {
+  Harness h(4);
+  h.demand(1);
+  h.prefetch(2, /*cost=*/100.0);
+  // no recorded hits at the tail -> demand marginal 0 -> demand cheaper
+  evict_cheapest(h.ctx);
+  EXPECT_FALSE(h.cache.demand().contains(1));
+  EXPECT_TRUE(h.cache.prefetch().contains(2));
+  EXPECT_EQ(h.metrics.demand_ejections, 1u);
+}
+
+TEST(Eviction, EvictCheapestRecordsUnusedPrefetchOutcome) {
+  Harness h(4);
+  h.prefetch(2, 0.0);
+  const double h_before = h.estimators.h();
+  evict_cheapest(h.ctx);
+  EXPECT_LT(h.estimators.h(), h_before);  // a miss outcome was recorded
+}
+
+TEST(Eviction, PrefetchFirstTakesOldestPrefetch) {
+  Harness h(4);
+  h.demand(1);
+  h.prefetch(2, 0.9);
+  h.prefetch(3, 0.1);
+  evict_prefetch_first(h.ctx);
+  EXPECT_FALSE(h.cache.prefetch().contains(2));  // oldest, not cheapest
+  EXPECT_TRUE(h.cache.prefetch().contains(3));
+  EXPECT_TRUE(h.cache.demand().contains(1));
+}
+
+TEST(Eviction, PrefetchFirstFallsBackToDemand) {
+  Harness h(4);
+  h.demand(1);
+  h.demand(2);
+  evict_prefetch_first(h.ctx);
+  EXPECT_FALSE(h.cache.demand().contains(1));  // LRU demand went
+  EXPECT_TRUE(h.cache.demand().contains(2));
+}
+
+TEST(Eviction, DemandFirstTakesDemandLru) {
+  Harness h(4);
+  h.demand(1);
+  h.demand(2);
+  h.prefetch(3, 0.1);
+  evict_demand_first(h.ctx);
+  EXPECT_FALSE(h.cache.demand().contains(1));
+  EXPECT_TRUE(h.cache.prefetch().contains(3));
+}
+
+TEST(Eviction, DemandFirstFallsBackToPrefetch) {
+  Harness h(4);
+  h.prefetch(3, 0.1);
+  evict_demand_first(h.ctx);
+  EXPECT_EQ(h.cache.resident(), 0u);
+}
+
+TEST(Eviction, EjectSpecificBlock) {
+  Harness h(4);
+  h.prefetch(5, 0.5, /*obl=*/true);
+  const double obl_before = h.estimators.obl_h();
+  eject_prefetch_block(h.ctx, 5);
+  EXPECT_FALSE(h.cache.prefetch().contains(5));
+  EXPECT_LT(h.estimators.obl_h(), obl_before);
+  EXPECT_EQ(h.metrics.prefetch_ejections, 1u);
+}
+
+}  // namespace
+}  // namespace pfp::core::policy

@@ -1,0 +1,110 @@
+#include "core/tree/node_pool.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pfp::core::tree {
+namespace {
+
+TEST(NodePool, CreateRootAndChildren) {
+  NodePool pool;
+  const NodeId root = pool.create(kNoNode, 0);
+  const NodeId a = pool.create(root, 10);
+  const NodeId b = pool.create(root, 20);
+  EXPECT_EQ(pool.live_nodes(), 3u);
+  EXPECT_EQ(pool.find_child(root, 10), a);
+  EXPECT_EQ(pool.find_child(root, 20), b);
+  EXPECT_EQ(pool.find_child(root, 30), kNoNode);
+  EXPECT_EQ(pool[a].parent, root);
+  EXPECT_EQ(pool[a].weight, 1u);
+}
+
+TEST(NodePool, DestroyLeafUnlinksEverything) {
+  NodePool pool;
+  const NodeId root = pool.create(kNoNode, 0);
+  const NodeId a = pool.create(root, 10);
+  const NodeId b = pool.create(root, 20);
+  pool.destroy(a);
+  EXPECT_EQ(pool.live_nodes(), 2u);
+  EXPECT_EQ(pool.find_child(root, 10), kNoNode);
+  EXPECT_EQ(pool.find_child(root, 20), b);
+  ASSERT_EQ(pool[root].children.size(), 1u);
+  EXPECT_EQ(pool[root].children[0], b);
+  EXPECT_EQ(pool[b].pos_in_parent, 0u);
+}
+
+TEST(NodePool, DestroyClearsLvcPointer) {
+  NodePool pool;
+  const NodeId root = pool.create(kNoNode, 0);
+  const NodeId a = pool.create(root, 10);
+  pool[root].last_visited_child = a;
+  pool.destroy(a);
+  EXPECT_EQ(pool[root].last_visited_child, kNoNode);
+}
+
+TEST(NodePool, SlotsAreRecycled) {
+  NodePool pool;
+  const NodeId root = pool.create(kNoNode, 0);
+  const NodeId a = pool.create(root, 10);
+  pool.destroy(a);
+  const NodeId c = pool.create(root, 30);
+  EXPECT_EQ(c, a);  // reused slot
+  EXPECT_EQ(pool[c].block, 30u);
+  EXPECT_EQ(pool[c].weight, 1u);
+}
+
+TEST(NodePool, IncrementKeepsDescendingOrder) {
+  NodePool pool;
+  const NodeId root = pool.create(kNoNode, 0);
+  const NodeId a = pool.create(root, 1);
+  const NodeId b = pool.create(root, 2);
+  const NodeId c = pool.create(root, 3);
+  // weights: a=1 b=1 c=1, order of creation a b c.
+  pool.increment_weight(c);  // c=2 must move to front
+  EXPECT_EQ(pool[root].children[0], c);
+  pool.increment_weight(b);  // b=2, after c
+  pool.increment_weight(b);  // b=3, front
+  EXPECT_EQ(pool[root].children[0], b);
+  EXPECT_EQ(pool[root].children[1], c);
+  EXPECT_EQ(pool[root].children[2], a);
+  // positions consistent
+  EXPECT_EQ(pool[b].pos_in_parent, 0u);
+  EXPECT_EQ(pool[c].pos_in_parent, 1u);
+  EXPECT_EQ(pool[a].pos_in_parent, 2u);
+}
+
+TEST(NodePool, IncrementOrderPropertyUnderStress) {
+  NodePool pool;
+  const NodeId root = pool.create(kNoNode, 0);
+  constexpr int kChildren = 40;
+  std::vector<NodeId> ids;
+  for (int i = 0; i < kChildren; ++i) {
+    ids.push_back(pool.create(root, static_cast<BlockId>(i + 1)));
+  }
+  // Deterministic pseudo-random increment pattern.
+  std::uint64_t x = 0x12345678;
+  for (int step = 0; step < 10'000; ++step) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    pool.increment_weight(ids[(x >> 33) % kChildren]);
+    // invariant: descending weights, consistent positions
+    const auto& children = pool[root].children;
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      ASSERT_EQ(pool[children[i]].pos_in_parent, i);
+      if (i > 0) {
+        ASSERT_GE(pool[children[i - 1]].weight, pool[children[i]].weight);
+      }
+    }
+  }
+}
+
+TEST(NodePool, MemoryAccountingFollowsLiveNodes) {
+  NodePool pool;
+  const NodeId root = pool.create(kNoNode, 0);
+  EXPECT_EQ(pool.approx_memory_bytes(), 40u);
+  const NodeId a = pool.create(root, 1);
+  EXPECT_EQ(pool.approx_memory_bytes(), 80u);
+  pool.destroy(a);
+  EXPECT_EQ(pool.approx_memory_bytes(), 40u);
+}
+
+}  // namespace
+}  // namespace pfp::core::tree

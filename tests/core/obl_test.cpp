@@ -1,0 +1,83 @@
+#include "core/policy/obl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "policy_harness.hpp"
+
+namespace pfp::core::policy {
+namespace {
+
+using testing::Harness;
+
+TEST(Obl, PrefetchesNextBlock) {
+  Harness h(16);
+  SequentialLookahead obl(0.10);
+  EXPECT_TRUE(obl.maybe_prefetch_next(100, h.ctx));
+  const auto entry = h.cache.prefetch().lookup(101);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_TRUE(entry->obl);
+  EXPECT_EQ(entry->depth, 1u);
+  EXPECT_EQ(h.metrics.prefetches_issued, 1u);
+  EXPECT_EQ(h.metrics.obl_prefetches_issued, 1u);
+}
+
+TEST(Obl, SkipsWhenTargetAlreadyCached) {
+  Harness h(16);
+  h.demand(101);
+  SequentialLookahead obl(0.10);
+  EXPECT_FALSE(obl.maybe_prefetch_next(100, h.ctx));
+  EXPECT_EQ(h.metrics.prefetches_issued, 0u);
+}
+
+TEST(Obl, QuotaEvictsOldestOblBlock) {
+  Harness h(20);  // quota = max(1, 0.1 * 20) = 2
+  SequentialLookahead obl(0.10);
+  obl.maybe_prefetch_next(100, h.ctx);
+  obl.maybe_prefetch_next(200, h.ctx);
+  EXPECT_EQ(h.cache.prefetch().obl_count(), 2u);
+  obl.maybe_prefetch_next(300, h.ctx);  // over quota: 101 must go
+  EXPECT_EQ(h.cache.prefetch().obl_count(), 2u);
+  EXPECT_FALSE(h.cache.prefetch().contains(101));
+  EXPECT_TRUE(h.cache.prefetch().contains(201));
+  EXPECT_TRUE(h.cache.prefetch().contains(301));
+  EXPECT_EQ(h.metrics.prefetch_ejections, 1u);
+}
+
+TEST(Obl, FullCacheUnderQuotaDisplacesDemandLru) {
+  Harness h(4);  // quota = max(1, 0.4) = 1... use 0.5 for quota 2
+  SequentialLookahead obl(0.5);
+  h.demand(1);
+  h.demand(2);
+  h.demand(3);
+  h.demand(4);
+  EXPECT_EQ(h.cache.free_buffers(), 0u);
+  EXPECT_TRUE(obl.maybe_prefetch_next(10, h.ctx));
+  EXPECT_FALSE(h.cache.demand().contains(1));  // LRU displaced
+  EXPECT_TRUE(h.cache.prefetch().contains(11));
+}
+
+TEST(Obl, EntryPricedWithOblHitEstimate) {
+  Harness h(16);
+  SequentialLookahead obl(0.10);
+  obl.maybe_prefetch_next(100, h.ctx);
+  const auto entry = h.cache.prefetch().lookup(101);
+  ASSERT_TRUE(entry.has_value());
+  // probability mirrors the OBL hit estimator (initially 0.5)
+  EXPECT_DOUBLE_EQ(entry->probability, h.estimators.obl_h());
+  // Eq. 11 with d=1, x=0: p * (t_driver + t_disk)
+  EXPECT_NEAR(entry->eject_cost,
+              h.estimators.obl_h() * (h.timing.t_driver + h.timing.t_disk),
+              1e-12);
+}
+
+TEST(Obl, QuotaOfTinyCacheIsAtLeastOne) {
+  Harness h(4);  // 0.1 * 4 = 0.4 -> quota clamps to 1
+  SequentialLookahead obl(0.10);
+  obl.maybe_prefetch_next(100, h.ctx);
+  obl.maybe_prefetch_next(200, h.ctx);
+  EXPECT_EQ(h.cache.prefetch().obl_count(), 1u);
+  EXPECT_TRUE(h.cache.prefetch().contains(201));
+}
+
+}  // namespace
+}  // namespace pfp::core::policy

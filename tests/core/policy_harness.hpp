@@ -1,0 +1,39 @@
+// Shared fixture for policy-layer unit tests: a buffer cache plus all the
+// reference state a Context carries.
+#pragma once
+
+#include "core/policy/context.hpp"
+
+namespace pfp::core::policy::testing {
+
+struct Harness {
+  explicit Harness(std::size_t blocks)
+      : cache(blocks),
+        disks(::pfp::cache::DiskConfig{}),
+        ctx{cache,  disks,     timing, estimators, stack,
+            metrics, /*period=*/0, /*now_ms=*/0.0, {}} {}
+
+  cache::BufferCache cache;
+  ::pfp::cache::DiskArray disks;
+  costben::TimingParams timing;
+  costben::Estimators estimators;
+  ::pfp::cache::StackDistanceEstimator stack;
+  PolicyMetrics metrics;
+  Context ctx;
+
+  /// Admits a demand block, reclaiming nothing (caller ensures room).
+  void demand(BlockId block) { cache.admit_demand(block); }
+
+  /// Admits a prefetch entry with the given parameters.
+  void prefetch(BlockId block, double cost, bool obl = false) {
+    ::pfp::cache::PrefetchEntry e;
+    e.block = block;
+    e.probability = 0.5;
+    e.depth = 1;
+    e.eject_cost = cost;
+    e.obl = obl;
+    cache.admit_prefetch(e);
+  }
+};
+
+}  // namespace pfp::core::policy::testing

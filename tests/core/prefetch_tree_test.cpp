@@ -1,0 +1,206 @@
+#include "core/tree/prefetch_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace pfp::core::tree {
+namespace {
+
+constexpr BlockId A = 1;
+constexpr BlockId B = 2;
+constexpr BlockId C = 3;
+
+void feed(PrefetchTree& tree, std::initializer_list<BlockId> blocks) {
+  for (const BlockId b : blocks) {
+    tree.access(b);
+  }
+}
+
+// The paper's Figure 1: after the access string (a)(ac)(ab)(aba)(abb)(b)
+// the tree has root weight 6 with children a (weight 5) and b (weight 1);
+// a has children c (1) and b (3); a's b has children a (1) and b (1).
+TEST(PrefetchTree, Figure1WeightsAfterParse) {
+  PrefetchTree tree;
+  feed(tree, {A, A, C, A, B, A, B, A, A, B, B, B});
+
+  const NodeId root = tree.root();
+  EXPECT_EQ(tree.node(root).weight, 6u);
+
+  const NodeId a = tree.find_child(root, A);
+  const NodeId b_root = tree.find_child(root, B);
+  ASSERT_NE(a, kNoNode);
+  ASSERT_NE(b_root, kNoNode);
+  EXPECT_EQ(tree.node(a).weight, 5u);
+  EXPECT_EQ(tree.node(b_root).weight, 1u);
+
+  const NodeId c = tree.find_child(a, C);
+  const NodeId ab = tree.find_child(a, B);
+  ASSERT_NE(c, kNoNode);
+  ASSERT_NE(ab, kNoNode);
+  EXPECT_EQ(tree.node(c).weight, 1u);
+  EXPECT_EQ(tree.node(ab).weight, 3u);
+
+  const NodeId aba = tree.find_child(ab, A);
+  const NodeId abb = tree.find_child(ab, B);
+  ASSERT_NE(aba, kNoNode);
+  ASSERT_NE(abb, kNoNode);
+  EXPECT_EQ(tree.node(aba).weight, 1u);
+  EXPECT_EQ(tree.node(abb).weight, 1u);
+
+  // Figure 1(a)'s probabilities: P(a|root) = 5/6, P(b|root) = 1/6.
+  EXPECT_DOUBLE_EQ(tree.edge_probability(root, a), 5.0 / 6.0);
+  EXPECT_DOUBLE_EQ(tree.edge_probability(root, b_root), 1.0 / 6.0);
+}
+
+// Figure 1(b): one more access of b from the root increments the weights
+// of the visited nodes: root -> 7, b -> 2.
+TEST(PrefetchTree, Figure1AfterRevisitingB) {
+  PrefetchTree tree;
+  feed(tree, {A, A, C, A, B, A, B, A, A, B, B, B});
+  tree.access(B);
+  const NodeId root = tree.root();
+  const NodeId b_root = tree.find_child(root, B);
+  EXPECT_EQ(tree.node(root).weight, 7u);
+  EXPECT_EQ(tree.node(b_root).weight, 2u);
+  // Parse is positioned at b now.
+  EXPECT_EQ(tree.current(), b_root);
+}
+
+TEST(PrefetchTree, StartsAtRootWithNoStatistics) {
+  PrefetchTree tree;
+  EXPECT_EQ(tree.current(), tree.root());
+  EXPECT_EQ(tree.node(tree.root()).weight, 0u);
+  EXPECT_EQ(tree.node_count(), 1u);  // just the root
+}
+
+TEST(PrefetchTree, NewBlockCreatesNodeAndResetsToRoot) {
+  PrefetchTree tree;
+  const auto info = tree.access(A);
+  EXPECT_TRUE(info.new_node);
+  EXPECT_FALSE(info.predictable);
+  EXPECT_EQ(tree.current(), tree.root());
+  EXPECT_EQ(tree.node_count(), 2u);
+}
+
+TEST(PrefetchTree, KnownBlockDescends) {
+  PrefetchTree tree;
+  tree.access(A);
+  const auto info = tree.access(A);
+  EXPECT_FALSE(info.new_node);
+  EXPECT_TRUE(info.predictable);
+  EXPECT_NE(tree.current(), tree.root());
+  EXPECT_EQ(tree.node(tree.current()).block, A);
+}
+
+TEST(PrefetchTree, PredictableMatchesChildPresence) {
+  PrefetchTree tree;
+  feed(tree, {A, A, B});  // creates a, then a->b
+  // at root; A is a child of root, B is not... feed ends after creating
+  // a->b so parse reset to root.
+  EXPECT_TRUE(tree.access(A).predictable);
+  // now at node a; b is a child of a.
+  EXPECT_TRUE(tree.access(B).predictable);
+}
+
+TEST(PrefetchTree, LastVisitedChildTracking) {
+  PrefetchTree tree;
+  // Build children a and b under root.
+  feed(tree, {A, B});
+  // Access A from root: root's lvc exists (b created last), not followed.
+  auto info = tree.access(A);
+  EXPECT_TRUE(info.had_lvc);
+  EXPECT_FALSE(info.followed_lvc);
+  // Back to root via unseen continuation.
+  tree.access(C);  // creates c under a, reset to root
+  // Root's lvc is now a; access A again -> followed.
+  info = tree.access(A);
+  EXPECT_TRUE(info.had_lvc);
+  EXPECT_TRUE(info.followed_lvc);
+  EXPECT_EQ(tree.last_visited_child(tree.root()),
+            tree.find_child(tree.root(), A));
+}
+
+TEST(PrefetchTree, ChildrenSortedByDescendingWeight) {
+  PrefetchTree tree;
+  // Root children a, b, c; a revisited most, then b.
+  feed(tree, {A, B, C, A, A, B, A, A, B});
+  const auto children = tree.children(tree.root());
+  ASSERT_GE(children.size(), 2u);
+  for (std::size_t i = 1; i < children.size(); ++i) {
+    EXPECT_GE(tree.node(children[i - 1]).weight,
+              tree.node(children[i]).weight);
+  }
+  EXPECT_EQ(tree.node(children[0]).block, A);
+}
+
+TEST(PrefetchTree, ChildWeightNeverExceedsParent) {
+  PrefetchTree tree;
+  const BlockId blocks[] = {1, 2, 3, 1, 2, 1, 3, 2, 1, 1, 2, 3, 3, 2, 1};
+  for (int round = 0; round < 50; ++round) {
+    for (const BlockId b : blocks) {
+      tree.access(b + static_cast<BlockId>(round % 3));
+    }
+  }
+  // Walk every node and check the invariant.
+  std::vector<NodeId> stack = {tree.root()};
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    std::uint64_t child_sum = 0;
+    for (const NodeId c : tree.children(n)) {
+      EXPECT_LE(tree.node(c).weight, tree.node(n).weight);
+      child_sum += tree.node(c).weight;
+      stack.push_back(c);
+    }
+    EXPECT_LE(child_sum, tree.node(n).weight);
+  }
+}
+
+TEST(PrefetchTree, BoundedTreeRespectsNodeBudget) {
+  TreeConfig config;
+  config.max_nodes = 64;
+  PrefetchTree tree(config);
+  util::Xoshiro256 rng(5);
+  for (int i = 0; i < 20'000; ++i) {
+    tree.access(rng.below(500));
+    ASSERT_LE(tree.node_count(), 65u);  // budget (+1 transient tolerance)
+  }
+}
+
+TEST(PrefetchTree, BoundedTreeKeepsHotPaths) {
+  TreeConfig config;
+  config.max_nodes = 32;
+  PrefetchTree tree(config);
+  // Hammer one pattern, sprinkle one-off noise.
+  util::Xoshiro256 rng(9);
+  for (int round = 0; round < 2'000; ++round) {
+    for (const BlockId b : {10u, 11u, 12u}) {
+      tree.access(b);
+    }
+    tree.access(100000 + rng.below(100000));  // cold noise
+  }
+  // The hot first-order context must have survived eviction.
+  EXPECT_NE(tree.find_child(tree.root(), 10), kNoNode);
+}
+
+TEST(PrefetchTree, UnboundedTreeGrowsWithNovelty) {
+  PrefetchTree tree;
+  for (BlockId b = 0; b < 1'000; ++b) {
+    tree.access(b);
+  }
+  EXPECT_EQ(tree.node_count(), 1'001u);  // root + one per novel block
+  EXPECT_EQ(tree.approx_memory_bytes(), 1'001u * 40u);
+}
+
+TEST(PrefetchTree, MemoryAccountingUses40BytesPerNode) {
+  PrefetchTree tree;
+  tree.access(1);
+  tree.access(2);
+  EXPECT_EQ(tree.approx_memory_bytes(), tree.node_count() * 40);
+}
+
+}  // namespace
+}  // namespace pfp::core::tree

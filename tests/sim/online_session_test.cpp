@@ -1,0 +1,100 @@
+#include "sim/online_session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.hpp"
+
+namespace pfp::sim {
+namespace {
+
+using core::policy::PolicyKind;
+
+SimConfig tree_config(std::size_t blocks = 64) {
+  SimConfig c;
+  c.cache_blocks = blocks;
+  c.policy.kind = PolicyKind::kTreeNextLimit;
+  return c;
+}
+
+TEST(OnlineSession, FirstAccessMisses) {
+  OnlineSession session(tree_config());
+  const auto r = session.access(42);
+  EXPECT_EQ(r.outcome, OnlineSession::Outcome::kMiss);
+  // A miss pays driver + disk (+ hit time charged as part of the period).
+  EXPECT_GT(r.latency_ms, 15.0);
+}
+
+TEST(OnlineSession, RepeatAccessHitsCheaply) {
+  OnlineSession session(tree_config());
+  session.access(42);
+  const auto r = session.access(42);
+  EXPECT_EQ(r.outcome, OnlineSession::Outcome::kDemandHit);
+  EXPECT_LT(r.latency_ms, 1.0);
+}
+
+TEST(OnlineSession, SequentialStreamGetsPrefetchHits) {
+  OnlineSession session(tree_config());
+  bool saw_prefetch_hit = false;
+  for (trace::BlockId b = 0; b < 200; ++b) {
+    const auto r = session.access(b);
+    saw_prefetch_hit |= r.outcome == OnlineSession::Outcome::kPrefetchHit;
+  }
+  EXPECT_TRUE(saw_prefetch_hit);
+  EXPECT_GT(session.metrics().prefetch_hits, 0u);
+}
+
+TEST(OnlineSession, MatchesBatchSimulatorExactly) {
+  // Feeding a trace record-by-record must produce the same cache
+  // behaviour as the batch simulator.
+  trace::Trace t("t");
+  util::Xoshiro256 rng(5);
+  for (int i = 0; i < 20'000; ++i) {
+    t.append(rng.below(500));
+  }
+  const auto batch = simulate(tree_config(), t);
+
+  OnlineSession session(tree_config());
+  for (const auto& rec : t) {
+    session.access(rec.block);
+  }
+  EXPECT_EQ(session.metrics().misses, batch.metrics.misses);
+  EXPECT_EQ(session.metrics().prefetch_hits, batch.metrics.prefetch_hits);
+  EXPECT_EQ(session.metrics().policy.prefetches_issued,
+            batch.metrics.policy.prefetches_issued);
+}
+
+TEST(OnlineSession, RejectsOraclePolicies) {
+  SimConfig c;
+  c.policy.kind = PolicyKind::kPerfectSelector;
+  EXPECT_THROW(OnlineSession{c}, std::invalid_argument);
+}
+
+TEST(OnlineSession, LatencySumsToElapsedMinusCompute) {
+  SimConfig c = tree_config();
+  OnlineSession session(c);
+  double latency_total = 0.0;
+  std::uint64_t prefetch_driver = 0;
+  for (trace::BlockId b = 0; b < 500; ++b) {
+    latency_total += session.access(b % 100).latency_ms;
+  }
+  prefetch_driver = session.metrics().policy.prefetches_issued;
+  const double expected =
+      session.metrics().elapsed_ms -
+      500.0 * c.timing.t_cpu;
+  // latency excludes T_cpu but includes everything else the model
+  // charges (hit time, driver overheads, stalls).
+  EXPECT_NEAR(latency_total, expected, 1e-6);
+  (void)prefetch_driver;
+}
+
+TEST(OnlineSession, MoveTransfersState) {
+  OnlineSession a(tree_config());
+  a.access(1);
+  OnlineSession b = std::move(a);
+  EXPECT_EQ(b.metrics().accesses, 1u);
+  b.access(1);
+  EXPECT_EQ(b.metrics().demand_hits, 1u);
+}
+
+}  // namespace
+}  // namespace pfp::sim

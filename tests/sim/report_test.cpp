@@ -1,0 +1,83 @@
+#include "sim/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace pfp::sim {
+namespace {
+
+Result make_result(const std::string& trace, const std::string& policy,
+                   std::size_t blocks, double miss_rate) {
+  Result r;
+  r.trace_name = trace;
+  r.policy_name = policy;
+  r.config.cache_blocks = blocks;
+  r.metrics.accesses = 1000;
+  r.metrics.misses = static_cast<std::uint64_t>(miss_rate * 1000);
+  r.metrics.demand_hits = r.metrics.accesses - r.metrics.misses;
+  return r;
+}
+
+TEST(Report, SeriesGroupsByTraceAndPolicy) {
+  std::vector<Result> results = {
+      make_result("cad", "no-prefetch", 256, 0.8),
+      make_result("cad", "tree", 256, 0.5),
+      make_result("cad", "no-prefetch", 512, 0.6),
+      make_result("cad", "tree", 512, 0.4),
+      make_result("sitar", "no-prefetch", 256, 0.7),
+      make_result("sitar", "tree", 256, 0.65),
+  };
+  std::ostringstream out;
+  print_series_by_cache_size(
+      out, results, [](const Result& r) { return r.metrics.miss_rate(); },
+      "miss rate", /*percent=*/true);
+  const auto text = out.str();
+  EXPECT_NE(text.find("== cad — miss rate =="), std::string::npos);
+  EXPECT_NE(text.find("== sitar — miss rate =="), std::string::npos);
+  EXPECT_NE(text.find("no-prefetch"), std::string::npos);
+  EXPECT_NE(text.find("80.00%"), std::string::npos);
+  EXPECT_NE(text.find("40.00%"), std::string::npos);
+}
+
+TEST(Report, MissingCellsRenderDash) {
+  std::vector<Result> results = {
+      make_result("cad", "no-prefetch", 256, 0.8),
+      make_result("cad", "tree", 512, 0.4),  // no tree at 256
+  };
+  std::ostringstream out;
+  print_series_by_cache_size(
+      out, results, [](const Result& r) { return r.metrics.miss_rate(); },
+      "miss rate", true);
+  EXPECT_NE(out.str().find('-'), std::string::npos);
+}
+
+TEST(Report, CsvHasHeaderAndRows) {
+  std::vector<Result> results = {make_result("cad", "tree", 256, 0.5)};
+  std::ostringstream out;
+  write_results_csv(out, results);
+  const auto text = out.str();
+  EXPECT_NE(text.find("trace,policy,cache_blocks"), std::string::npos);
+  EXPECT_NE(text.find("cad,tree,256"), std::string::npos);
+  // exactly 2 lines: header + row
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+TEST(Report, MaybeWriteCsvSkipsEmptyPath) {
+  EXPECT_FALSE(maybe_write_csv("", {}));
+}
+
+TEST(Report, MaybeWriteCsvWritesFile) {
+  const std::string path = ::testing::TempDir() + "/pfp_report_test.csv";
+  std::vector<Result> results = {make_result("cad", "tree", 256, 0.5)};
+  ASSERT_TRUE(maybe_write_csv(path, results));
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("trace,policy"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pfp::sim

@@ -1,0 +1,81 @@
+#include "trace/characterize.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pfp::trace {
+namespace {
+
+Trace of_blocks(std::initializer_list<BlockId> blocks) {
+  Trace t("t");
+  for (const BlockId b : blocks) {
+    t.append(b);
+  }
+  return t;
+}
+
+TEST(Characterize, EmptyTrace) {
+  const auto p = characterize(Trace("empty"));
+  EXPECT_EQ(p.references, 0u);
+  EXPECT_EQ(p.unique_blocks, 0u);
+}
+
+TEST(Characterize, PureSequentialRun) {
+  const auto p = characterize(of_blocks({1, 2, 3, 4, 5}));
+  EXPECT_DOUBLE_EQ(p.sequential_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(p.reuse_fraction, 0.0);
+  EXPECT_EQ(p.unique_blocks, 5u);
+  EXPECT_DOUBLE_EQ(p.mean_run_length, 5.0);
+}
+
+TEST(Characterize, NoSequentialAdjacency) {
+  const auto p = characterize(of_blocks({10, 20, 30, 40}));
+  EXPECT_DOUBLE_EQ(p.sequential_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(p.mean_run_length, 1.0);
+}
+
+TEST(Characterize, ReuseFractionCountsRepeats) {
+  // 6 refs, 3 unique -> 3 repeats -> reuse 0.5
+  const auto p = characterize(of_blocks({1, 2, 3, 1, 2, 3}));
+  EXPECT_DOUBLE_EQ(p.reuse_fraction, 0.5);
+  EXPECT_EQ(p.unique_blocks, 3u);
+}
+
+TEST(Characterize, StackDistanceOfImmediateRepeatIsZero) {
+  const auto p = characterize(of_blocks({7, 7}));
+  // one reuse at distance 0
+  EXPECT_EQ(p.reuse_distances.total(), 1u);
+  EXPECT_EQ(p.reuse_distances.bucket_count(0), 1u);
+}
+
+TEST(Characterize, StackDistanceCountsInterveningDistinct) {
+  // 1 (2 3) 1: two distinct blocks between the two 1s.
+  const auto p = characterize(of_blocks({1, 2, 3, 1}));
+  EXPECT_EQ(p.reuse_distances.total(), 1u);
+  // distance 2 lands in bucket [2,3]
+  EXPECT_EQ(p.reuse_distances.bucket_count(2), 1u);
+}
+
+TEST(Characterize, StackDistanceIgnoresDuplicateIntervening) {
+  // 1 (2 2 2) 1: only ONE distinct intervening block -> distance 1.
+  const auto p = characterize(of_blocks({1, 2, 2, 2, 1}));
+  // reuses: 2 (x2) at distance 0, and 1 at distance 1
+  EXPECT_EQ(p.reuse_distances.bucket_count(0), 2u);
+  EXPECT_EQ(p.reuse_distances.bucket_count(1), 1u);
+}
+
+TEST(Characterize, MixedRunLengths) {
+  // runs: [5 6 7], [100], [200 201] -> mean (3 + 1 + 2) / 3 = 2
+  const auto p = characterize(of_blocks({5, 6, 7, 100, 200, 201}));
+  EXPECT_DOUBLE_EQ(p.mean_run_length, 2.0);
+}
+
+TEST(Characterize, ToStringMentionsEverything) {
+  const auto p = characterize(of_blocks({1, 2, 3, 1}));
+  const auto text = to_string(p);
+  EXPECT_NE(text.find("references"), std::string::npos);
+  EXPECT_NE(text.find("unique blocks"), std::string::npos);
+  EXPECT_NE(text.find("sequential"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pfp::trace

@@ -1,0 +1,107 @@
+// Property sweep: any trace round-trips bit-exactly through both trace
+// formats, across sizes and content shapes.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <tuple>
+
+#include "trace/reader.hpp"
+#include "trace/writer.hpp"
+#include "util/prng.hpp"
+
+namespace pfp::trace {
+namespace {
+
+enum class Shape { kEmpty, kSequential, kRandom64Bit, kRepeats, kStreams };
+
+Trace make_trace(Shape shape, std::size_t n, std::uint64_t seed) {
+  Trace t("prop");
+  util::Xoshiro256 rng(seed);
+  switch (shape) {
+    case Shape::kEmpty:
+      break;
+    case Shape::kSequential:
+      for (std::size_t i = 0; i < n; ++i) {
+        t.append(1'000 + i);
+      }
+      break;
+    case Shape::kRandom64Bit:
+      for (std::size_t i = 0; i < n; ++i) {
+        t.append(rng.next());  // full 64-bit ids
+      }
+      break;
+    case Shape::kRepeats:
+      for (std::size_t i = 0; i < n; ++i) {
+        t.append(rng.below(4));
+      }
+      break;
+    case Shape::kStreams:
+      for (std::size_t i = 0; i < n; ++i) {
+        t.append(rng.below(1'000),
+                 static_cast<StreamId>(rng.below(0xffffffffULL)));
+      }
+      break;
+  }
+  return t;
+}
+
+using Param = std::tuple<Shape, std::size_t>;
+
+class IoRoundTrip : public ::testing::TestWithParam<Param> {};
+
+TEST_P(IoRoundTrip, Binary) {
+  const auto [shape, n] = GetParam();
+  const Trace original = make_trace(shape, n, 42);
+  std::stringstream buf;
+  write_binary(buf, original);
+  const Trace loaded = read_binary(buf, "prop");
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    ASSERT_EQ(loaded[i], original[i]) << i;
+  }
+}
+
+TEST_P(IoRoundTrip, Text) {
+  const auto [shape, n] = GetParam();
+  const Trace original = make_trace(shape, n, 43);
+  std::stringstream buf;
+  write_text(buf, original);
+  const Trace loaded = read_text(buf, "prop");
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    ASSERT_EQ(loaded[i], original[i]) << i;
+  }
+}
+
+std::string shape_name(Shape shape) {
+  switch (shape) {
+    case Shape::kEmpty:
+      return "empty";
+    case Shape::kSequential:
+      return "sequential";
+    case Shape::kRandom64Bit:
+      return "random64";
+    case Shape::kRepeats:
+      return "repeats";
+    case Shape::kStreams:
+      return "streams";
+  }
+  return "?";
+}
+
+std::string param_name(const ::testing::TestParamInfo<Param>& param_info) {
+  return shape_name(std::get<0>(param_info.param)) + "_" +
+         std::to_string(std::get<1>(param_info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, IoRoundTrip,
+    ::testing::Combine(::testing::Values(Shape::kEmpty, Shape::kSequential,
+                                         Shape::kRandom64Bit,
+                                         Shape::kRepeats, Shape::kStreams),
+                       ::testing::Values(std::size_t{1}, std::size_t{100},
+                                         std::size_t{10'000})),
+    param_name);
+
+}  // namespace
+}  // namespace pfp::trace

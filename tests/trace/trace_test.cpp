@@ -1,0 +1,73 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pfp::trace {
+namespace {
+
+TEST(Trace, StartsEmpty) {
+  Trace t("x");
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.name(), "x");
+}
+
+TEST(Trace, AppendAndIndex) {
+  Trace t("x");
+  t.append(10, 1);
+  t.append(20);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].block, 10u);
+  EXPECT_EQ(t[0].stream, 1u);
+  EXPECT_EQ(t[1].block, 20u);
+  EXPECT_EQ(t[1].stream, 0u);
+}
+
+TEST(Trace, RangeForIteratesInOrder) {
+  Trace t("x");
+  for (BlockId b = 0; b < 5; ++b) {
+    t.append(b);
+  }
+  BlockId expected = 0;
+  for (const auto& r : t) {
+    EXPECT_EQ(r.block, expected++);
+  }
+}
+
+TEST(Trace, UniqueBlocksCountsDistinct) {
+  Trace t("x");
+  t.append(1);
+  t.append(2);
+  t.append(1);
+  t.append(3);
+  t.append(2);
+  EXPECT_EQ(t.unique_blocks(), 3u);
+}
+
+TEST(Trace, TruncateShortens) {
+  Trace t("x");
+  for (BlockId b = 0; b < 10; ++b) {
+    t.append(b);
+  }
+  t.truncate(4);
+  EXPECT_EQ(t.size(), 4u);
+  t.truncate(100);  // no-op
+  EXPECT_EQ(t.size(), 4u);
+}
+
+TEST(Trace, RecordsSpanViewsSameData) {
+  Trace t("x");
+  t.append(42);
+  const auto span = t.records();
+  ASSERT_EQ(span.size(), 1u);
+  EXPECT_EQ(span[0].block, 42u);
+}
+
+TEST(Trace, SetNameChangesName) {
+  Trace t("a");
+  t.set_name("b");
+  EXPECT_EQ(t.name(), "b");
+}
+
+}  // namespace
+}  // namespace pfp::trace

@@ -1,0 +1,88 @@
+#include "trace/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "trace/characterize.hpp"
+
+namespace pfp::trace {
+namespace {
+
+TEST(Workloads, NamesRoundTrip) {
+  for (const Workload w : all_workloads()) {
+    EXPECT_EQ(workload_from_name(workload_name(w)), w);
+  }
+}
+
+TEST(Workloads, UnknownNameThrows) {
+  EXPECT_THROW(workload_from_name("bogus"), std::invalid_argument);
+}
+
+TEST(Workloads, FourWorkloadsInPaperOrder) {
+  const auto& all = all_workloads();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(workload_name(all[0]), "cello");
+  EXPECT_EQ(workload_name(all[1]), "snake");
+  EXPECT_EQ(workload_name(all[2]), "cad");
+  EXPECT_EQ(workload_name(all[3]), "sitar");
+}
+
+TEST(Workloads, L1SizesMatchTable1) {
+  // 30 MB and 5 MB at 8 KiB blocks (Table 1).
+  EXPECT_EQ(workload_l1_blocks(Workload::kCello), 3840u);
+  EXPECT_EQ(workload_l1_blocks(Workload::kSnake), 640u);
+  EXPECT_EQ(workload_l1_blocks(Workload::kCad), 0u);
+  EXPECT_EQ(workload_l1_blocks(Workload::kSitar), 0u);
+}
+
+TEST(Workloads, ProducesRequestedLength) {
+  for (const Workload w : all_workloads()) {
+    const Trace t = make_workload(w, 10'000);
+    EXPECT_EQ(t.size(), 10'000u) << workload_name(w);
+    EXPECT_EQ(t.name(), workload_name(w));
+  }
+}
+
+TEST(Workloads, DeterministicAcrossCalls) {
+  const Trace a = make_workload(Workload::kSnake, 5'000);
+  const Trace b = make_workload(Workload::kSnake, 5'000);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(Workloads, SeedPerturbsTrace) {
+  const Trace a = make_workload(Workload::kCad, 5'000, 0);
+  const Trace b = make_workload(Workload::kCad, 5'000, 1);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size() && !differs; ++i) {
+    differs = !(a[i] == b[i]);
+  }
+  EXPECT_TRUE(differs);
+}
+
+// Table 1's key property: the disk-level traces contain no references
+// that would have hit the original first-level cache.  Equivalent check:
+// replaying the filtered trace through an identical L1 never hits on
+// short distances... directly verify the filter did run by comparing
+// with the unfiltered generators' reuse at short range.
+TEST(Workloads, FilteredTracesHaveReducedShortRangeReuse) {
+  const Trace cello = make_workload(Workload::kCello, 30'000);
+  const auto profile = characterize(cello);
+  // Raw timeshare reuse is dominated by hot working sets that the 30 MB
+  // L1 absorbs; the residual reuse fraction must be much lower than the
+  // raw generator's (> 0.5 at these lengths).
+  EXPECT_LT(profile.reuse_fraction, 0.45);
+}
+
+TEST(Workloads, CadIsUsedUnfiltered) {
+  // CAD has no L1 filter: short-range repetition survives.
+  const Trace cad = make_workload(Workload::kCad, 30'000);
+  const auto profile = characterize(cad);
+  EXPECT_GT(profile.reuse_fraction, 0.5);
+}
+
+}  // namespace
+}  // namespace pfp::trace

@@ -1,0 +1,47 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pfp::util {
+namespace {
+
+TEST(Csv, WritesHeaderOnConstruction) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"a", "b"});
+  EXPECT_EQ(out.str(), "a,b\n");
+  EXPECT_EQ(csv.rows_written(), 0u);
+}
+
+TEST(Csv, WritesPlainRow) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"a", "b"});
+  csv.row({"1", "2"});
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+  EXPECT_EQ(csv.rows_written(), 1u);
+}
+
+TEST(Csv, EscapesCommasQuotesNewlines) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, RowBuilderFormatsTypes) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"name", "ratio", "count"});
+  csv.row().add("x").add(0.5).add(std::uint64_t{42}).done();
+  EXPECT_EQ(out.str(), "name,ratio,count\nx,0.500000,42\n");
+}
+
+TEST(Csv, QuotedFieldRoundTripsInRow) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"v"});
+  csv.row({"a,b"});
+  EXPECT_EQ(out.str(), "v\n\"a,b\"\n");
+}
+
+}  // namespace
+}  // namespace pfp::util

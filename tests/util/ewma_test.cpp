@@ -1,0 +1,56 @@
+#include "util/ewma.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pfp::util {
+namespace {
+
+TEST(Ewma, ReturnsInitialBeforeSamples) {
+  Ewma e(0.1, 3.5);
+  EXPECT_DOUBLE_EQ(e.value(), 3.5);
+  EXPECT_FALSE(e.seeded());
+}
+
+TEST(Ewma, FirstSampleReplacesInitial) {
+  Ewma e(0.1, 3.5);
+  e.add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+  EXPECT_TRUE(e.seeded());
+}
+
+TEST(Ewma, ConvergesToConstantInput) {
+  Ewma e(0.2, 0.0);
+  for (int i = 0; i < 200; ++i) {
+    e.add(7.0);
+  }
+  EXPECT_NEAR(e.value(), 7.0, 1e-9);
+}
+
+TEST(Ewma, SmoothsStepChange) {
+  Ewma e(0.5, 0.0);
+  e.add(0.0);
+  e.add(10.0);  // 0 + 0.5 * (10 - 0) = 5
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+  e.add(10.0);  // 5 + 0.5 * 5 = 7.5
+  EXPECT_DOUBLE_EQ(e.value(), 7.5);
+}
+
+TEST(Ewma, AlphaOneTracksLastSample) {
+  Ewma e(1.0, 0.0);
+  e.add(3.0);
+  e.add(-2.0);
+  EXPECT_DOUBLE_EQ(e.value(), -2.0);
+}
+
+TEST(Ewma, ResetForgetsHistory) {
+  Ewma e(0.3, 1.0);
+  e.add(100.0);
+  e.reset(2.0);
+  EXPECT_DOUBLE_EQ(e.value(), 2.0);
+  EXPECT_FALSE(e.seeded());
+  e.add(4.0);
+  EXPECT_DOUBLE_EQ(e.value(), 4.0);  // first sample after reset re-seeds
+}
+
+}  // namespace
+}  // namespace pfp::util

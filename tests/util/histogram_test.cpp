@@ -1,0 +1,113 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pfp::util {
+namespace {
+
+TEST(LinearHistogram, BinsPartitionRange) {
+  LinearHistogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bins(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(LinearHistogram, AddRoutesToCorrectBin) {
+  LinearHistogram h(0.0, 10.0, 5);
+  h.add(0.0);
+  h.add(1.9);
+  h.add(2.0);
+  h.add(9.999);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(LinearHistogram, UnderflowOverflowTracked) {
+  LinearHistogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(10.0);
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(LinearHistogram, WeightedAdd) {
+  LinearHistogram h(0.0, 10.0, 2);
+  h.add(1.0, 7);
+  EXPECT_EQ(h.bin_count(0), 7u);
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(LinearHistogram, MedianOfUniformFill) {
+  LinearHistogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) {
+    h.add(i + 0.5);
+  }
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.1), 10.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(LinearHistogram, QuantileOfEmptyIsLo) {
+  LinearHistogram h(5.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+}
+
+TEST(LinearHistogram, ResetClears) {
+  LinearHistogram h(0.0, 1.0, 2);
+  h.add(0.5);
+  h.reset();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.bin_count(0), 0u);
+  EXPECT_EQ(h.bin_count(1), 0u);
+}
+
+TEST(Log2Histogram, BucketBoundaries) {
+  EXPECT_EQ(Log2Histogram::bucket_lo(0), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_hi(0), 0u);
+  EXPECT_EQ(Log2Histogram::bucket_lo(1), 1u);
+  EXPECT_EQ(Log2Histogram::bucket_hi(1), 1u);
+  EXPECT_EQ(Log2Histogram::bucket_lo(2), 2u);
+  EXPECT_EQ(Log2Histogram::bucket_hi(2), 3u);
+  EXPECT_EQ(Log2Histogram::bucket_lo(3), 4u);
+  EXPECT_EQ(Log2Histogram::bucket_hi(3), 7u);
+}
+
+TEST(Log2Histogram, ValuesLandInCoveringBuckets) {
+  Log2Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(4);
+  h.add(1024);
+  EXPECT_EQ(h.bucket_count(0), 1u);  // 0
+  EXPECT_EQ(h.bucket_count(1), 1u);  // 1
+  EXPECT_EQ(h.bucket_count(2), 2u);  // 2-3
+  EXPECT_EQ(h.bucket_count(3), 1u);  // 4-7
+  EXPECT_EQ(h.bucket_count(11), 1u); // 1024-2047
+  EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Log2Histogram, ToStringListsNonEmptyBuckets) {
+  Log2Histogram h;
+  h.add(5, 3);
+  const auto text = h.to_string();
+  EXPECT_NE(text.find("4-7: 3"), std::string::npos);
+}
+
+TEST(Log2Histogram, ResetClears) {
+  Log2Histogram h;
+  h.add(9);
+  h.reset();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.buckets(), 0u);
+}
+
+}  // namespace
+}  // namespace pfp::util

@@ -1,0 +1,168 @@
+#include "util/lru_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace pfp::util {
+namespace {
+
+TEST(LruList, StartsEmpty) {
+  LruList list(4);
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.front(), LruList::npos);
+  EXPECT_EQ(list.back(), LruList::npos);
+  EXPECT_EQ(list.pop_back(), LruList::npos);
+}
+
+TEST(LruList, PushFrontOrders) {
+  LruList list(4);
+  list.push_front(0);
+  list.push_front(1);
+  list.push_front(2);
+  EXPECT_EQ(list.front(), 2u);
+  EXPECT_EQ(list.back(), 0u);
+  EXPECT_EQ(list.size(), 3u);
+}
+
+TEST(LruList, ContainsTracksMembership) {
+  LruList list(4);
+  EXPECT_FALSE(list.contains(1));
+  list.push_front(1);
+  EXPECT_TRUE(list.contains(1));
+  list.erase(1);
+  EXPECT_FALSE(list.contains(1));
+}
+
+TEST(LruList, TouchMovesToFront) {
+  LruList list(4);
+  list.push_front(0);
+  list.push_front(1);
+  list.push_front(2);  // order: 2 1 0
+  list.touch(0);       // order: 0 2 1
+  EXPECT_EQ(list.front(), 0u);
+  EXPECT_EQ(list.back(), 1u);
+}
+
+TEST(LruList, TouchFrontIsNoop) {
+  LruList list(4);
+  list.push_front(0);
+  list.push_front(1);
+  list.touch(1);
+  EXPECT_EQ(list.front(), 1u);
+  EXPECT_EQ(list.back(), 0u);
+}
+
+TEST(LruList, PopBackRemovesLru) {
+  LruList list(4);
+  list.push_front(0);
+  list.push_front(1);
+  EXPECT_EQ(list.pop_back(), 0u);
+  EXPECT_EQ(list.pop_back(), 1u);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(LruList, EraseMiddleKeepsChain) {
+  LruList list(8);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    list.push_front(i);  // 4 3 2 1 0
+  }
+  list.erase(2);  // 4 3 1 0
+  std::vector<std::uint32_t> order;
+  for (auto s = list.front(); s != LruList::npos; s = list.next(s)) {
+    order.push_back(s);
+  }
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{4, 3, 1, 0}));
+}
+
+TEST(LruList, PrevWalksBackward) {
+  LruList list(4);
+  list.push_front(0);
+  list.push_front(1);
+  list.push_front(2);  // 2 1 0
+  std::vector<std::uint32_t> order;
+  for (auto s = list.back(); s != LruList::npos; s = list.prev(s)) {
+    order.push_back(s);
+  }
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+TEST(LruList, ClearEmptiesAndAllowsReuse) {
+  LruList list(4);
+  list.push_front(0);
+  list.push_front(1);
+  list.clear();
+  EXPECT_TRUE(list.empty());
+  EXPECT_FALSE(list.contains(0));
+  list.push_front(0);
+  EXPECT_EQ(list.front(), 0u);
+}
+
+TEST(LruList, ResizePreservesExistingLinks) {
+  LruList list(2);
+  list.push_front(0);
+  list.push_front(1);
+  list.resize(10);
+  EXPECT_TRUE(list.contains(0));
+  EXPECT_TRUE(list.contains(1));
+  list.push_front(9);
+  EXPECT_EQ(list.front(), 9u);
+  EXPECT_EQ(list.back(), 0u);
+}
+
+// Differential test against a std::deque reference model.
+TEST(LruList, MatchesReferenceModelUnderRandomOps) {
+  constexpr std::uint32_t kSlots = 64;
+  LruList list(kSlots);
+  std::deque<std::uint32_t> model;  // front = MRU
+  Xoshiro256 rng(123);
+
+  const auto model_contains = [&](std::uint32_t s) {
+    return std::find(model.begin(), model.end(), s) != model.end();
+  };
+
+  for (int step = 0; step < 20'000; ++step) {
+    const auto slot = static_cast<std::uint32_t>(rng.below(kSlots));
+    switch (rng.below(4)) {
+      case 0:  // push if absent
+        if (!model_contains(slot)) {
+          list.push_front(slot);
+          model.push_front(slot);
+        }
+        break;
+      case 1:  // touch if present
+        if (model_contains(slot)) {
+          list.touch(slot);
+          model.erase(std::find(model.begin(), model.end(), slot));
+          model.push_front(slot);
+        }
+        break;
+      case 2:  // erase if present
+        if (model_contains(slot)) {
+          list.erase(slot);
+          model.erase(std::find(model.begin(), model.end(), slot));
+        }
+        break;
+      case 3:  // pop back
+        if (!model.empty()) {
+          ASSERT_EQ(list.pop_back(), model.back());
+          model.pop_back();
+        } else {
+          ASSERT_EQ(list.pop_back(), LruList::npos);
+        }
+        break;
+    }
+    ASSERT_EQ(list.size(), model.size());
+    if (!model.empty()) {
+      ASSERT_EQ(list.front(), model.front());
+      ASSERT_EQ(list.back(), model.back());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pfp::util

@@ -1,0 +1,108 @@
+#include "util/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pfp::util {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  return std::vector<const char*>(args);
+}
+
+TEST(Options, DefaultsApplyWhenUnset) {
+  Options opts;
+  opts.add("refs", "1000", "reference count");
+  const auto argv = argv_of({"prog"});
+  ASSERT_TRUE(opts.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(opts.u64("refs"), 1000u);
+}
+
+TEST(Options, SpaceSeparatedValue) {
+  Options opts;
+  opts.add("refs", "1000", "");
+  const auto argv = argv_of({"prog", "--refs", "42"});
+  ASSERT_TRUE(opts.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(opts.u64("refs"), 42u);
+}
+
+TEST(Options, EqualsSeparatedValue) {
+  Options opts;
+  opts.add("rate", "0.5", "");
+  const auto argv = argv_of({"prog", "--rate=0.25"});
+  ASSERT_TRUE(opts.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_DOUBLE_EQ(opts.real("rate"), 0.25);
+}
+
+TEST(Options, FlagsDefaultFalseAndSet) {
+  Options opts;
+  opts.add_flag("verbose", "");
+  auto argv = argv_of({"prog"});
+  ASSERT_TRUE(opts.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_FALSE(opts.flag("verbose"));
+  argv = argv_of({"prog", "--verbose"});
+  ASSERT_TRUE(opts.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(opts.flag("verbose"));
+}
+
+TEST(Options, FlagWithExplicitValue) {
+  Options opts;
+  opts.add_flag("verbose", "");
+  const auto argv = argv_of({"prog", "--verbose=false"});
+  ASSERT_TRUE(opts.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_FALSE(opts.flag("verbose"));
+}
+
+TEST(Options, UnknownOptionFailsParse) {
+  Options opts;
+  opts.add("refs", "1", "");
+  const auto argv = argv_of({"prog", "--bogus", "3"});
+  EXPECT_FALSE(opts.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Options, MissingValueFailsParse) {
+  Options opts;
+  opts.add("refs", "1", "");
+  const auto argv = argv_of({"prog", "--refs"});
+  EXPECT_FALSE(opts.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Options, HelpReturnsFalse) {
+  Options opts;
+  opts.add("refs", "1", "count");
+  const auto argv = argv_of({"prog", "--help"});
+  EXPECT_FALSE(opts.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Options, CollectsPositionals) {
+  Options opts;
+  opts.add("refs", "1", "");
+  const auto argv = argv_of({"prog", "input.txt", "--refs", "2", "out.txt"});
+  ASSERT_TRUE(opts.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(opts.positional(),
+            (std::vector<std::string>{"input.txt", "out.txt"}));
+}
+
+TEST(Options, UsageMentionsOptionsAndDefaults) {
+  Options opts;
+  opts.add("cache", "1024", "cache size in blocks");
+  const auto text = opts.usage("prog");
+  EXPECT_NE(text.find("--cache"), std::string::npos);
+  EXPECT_NE(text.find("1024"), std::string::npos);
+  EXPECT_NE(text.find("cache size in blocks"), std::string::npos);
+}
+
+TEST(Options, ReparseResetsState) {
+  Options opts;
+  opts.add("refs", "1", "");
+  auto argv = argv_of({"prog", "--refs", "5"});
+  ASSERT_TRUE(opts.parse(static_cast<int>(argv.size()), argv.data()));
+  argv = argv_of({"prog"});
+  ASSERT_TRUE(opts.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(opts.u64("refs"), 1u);  // back to default
+  EXPECT_TRUE(opts.positional().empty());
+}
+
+}  // namespace
+}  // namespace pfp::util

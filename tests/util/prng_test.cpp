@@ -1,0 +1,199 @@
+#include "util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+namespace pfp::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, IsDeterministic) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Xoshiro256, UniformIsInHalfOpenUnitInterval) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, UniformMeanIsAboutHalf) {
+  Xoshiro256 rng(2);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.uniform();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, BelowIsAlwaysInRange) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Xoshiro256, BelowCoversAllResidues) {
+  Xoshiro256 rng(4);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1'000; ++i) {
+    seen.insert(rng.below(7));
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Xoshiro256, BelowIsApproximatelyUniform) {
+  Xoshiro256 rng(5);
+  std::array<int, 10> counts{};
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.below(10)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 100);  // within 10% relative
+  }
+}
+
+TEST(Xoshiro256, RangeIsInclusive) {
+  Xoshiro256 rng(6);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.range(3, 5);
+    ASSERT_GE(v, 3u);
+    ASSERT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro256, BernoulliEdgeCases) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Xoshiro256, BernoulliFrequencyMatchesP) {
+  Xoshiro256 rng(8);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Xoshiro256, ExponentialHasRequestedMean) {
+  Xoshiro256 rng(9);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.exponential(4.0);
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Xoshiro256, PoissonHasRequestedMeanSmall) {
+  Xoshiro256 rng(10);
+  double sum = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.poisson(3.5));
+  }
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(Xoshiro256, PoissonHasRequestedMeanLarge) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.poisson(200.0));
+  }
+  EXPECT_NEAR(sum / n, 200.0, 2.0);
+}
+
+TEST(Xoshiro256, PoissonZeroMeanIsZero) {
+  Xoshiro256 rng(12);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Xoshiro256, NormalMomentsMatch) {
+  Xoshiro256 rng(13);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(Xoshiro256, NormalWithParamsShiftsAndScales) {
+  Xoshiro256 rng(14);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.normal(10.0, 2.0);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Xoshiro256, LognormalIsPositive) {
+  Xoshiro256 rng(15);
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_GT(rng.lognormal(1.0, 1.0), 0.0);
+  }
+}
+
+TEST(Xoshiro256, GeometricProbabilityOneIsZero) {
+  Xoshiro256 rng(16);
+  EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Xoshiro256, GeometricMeanMatches) {
+  Xoshiro256 rng(17);
+  // mean failures before success = (1-p)/p = 4 for p = 0.2
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.geometric(0.2));
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+}  // namespace
+}  // namespace pfp::util

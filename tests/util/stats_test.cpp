@@ -1,0 +1,112 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pfp::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesCombinedStream) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats combined;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 == 0 ? a : b).add(x);
+    combined.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats b;
+  b.add(3.0);
+  a.merge(b);  // empty.merge(non-empty)
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  RunningStats c;
+  a.merge(c);  // non-empty.merge(empty)
+  EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(RunningStats, SummaryMentionsFields) {
+  RunningStats s;
+  s.add(1.0);
+  const auto text = s.summary();
+  EXPECT_NE(text.find("mean="), std::string::npos);
+  EXPECT_NE(text.find("n=1"), std::string::npos);
+}
+
+TEST(RatioCounter, EmptyIsZero) {
+  RatioCounter r;
+  EXPECT_DOUBLE_EQ(r.value(), 0.0);
+}
+
+TEST(RatioCounter, CountsHitsAndMisses) {
+  RatioCounter r;
+  r.hit();
+  r.hit();
+  r.miss();
+  r.miss();
+  EXPECT_EQ(r.numerator(), 2u);
+  EXPECT_EQ(r.denominator(), 4u);
+  EXPECT_DOUBLE_EQ(r.value(), 0.5);
+}
+
+TEST(RatioCounter, AddDispatches) {
+  RatioCounter r;
+  r.add(true);
+  r.add(false);
+  r.add(true);
+  EXPECT_DOUBLE_EQ(r.value(), 2.0 / 3.0);
+}
+
+TEST(RatioCounter, ResetClears) {
+  RatioCounter r;
+  r.hit();
+  r.reset();
+  EXPECT_EQ(r.denominator(), 0u);
+  EXPECT_DOUBLE_EQ(r.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace pfp::util

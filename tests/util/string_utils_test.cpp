@@ -1,0 +1,91 @@
+#include "util/string_utils.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pfp::util {
+namespace {
+
+TEST(Split, BasicFields) {
+  EXPECT_EQ(split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Split, PreservesEmptyFields) {
+  EXPECT_EQ(split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Trim, StripsAllWhitespaceKinds) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\r\n x \n"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(ParseU64, AcceptsOnlyCleanIntegers) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("18446744073709551615"), 18446744073709551615ull);
+  EXPECT_FALSE(parse_u64(""));
+  EXPECT_FALSE(parse_u64("12x"));
+  EXPECT_FALSE(parse_u64("-1"));
+  EXPECT_FALSE(parse_u64(" 1"));
+  EXPECT_FALSE(parse_u64("1.5"));
+}
+
+TEST(ParseDouble, AcceptsOnlyCleanNumbers) {
+  EXPECT_DOUBLE_EQ(*parse_double("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(*parse_double("-3"), -3.0);
+  EXPECT_DOUBLE_EQ(*parse_double("1e3"), 1000.0);
+  EXPECT_FALSE(parse_double(""));
+  EXPECT_FALSE(parse_double("abc"));
+  EXPECT_FALSE(parse_double("1.5x"));
+}
+
+TEST(ParseBool, AcceptsCommonSpellings) {
+  EXPECT_EQ(parse_bool("1"), true);
+  EXPECT_EQ(parse_bool("true"), true);
+  EXPECT_EQ(parse_bool("yes"), true);
+  EXPECT_EQ(parse_bool("on"), true);
+  EXPECT_EQ(parse_bool("0"), false);
+  EXPECT_EQ(parse_bool("false"), false);
+  EXPECT_EQ(parse_bool("no"), false);
+  EXPECT_EQ(parse_bool("off"), false);
+  EXPECT_FALSE(parse_bool("TRUE").has_value());  // strict, no case folding
+  EXPECT_FALSE(parse_bool("2").has_value());
+}
+
+TEST(FormatPercent, RendersFractionTimes100) {
+  EXPECT_EQ(format_percent(0.5), "50.00%");
+  EXPECT_EQ(format_percent(0.12345, 1), "12.3%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+TEST(FormatBytes, PicksUnits) {
+  EXPECT_EQ(format_bytes(512), "512.00 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(format_bytes(1.25 * 1024 * 1024), "1.25 MiB");
+}
+
+TEST(FormatDouble, FixedDecimals) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(FormatCount, GroupsThousands) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(3530115), "3,530,115");
+  EXPECT_EQ(format_count(12), "12");
+  EXPECT_EQ(format_count(123456), "123,456");
+}
+
+}  // namespace
+}  // namespace pfp::util

@@ -1,0 +1,58 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pfp::util {
+namespace {
+
+TEST(TextTable, PrintsHeaderAndUnderline) {
+  TextTable t({"name", "value"});
+  std::ostringstream out;
+  t.print(out);
+  const auto text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("value"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TextTable, RightAlignsNumericColumns) {
+  TextTable t({"k", "v"});
+  t.row({"aa", "5"});
+  t.row({"b", "123"});
+  std::ostringstream out;
+  t.print(out);
+  // numeric column padded on the left: "  5" aligns under "123"
+  EXPECT_NE(out.str().find("aa    5"), std::string::npos);
+  EXPECT_NE(out.str().find("b   123"), std::string::npos);
+}
+
+TEST(TextTable, LeftAlignsTextColumns) {
+  TextTable t({"k", "v"});
+  t.row({"short", "x"});
+  t.row({"a-much-longer-key", "y"});
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("short            "), std::string::npos);
+}
+
+TEST(TextTable, CountsRows) {
+  TextTable t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.row({"1"});
+  t.row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, PercentValuesCountAsNumeric) {
+  TextTable t({"k", "rate"});
+  t.row({"a", "12.50%"});
+  t.row({"b", "3.00%"});
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find(" 3.00%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pfp::util

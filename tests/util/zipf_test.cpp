@@ -1,0 +1,87 @@
+#include "util/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace pfp::util {
+namespace {
+
+TEST(Zipf, SamplesAreInRange) {
+  Xoshiro256 rng(1);
+  ZipfSampler zipf(100, 1.0);
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_LT(zipf(rng), 100u);
+  }
+}
+
+TEST(Zipf, SingleElementAlwaysZero) {
+  Xoshiro256 rng(2);
+  ZipfSampler zipf(1, 1.2);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(zipf(rng), 0u);
+  }
+}
+
+TEST(Zipf, RankZeroIsMostFrequent) {
+  Xoshiro256 rng(3);
+  ZipfSampler zipf(50, 1.0);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 100'000; ++i) {
+    ++counts[zipf(rng)];
+  }
+  for (std::size_t k = 1; k < counts.size(); ++k) {
+    // Monotone on average; allow noise by comparing to rank 0.
+    EXPECT_GE(counts[0], counts[k]);
+  }
+}
+
+// Frequencies should match the analytic Zipf pmf across skews.
+class ZipfPmfTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfPmfTest, MatchesAnalyticPmf) {
+  const double s = GetParam();
+  const std::uint64_t n = 20;
+  Xoshiro256 rng(42);
+  ZipfSampler zipf(n, s);
+  std::vector<double> counts(n, 0.0);
+  const int draws = 400'000;
+  for (int i = 0; i < draws; ++i) {
+    counts[zipf(rng)] += 1.0;
+  }
+  double norm = 0.0;
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    norm += std::pow(static_cast<double>(k), -s);
+  }
+  for (std::uint64_t k = 0; k < n; ++k) {
+    const double expected =
+        std::pow(static_cast<double>(k + 1), -s) / norm;
+    const double observed = counts[k] / draws;
+    EXPECT_NEAR(observed, expected, 0.012)
+        << "rank " << k << " skew " << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfPmfTest,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.2, 2.0));
+
+TEST(Zipf, IsDeterministicGivenSeed) {
+  ZipfSampler zipf(1000, 0.9);
+  Xoshiro256 a(99);
+  Xoshiro256 b(99);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(zipf(a), zipf(b));
+  }
+}
+
+TEST(Zipf, LargePopulationStillInRange) {
+  Xoshiro256 rng(5);
+  ZipfSampler zipf(10'000'000, 1.05);
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_LT(zipf(rng), 10'000'000u);
+  }
+}
+
+}  // namespace
+}  // namespace pfp::util
