@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl01_disk_congestion.dir/abl01_disk_congestion.cpp.o"
+  "CMakeFiles/abl01_disk_congestion.dir/abl01_disk_congestion.cpp.o.d"
+  "abl01_disk_congestion"
+  "abl01_disk_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl01_disk_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

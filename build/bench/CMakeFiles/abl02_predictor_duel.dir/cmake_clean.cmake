@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl02_predictor_duel.dir/abl02_predictor_duel.cpp.o"
+  "CMakeFiles/abl02_predictor_duel.dir/abl02_predictor_duel.cpp.o.d"
+  "abl02_predictor_duel"
+  "abl02_predictor_duel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl02_predictor_duel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

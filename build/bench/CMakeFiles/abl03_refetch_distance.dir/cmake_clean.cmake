@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl03_refetch_distance.dir/abl03_refetch_distance.cpp.o"
+  "CMakeFiles/abl03_refetch_distance.dir/abl03_refetch_distance.cpp.o.d"
+  "abl03_refetch_distance"
+  "abl03_refetch_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl03_refetch_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

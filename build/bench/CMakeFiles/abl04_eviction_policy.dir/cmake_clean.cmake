@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl04_eviction_policy.dir/abl04_eviction_policy.cpp.o"
+  "CMakeFiles/abl04_eviction_policy.dir/abl04_eviction_policy.cpp.o.d"
+  "abl04_eviction_policy"
+  "abl04_eviction_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl04_eviction_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl05_adaptive_precision.dir/abl05_adaptive_precision.cpp.o"
+  "CMakeFiles/abl05_adaptive_precision.dir/abl05_adaptive_precision.cpp.o.d"
+  "abl05_adaptive_precision"
+  "abl05_adaptive_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl05_adaptive_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

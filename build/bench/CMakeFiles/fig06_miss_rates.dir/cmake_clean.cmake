@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_miss_rates.dir/fig06_miss_rates.cpp.o"
+  "CMakeFiles/fig06_miss_rates.dir/fig06_miss_rates.cpp.o.d"
+  "fig06_miss_rates"
+  "fig06_miss_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_miss_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_already_cached.dir/fig07_already_cached.cpp.o"
+  "CMakeFiles/fig07_already_cached.dir/fig07_already_cached.cpp.o.d"
+  "fig07_already_cached"
+  "fig07_already_cached.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_already_cached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

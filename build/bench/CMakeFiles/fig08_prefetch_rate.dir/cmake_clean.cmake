@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_prefetch_rate.dir/fig08_prefetch_rate.cpp.o"
+  "CMakeFiles/fig08_prefetch_rate.dir/fig08_prefetch_rate.cpp.o.d"
+  "fig08_prefetch_rate"
+  "fig08_prefetch_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_prefetch_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_avg_probability.dir/fig10_avg_probability.cpp.o"
+  "CMakeFiles/fig10_avg_probability.dir/fig10_avg_probability.cpp.o.d"
+  "fig10_avg_probability"
+  "fig10_avg_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_avg_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

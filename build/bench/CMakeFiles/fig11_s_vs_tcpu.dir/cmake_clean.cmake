@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_s_vs_tcpu.dir/fig11_s_vs_tcpu.cpp.o"
+  "CMakeFiles/fig11_s_vs_tcpu.dir/fig11_s_vs_tcpu.cpp.o.d"
+  "fig11_s_vs_tcpu"
+  "fig11_s_vs_tcpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_s_vs_tcpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

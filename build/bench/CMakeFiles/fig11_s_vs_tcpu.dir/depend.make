@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_s_vs_tcpu.
+# This may be replaced when dependencies are built.

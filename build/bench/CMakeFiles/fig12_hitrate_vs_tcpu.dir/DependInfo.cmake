@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig12_hitrate_vs_tcpu.cpp" "bench/CMakeFiles/fig12_hitrate_vs_tcpu.dir/fig12_hitrate_vs_tcpu.cpp.o" "gcc" "bench/CMakeFiles/fig12_hitrate_vs_tcpu.dir/fig12_hitrate_vs_tcpu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/pfp_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

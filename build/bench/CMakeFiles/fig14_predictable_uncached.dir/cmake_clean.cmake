@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_predictable_uncached.dir/fig14_predictable_uncached.cpp.o"
+  "CMakeFiles/fig14_predictable_uncached.dir/fig14_predictable_uncached.cpp.o.d"
+  "fig14_predictable_uncached"
+  "fig14_predictable_uncached.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_predictable_uncached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

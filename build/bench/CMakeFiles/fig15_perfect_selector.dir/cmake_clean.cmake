@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_perfect_selector.dir/fig15_perfect_selector.cpp.o"
+  "CMakeFiles/fig15_perfect_selector.dir/fig15_perfect_selector.cpp.o.d"
+  "fig15_perfect_selector"
+  "fig15_perfect_selector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_perfect_selector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_lvc_cached.dir/fig16_lvc_cached.cpp.o"
+  "CMakeFiles/fig16_lvc_cached.dir/fig16_lvc_cached.cpp.o.d"
+  "fig16_lvc_cached"
+  "fig16_lvc_cached.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_lvc_cached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_parametric.dir/fig17_parametric.cpp.o"
+  "CMakeFiles/fig17_parametric.dir/fig17_parametric.cpp.o.d"
+  "fig17_parametric"
+  "fig17_parametric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_parametric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfp_bench_common.dir/common.cpp.o"
+  "CMakeFiles/pfp_bench_common.dir/common.cpp.o.d"
+  "libpfp_bench_common.a"
+  "libpfp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpfp_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_traces.dir/tab01_traces.cpp.o"
+  "CMakeFiles/tab01_traces.dir/tab01_traces.cpp.o.d"
+  "tab01_traces"
+  "tab01_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

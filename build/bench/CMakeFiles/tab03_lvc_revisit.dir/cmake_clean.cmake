@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_lvc_revisit.dir/tab03_lvc_revisit.cpp.o"
+  "CMakeFiles/tab03_lvc_revisit.dir/tab03_lvc_revisit.cpp.o.d"
+  "tab03_lvc_revisit"
+  "tab03_lvc_revisit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_lvc_revisit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_threshold_sweep.dir/tab04_threshold_sweep.cpp.o"
+  "CMakeFiles/tab04_threshold_sweep.dir/tab04_threshold_sweep.cpp.o.d"
+  "tab04_threshold_sweep"
+  "tab04_threshold_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_threshold_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_readahead.dir/adaptive_readahead.cpp.o"
+  "CMakeFiles/adaptive_readahead.dir/adaptive_readahead.cpp.o.d"
+  "adaptive_readahead"
+  "adaptive_readahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_readahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cad_replay.dir/cad_replay.cpp.o"
+  "CMakeFiles/cad_replay.dir/cad_replay.cpp.o.d"
+  "cad_replay"
+  "cad_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cad_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

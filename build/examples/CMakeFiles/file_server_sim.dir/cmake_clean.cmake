@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_server_sim.dir/file_server_sim.cpp.o"
+  "CMakeFiles/file_server_sim.dir/file_server_sim.cpp.o.d"
+  "file_server_sim"
+  "file_server_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_server_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_prefetcher.dir/online_prefetcher.cpp.o"
+  "CMakeFiles/online_prefetcher.dir/online_prefetcher.cpp.o.d"
+  "online_prefetcher"
+  "online_prefetcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_prefetcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

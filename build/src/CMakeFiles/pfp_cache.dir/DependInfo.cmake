@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/buffer_cache.cpp" "src/CMakeFiles/pfp_cache.dir/cache/buffer_cache.cpp.o" "gcc" "src/CMakeFiles/pfp_cache.dir/cache/buffer_cache.cpp.o.d"
+  "/root/repo/src/cache/demand_cache.cpp" "src/CMakeFiles/pfp_cache.dir/cache/demand_cache.cpp.o" "gcc" "src/CMakeFiles/pfp_cache.dir/cache/demand_cache.cpp.o.d"
+  "/root/repo/src/cache/disk_model.cpp" "src/CMakeFiles/pfp_cache.dir/cache/disk_model.cpp.o" "gcc" "src/CMakeFiles/pfp_cache.dir/cache/disk_model.cpp.o.d"
+  "/root/repo/src/cache/lru_cache.cpp" "src/CMakeFiles/pfp_cache.dir/cache/lru_cache.cpp.o" "gcc" "src/CMakeFiles/pfp_cache.dir/cache/lru_cache.cpp.o.d"
+  "/root/repo/src/cache/prefetch_cache.cpp" "src/CMakeFiles/pfp_cache.dir/cache/prefetch_cache.cpp.o" "gcc" "src/CMakeFiles/pfp_cache.dir/cache/prefetch_cache.cpp.o.d"
+  "/root/repo/src/cache/stack_distance.cpp" "src/CMakeFiles/pfp_cache.dir/cache/stack_distance.cpp.o" "gcc" "src/CMakeFiles/pfp_cache.dir/cache/stack_distance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

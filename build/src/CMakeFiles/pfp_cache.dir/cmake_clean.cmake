@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfp_cache.dir/cache/buffer_cache.cpp.o"
+  "CMakeFiles/pfp_cache.dir/cache/buffer_cache.cpp.o.d"
+  "CMakeFiles/pfp_cache.dir/cache/demand_cache.cpp.o"
+  "CMakeFiles/pfp_cache.dir/cache/demand_cache.cpp.o.d"
+  "CMakeFiles/pfp_cache.dir/cache/disk_model.cpp.o"
+  "CMakeFiles/pfp_cache.dir/cache/disk_model.cpp.o.d"
+  "CMakeFiles/pfp_cache.dir/cache/lru_cache.cpp.o"
+  "CMakeFiles/pfp_cache.dir/cache/lru_cache.cpp.o.d"
+  "CMakeFiles/pfp_cache.dir/cache/prefetch_cache.cpp.o"
+  "CMakeFiles/pfp_cache.dir/cache/prefetch_cache.cpp.o.d"
+  "CMakeFiles/pfp_cache.dir/cache/stack_distance.cpp.o"
+  "CMakeFiles/pfp_cache.dir/cache/stack_distance.cpp.o.d"
+  "libpfp_cache.a"
+  "libpfp_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfp_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/costben/equations.cpp" "src/CMakeFiles/pfp_core.dir/core/costben/equations.cpp.o" "gcc" "src/CMakeFiles/pfp_core.dir/core/costben/equations.cpp.o.d"
+  "/root/repo/src/core/costben/estimator.cpp" "src/CMakeFiles/pfp_core.dir/core/costben/estimator.cpp.o" "gcc" "src/CMakeFiles/pfp_core.dir/core/costben/estimator.cpp.o.d"
+  "/root/repo/src/core/policy/eviction.cpp" "src/CMakeFiles/pfp_core.dir/core/policy/eviction.cpp.o" "gcc" "src/CMakeFiles/pfp_core.dir/core/policy/eviction.cpp.o.d"
+  "/root/repo/src/core/policy/factory.cpp" "src/CMakeFiles/pfp_core.dir/core/policy/factory.cpp.o" "gcc" "src/CMakeFiles/pfp_core.dir/core/policy/factory.cpp.o.d"
+  "/root/repo/src/core/policy/next_limit.cpp" "src/CMakeFiles/pfp_core.dir/core/policy/next_limit.cpp.o" "gcc" "src/CMakeFiles/pfp_core.dir/core/policy/next_limit.cpp.o.d"
+  "/root/repo/src/core/policy/no_prefetch.cpp" "src/CMakeFiles/pfp_core.dir/core/policy/no_prefetch.cpp.o" "gcc" "src/CMakeFiles/pfp_core.dir/core/policy/no_prefetch.cpp.o.d"
+  "/root/repo/src/core/policy/obl.cpp" "src/CMakeFiles/pfp_core.dir/core/policy/obl.cpp.o" "gcc" "src/CMakeFiles/pfp_core.dir/core/policy/obl.cpp.o.d"
+  "/root/repo/src/core/policy/perfect_selector.cpp" "src/CMakeFiles/pfp_core.dir/core/policy/perfect_selector.cpp.o" "gcc" "src/CMakeFiles/pfp_core.dir/core/policy/perfect_selector.cpp.o.d"
+  "/root/repo/src/core/policy/prefetcher.cpp" "src/CMakeFiles/pfp_core.dir/core/policy/prefetcher.cpp.o" "gcc" "src/CMakeFiles/pfp_core.dir/core/policy/prefetcher.cpp.o.d"
+  "/root/repo/src/core/policy/prob_graph.cpp" "src/CMakeFiles/pfp_core.dir/core/policy/prob_graph.cpp.o" "gcc" "src/CMakeFiles/pfp_core.dir/core/policy/prob_graph.cpp.o.d"
+  "/root/repo/src/core/policy/tree_adaptive.cpp" "src/CMakeFiles/pfp_core.dir/core/policy/tree_adaptive.cpp.o" "gcc" "src/CMakeFiles/pfp_core.dir/core/policy/tree_adaptive.cpp.o.d"
+  "/root/repo/src/core/policy/tree_base.cpp" "src/CMakeFiles/pfp_core.dir/core/policy/tree_base.cpp.o" "gcc" "src/CMakeFiles/pfp_core.dir/core/policy/tree_base.cpp.o.d"
+  "/root/repo/src/core/policy/tree_children.cpp" "src/CMakeFiles/pfp_core.dir/core/policy/tree_children.cpp.o" "gcc" "src/CMakeFiles/pfp_core.dir/core/policy/tree_children.cpp.o.d"
+  "/root/repo/src/core/policy/tree_lvc.cpp" "src/CMakeFiles/pfp_core.dir/core/policy/tree_lvc.cpp.o" "gcc" "src/CMakeFiles/pfp_core.dir/core/policy/tree_lvc.cpp.o.d"
+  "/root/repo/src/core/policy/tree_next_limit.cpp" "src/CMakeFiles/pfp_core.dir/core/policy/tree_next_limit.cpp.o" "gcc" "src/CMakeFiles/pfp_core.dir/core/policy/tree_next_limit.cpp.o.d"
+  "/root/repo/src/core/policy/tree_policy.cpp" "src/CMakeFiles/pfp_core.dir/core/policy/tree_policy.cpp.o" "gcc" "src/CMakeFiles/pfp_core.dir/core/policy/tree_policy.cpp.o.d"
+  "/root/repo/src/core/policy/tree_threshold.cpp" "src/CMakeFiles/pfp_core.dir/core/policy/tree_threshold.cpp.o" "gcc" "src/CMakeFiles/pfp_core.dir/core/policy/tree_threshold.cpp.o.d"
+  "/root/repo/src/core/tree/enumerator.cpp" "src/CMakeFiles/pfp_core.dir/core/tree/enumerator.cpp.o" "gcc" "src/CMakeFiles/pfp_core.dir/core/tree/enumerator.cpp.o.d"
+  "/root/repo/src/core/tree/node_pool.cpp" "src/CMakeFiles/pfp_core.dir/core/tree/node_pool.cpp.o" "gcc" "src/CMakeFiles/pfp_core.dir/core/tree/node_pool.cpp.o.d"
+  "/root/repo/src/core/tree/predictability.cpp" "src/CMakeFiles/pfp_core.dir/core/tree/predictability.cpp.o" "gcc" "src/CMakeFiles/pfp_core.dir/core/tree/predictability.cpp.o.d"
+  "/root/repo/src/core/tree/prefetch_tree.cpp" "src/CMakeFiles/pfp_core.dir/core/tree/prefetch_tree.cpp.o" "gcc" "src/CMakeFiles/pfp_core.dir/core/tree/prefetch_tree.cpp.o.d"
+  "/root/repo/src/core/tree/serialize.cpp" "src/CMakeFiles/pfp_core.dir/core/tree/serialize.cpp.o" "gcc" "src/CMakeFiles/pfp_core.dir/core/tree/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/experiment.cpp" "src/CMakeFiles/pfp_sim.dir/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/pfp_sim.dir/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/pfp_sim.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/pfp_sim.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/online_session.cpp" "src/CMakeFiles/pfp_sim.dir/sim/online_session.cpp.o" "gcc" "src/CMakeFiles/pfp_sim.dir/sim/online_session.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/CMakeFiles/pfp_sim.dir/sim/report.cpp.o" "gcc" "src/CMakeFiles/pfp_sim.dir/sim/report.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/pfp_sim.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/pfp_sim.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/sweep.cpp" "src/CMakeFiles/pfp_sim.dir/sim/sweep.cpp.o" "gcc" "src/CMakeFiles/pfp_sim.dir/sim/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

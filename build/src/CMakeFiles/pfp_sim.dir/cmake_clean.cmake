@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfp_sim.dir/sim/experiment.cpp.o"
+  "CMakeFiles/pfp_sim.dir/sim/experiment.cpp.o.d"
+  "CMakeFiles/pfp_sim.dir/sim/metrics.cpp.o"
+  "CMakeFiles/pfp_sim.dir/sim/metrics.cpp.o.d"
+  "CMakeFiles/pfp_sim.dir/sim/online_session.cpp.o"
+  "CMakeFiles/pfp_sim.dir/sim/online_session.cpp.o.d"
+  "CMakeFiles/pfp_sim.dir/sim/report.cpp.o"
+  "CMakeFiles/pfp_sim.dir/sim/report.cpp.o.d"
+  "CMakeFiles/pfp_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/pfp_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/pfp_sim.dir/sim/sweep.cpp.o"
+  "CMakeFiles/pfp_sim.dir/sim/sweep.cpp.o.d"
+  "libpfp_sim.a"
+  "libpfp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

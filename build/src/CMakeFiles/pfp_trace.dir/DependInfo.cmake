@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/characterize.cpp" "src/CMakeFiles/pfp_trace.dir/trace/characterize.cpp.o" "gcc" "src/CMakeFiles/pfp_trace.dir/trace/characterize.cpp.o.d"
+  "/root/repo/src/trace/gen_cad.cpp" "src/CMakeFiles/pfp_trace.dir/trace/gen_cad.cpp.o" "gcc" "src/CMakeFiles/pfp_trace.dir/trace/gen_cad.cpp.o.d"
+  "/root/repo/src/trace/gen_fileserver.cpp" "src/CMakeFiles/pfp_trace.dir/trace/gen_fileserver.cpp.o" "gcc" "src/CMakeFiles/pfp_trace.dir/trace/gen_fileserver.cpp.o.d"
+  "/root/repo/src/trace/gen_sequential.cpp" "src/CMakeFiles/pfp_trace.dir/trace/gen_sequential.cpp.o" "gcc" "src/CMakeFiles/pfp_trace.dir/trace/gen_sequential.cpp.o.d"
+  "/root/repo/src/trace/gen_timeshare.cpp" "src/CMakeFiles/pfp_trace.dir/trace/gen_timeshare.cpp.o" "gcc" "src/CMakeFiles/pfp_trace.dir/trace/gen_timeshare.cpp.o.d"
+  "/root/repo/src/trace/l1_filter.cpp" "src/CMakeFiles/pfp_trace.dir/trace/l1_filter.cpp.o" "gcc" "src/CMakeFiles/pfp_trace.dir/trace/l1_filter.cpp.o.d"
+  "/root/repo/src/trace/reader.cpp" "src/CMakeFiles/pfp_trace.dir/trace/reader.cpp.o" "gcc" "src/CMakeFiles/pfp_trace.dir/trace/reader.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/pfp_trace.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/pfp_trace.dir/trace/trace.cpp.o.d"
+  "/root/repo/src/trace/workloads.cpp" "src/CMakeFiles/pfp_trace.dir/trace/workloads.cpp.o" "gcc" "src/CMakeFiles/pfp_trace.dir/trace/workloads.cpp.o.d"
+  "/root/repo/src/trace/writer.cpp" "src/CMakeFiles/pfp_trace.dir/trace/writer.cpp.o" "gcc" "src/CMakeFiles/pfp_trace.dir/trace/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

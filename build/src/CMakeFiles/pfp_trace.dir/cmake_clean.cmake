@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfp_trace.dir/trace/characterize.cpp.o"
+  "CMakeFiles/pfp_trace.dir/trace/characterize.cpp.o.d"
+  "CMakeFiles/pfp_trace.dir/trace/gen_cad.cpp.o"
+  "CMakeFiles/pfp_trace.dir/trace/gen_cad.cpp.o.d"
+  "CMakeFiles/pfp_trace.dir/trace/gen_fileserver.cpp.o"
+  "CMakeFiles/pfp_trace.dir/trace/gen_fileserver.cpp.o.d"
+  "CMakeFiles/pfp_trace.dir/trace/gen_sequential.cpp.o"
+  "CMakeFiles/pfp_trace.dir/trace/gen_sequential.cpp.o.d"
+  "CMakeFiles/pfp_trace.dir/trace/gen_timeshare.cpp.o"
+  "CMakeFiles/pfp_trace.dir/trace/gen_timeshare.cpp.o.d"
+  "CMakeFiles/pfp_trace.dir/trace/l1_filter.cpp.o"
+  "CMakeFiles/pfp_trace.dir/trace/l1_filter.cpp.o.d"
+  "CMakeFiles/pfp_trace.dir/trace/reader.cpp.o"
+  "CMakeFiles/pfp_trace.dir/trace/reader.cpp.o.d"
+  "CMakeFiles/pfp_trace.dir/trace/trace.cpp.o"
+  "CMakeFiles/pfp_trace.dir/trace/trace.cpp.o.d"
+  "CMakeFiles/pfp_trace.dir/trace/workloads.cpp.o"
+  "CMakeFiles/pfp_trace.dir/trace/workloads.cpp.o.d"
+  "CMakeFiles/pfp_trace.dir/trace/writer.cpp.o"
+  "CMakeFiles/pfp_trace.dir/trace/writer.cpp.o.d"
+  "libpfp_trace.a"
+  "libpfp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

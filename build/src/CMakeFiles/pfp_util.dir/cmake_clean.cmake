@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfp_util.dir/util/csv.cpp.o"
+  "CMakeFiles/pfp_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/pfp_util.dir/util/histogram.cpp.o"
+  "CMakeFiles/pfp_util.dir/util/histogram.cpp.o.d"
+  "CMakeFiles/pfp_util.dir/util/logging.cpp.o"
+  "CMakeFiles/pfp_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/pfp_util.dir/util/options.cpp.o"
+  "CMakeFiles/pfp_util.dir/util/options.cpp.o.d"
+  "CMakeFiles/pfp_util.dir/util/prng.cpp.o"
+  "CMakeFiles/pfp_util.dir/util/prng.cpp.o.d"
+  "CMakeFiles/pfp_util.dir/util/stats.cpp.o"
+  "CMakeFiles/pfp_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/pfp_util.dir/util/string_utils.cpp.o"
+  "CMakeFiles/pfp_util.dir/util/string_utils.cpp.o.d"
+  "CMakeFiles/pfp_util.dir/util/table.cpp.o"
+  "CMakeFiles/pfp_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/pfp_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/pfp_util.dir/util/thread_pool.cpp.o.d"
+  "CMakeFiles/pfp_util.dir/util/zipf.cpp.o"
+  "CMakeFiles/pfp_util.dir/util/zipf.cpp.o.d"
+  "libpfp_util.a"
+  "libpfp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpfp_util.a"
+)

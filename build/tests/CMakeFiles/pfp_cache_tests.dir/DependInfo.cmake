@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache/buffer_cache_test.cpp" "tests/CMakeFiles/pfp_cache_tests.dir/cache/buffer_cache_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_cache_tests.dir/cache/buffer_cache_test.cpp.o.d"
+  "/root/repo/tests/cache/demand_cache_test.cpp" "tests/CMakeFiles/pfp_cache_tests.dir/cache/demand_cache_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_cache_tests.dir/cache/demand_cache_test.cpp.o.d"
+  "/root/repo/tests/cache/disk_model_test.cpp" "tests/CMakeFiles/pfp_cache_tests.dir/cache/disk_model_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_cache_tests.dir/cache/disk_model_test.cpp.o.d"
+  "/root/repo/tests/cache/lru_cache_test.cpp" "tests/CMakeFiles/pfp_cache_tests.dir/cache/lru_cache_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_cache_tests.dir/cache/lru_cache_test.cpp.o.d"
+  "/root/repo/tests/cache/prefetch_cache_test.cpp" "tests/CMakeFiles/pfp_cache_tests.dir/cache/prefetch_cache_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_cache_tests.dir/cache/prefetch_cache_test.cpp.o.d"
+  "/root/repo/tests/cache/stack_distance_test.cpp" "tests/CMakeFiles/pfp_cache_tests.dir/cache/stack_distance_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_cache_tests.dir/cache/stack_distance_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfp_cache_tests.dir/cache/buffer_cache_test.cpp.o"
+  "CMakeFiles/pfp_cache_tests.dir/cache/buffer_cache_test.cpp.o.d"
+  "CMakeFiles/pfp_cache_tests.dir/cache/demand_cache_test.cpp.o"
+  "CMakeFiles/pfp_cache_tests.dir/cache/demand_cache_test.cpp.o.d"
+  "CMakeFiles/pfp_cache_tests.dir/cache/disk_model_test.cpp.o"
+  "CMakeFiles/pfp_cache_tests.dir/cache/disk_model_test.cpp.o.d"
+  "CMakeFiles/pfp_cache_tests.dir/cache/lru_cache_test.cpp.o"
+  "CMakeFiles/pfp_cache_tests.dir/cache/lru_cache_test.cpp.o.d"
+  "CMakeFiles/pfp_cache_tests.dir/cache/prefetch_cache_test.cpp.o"
+  "CMakeFiles/pfp_cache_tests.dir/cache/prefetch_cache_test.cpp.o.d"
+  "CMakeFiles/pfp_cache_tests.dir/cache/stack_distance_test.cpp.o"
+  "CMakeFiles/pfp_cache_tests.dir/cache/stack_distance_test.cpp.o.d"
+  "pfp_cache_tests"
+  "pfp_cache_tests.pdb"
+  "pfp_cache_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfp_cache_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/enumerator_test.cpp" "tests/CMakeFiles/pfp_core_tests.dir/core/enumerator_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_core_tests.dir/core/enumerator_test.cpp.o.d"
+  "/root/repo/tests/core/equations_property_test.cpp" "tests/CMakeFiles/pfp_core_tests.dir/core/equations_property_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_core_tests.dir/core/equations_property_test.cpp.o.d"
+  "/root/repo/tests/core/equations_test.cpp" "tests/CMakeFiles/pfp_core_tests.dir/core/equations_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_core_tests.dir/core/equations_test.cpp.o.d"
+  "/root/repo/tests/core/estimator_test.cpp" "tests/CMakeFiles/pfp_core_tests.dir/core/estimator_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_core_tests.dir/core/estimator_test.cpp.o.d"
+  "/root/repo/tests/core/eviction_test.cpp" "tests/CMakeFiles/pfp_core_tests.dir/core/eviction_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_core_tests.dir/core/eviction_test.cpp.o.d"
+  "/root/repo/tests/core/node_pool_test.cpp" "tests/CMakeFiles/pfp_core_tests.dir/core/node_pool_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_core_tests.dir/core/node_pool_test.cpp.o.d"
+  "/root/repo/tests/core/obl_test.cpp" "tests/CMakeFiles/pfp_core_tests.dir/core/obl_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_core_tests.dir/core/obl_test.cpp.o.d"
+  "/root/repo/tests/core/policies_test.cpp" "tests/CMakeFiles/pfp_core_tests.dir/core/policies_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_core_tests.dir/core/policies_test.cpp.o.d"
+  "/root/repo/tests/core/predictability_test.cpp" "tests/CMakeFiles/pfp_core_tests.dir/core/predictability_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_core_tests.dir/core/predictability_test.cpp.o.d"
+  "/root/repo/tests/core/prefetch_tree_test.cpp" "tests/CMakeFiles/pfp_core_tests.dir/core/prefetch_tree_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_core_tests.dir/core/prefetch_tree_test.cpp.o.d"
+  "/root/repo/tests/core/prob_graph_test.cpp" "tests/CMakeFiles/pfp_core_tests.dir/core/prob_graph_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_core_tests.dir/core/prob_graph_test.cpp.o.d"
+  "/root/repo/tests/core/serialize_test.cpp" "tests/CMakeFiles/pfp_core_tests.dir/core/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_core_tests.dir/core/serialize_test.cpp.o.d"
+  "/root/repo/tests/core/tree_adaptive_test.cpp" "tests/CMakeFiles/pfp_core_tests.dir/core/tree_adaptive_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_core_tests.dir/core/tree_adaptive_test.cpp.o.d"
+  "/root/repo/tests/core/tree_base_test.cpp" "tests/CMakeFiles/pfp_core_tests.dir/core/tree_base_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_core_tests.dir/core/tree_base_test.cpp.o.d"
+  "/root/repo/tests/core/tree_knobs_test.cpp" "tests/CMakeFiles/pfp_core_tests.dir/core/tree_knobs_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_core_tests.dir/core/tree_knobs_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

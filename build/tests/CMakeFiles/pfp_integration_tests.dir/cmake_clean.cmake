@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfp_integration_tests.dir/integration/end_to_end_test.cpp.o"
+  "CMakeFiles/pfp_integration_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "CMakeFiles/pfp_integration_tests.dir/integration/properties_test.cpp.o"
+  "CMakeFiles/pfp_integration_tests.dir/integration/properties_test.cpp.o.d"
+  "CMakeFiles/pfp_integration_tests.dir/integration/seed_robustness_test.cpp.o"
+  "CMakeFiles/pfp_integration_tests.dir/integration/seed_robustness_test.cpp.o.d"
+  "pfp_integration_tests"
+  "pfp_integration_tests.pdb"
+  "pfp_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfp_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/disk_sim_test.cpp" "tests/CMakeFiles/pfp_sim_tests.dir/sim/disk_sim_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_sim_tests.dir/sim/disk_sim_test.cpp.o.d"
+  "/root/repo/tests/sim/experiment_test.cpp" "tests/CMakeFiles/pfp_sim_tests.dir/sim/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_sim_tests.dir/sim/experiment_test.cpp.o.d"
+  "/root/repo/tests/sim/invariants_test.cpp" "tests/CMakeFiles/pfp_sim_tests.dir/sim/invariants_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_sim_tests.dir/sim/invariants_test.cpp.o.d"
+  "/root/repo/tests/sim/metrics_test.cpp" "tests/CMakeFiles/pfp_sim_tests.dir/sim/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_sim_tests.dir/sim/metrics_test.cpp.o.d"
+  "/root/repo/tests/sim/online_session_test.cpp" "tests/CMakeFiles/pfp_sim_tests.dir/sim/online_session_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_sim_tests.dir/sim/online_session_test.cpp.o.d"
+  "/root/repo/tests/sim/report_test.cpp" "tests/CMakeFiles/pfp_sim_tests.dir/sim/report_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_sim_tests.dir/sim/report_test.cpp.o.d"
+  "/root/repo/tests/sim/simulator_test.cpp" "tests/CMakeFiles/pfp_sim_tests.dir/sim/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_sim_tests.dir/sim/simulator_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfp_sim_tests.dir/sim/disk_sim_test.cpp.o"
+  "CMakeFiles/pfp_sim_tests.dir/sim/disk_sim_test.cpp.o.d"
+  "CMakeFiles/pfp_sim_tests.dir/sim/experiment_test.cpp.o"
+  "CMakeFiles/pfp_sim_tests.dir/sim/experiment_test.cpp.o.d"
+  "CMakeFiles/pfp_sim_tests.dir/sim/invariants_test.cpp.o"
+  "CMakeFiles/pfp_sim_tests.dir/sim/invariants_test.cpp.o.d"
+  "CMakeFiles/pfp_sim_tests.dir/sim/metrics_test.cpp.o"
+  "CMakeFiles/pfp_sim_tests.dir/sim/metrics_test.cpp.o.d"
+  "CMakeFiles/pfp_sim_tests.dir/sim/online_session_test.cpp.o"
+  "CMakeFiles/pfp_sim_tests.dir/sim/online_session_test.cpp.o.d"
+  "CMakeFiles/pfp_sim_tests.dir/sim/report_test.cpp.o"
+  "CMakeFiles/pfp_sim_tests.dir/sim/report_test.cpp.o.d"
+  "CMakeFiles/pfp_sim_tests.dir/sim/simulator_test.cpp.o"
+  "CMakeFiles/pfp_sim_tests.dir/sim/simulator_test.cpp.o.d"
+  "pfp_sim_tests"
+  "pfp_sim_tests.pdb"
+  "pfp_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfp_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

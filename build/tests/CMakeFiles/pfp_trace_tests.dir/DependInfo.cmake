@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/characterize_test.cpp" "tests/CMakeFiles/pfp_trace_tests.dir/trace/characterize_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_trace_tests.dir/trace/characterize_test.cpp.o.d"
+  "/root/repo/tests/trace/generators_test.cpp" "tests/CMakeFiles/pfp_trace_tests.dir/trace/generators_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_trace_tests.dir/trace/generators_test.cpp.o.d"
+  "/root/repo/tests/trace/io_property_test.cpp" "tests/CMakeFiles/pfp_trace_tests.dir/trace/io_property_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_trace_tests.dir/trace/io_property_test.cpp.o.d"
+  "/root/repo/tests/trace/io_test.cpp" "tests/CMakeFiles/pfp_trace_tests.dir/trace/io_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_trace_tests.dir/trace/io_test.cpp.o.d"
+  "/root/repo/tests/trace/l1_filter_test.cpp" "tests/CMakeFiles/pfp_trace_tests.dir/trace/l1_filter_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_trace_tests.dir/trace/l1_filter_test.cpp.o.d"
+  "/root/repo/tests/trace/trace_test.cpp" "tests/CMakeFiles/pfp_trace_tests.dir/trace/trace_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_trace_tests.dir/trace/trace_test.cpp.o.d"
+  "/root/repo/tests/trace/workloads_test.cpp" "tests/CMakeFiles/pfp_trace_tests.dir/trace/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_trace_tests.dir/trace/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfp_trace_tests.dir/trace/characterize_test.cpp.o"
+  "CMakeFiles/pfp_trace_tests.dir/trace/characterize_test.cpp.o.d"
+  "CMakeFiles/pfp_trace_tests.dir/trace/generators_test.cpp.o"
+  "CMakeFiles/pfp_trace_tests.dir/trace/generators_test.cpp.o.d"
+  "CMakeFiles/pfp_trace_tests.dir/trace/io_property_test.cpp.o"
+  "CMakeFiles/pfp_trace_tests.dir/trace/io_property_test.cpp.o.d"
+  "CMakeFiles/pfp_trace_tests.dir/trace/io_test.cpp.o"
+  "CMakeFiles/pfp_trace_tests.dir/trace/io_test.cpp.o.d"
+  "CMakeFiles/pfp_trace_tests.dir/trace/l1_filter_test.cpp.o"
+  "CMakeFiles/pfp_trace_tests.dir/trace/l1_filter_test.cpp.o.d"
+  "CMakeFiles/pfp_trace_tests.dir/trace/trace_test.cpp.o"
+  "CMakeFiles/pfp_trace_tests.dir/trace/trace_test.cpp.o.d"
+  "CMakeFiles/pfp_trace_tests.dir/trace/workloads_test.cpp.o"
+  "CMakeFiles/pfp_trace_tests.dir/trace/workloads_test.cpp.o.d"
+  "pfp_trace_tests"
+  "pfp_trace_tests.pdb"
+  "pfp_trace_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfp_trace_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/csv_test.cpp" "tests/CMakeFiles/pfp_util_tests.dir/util/csv_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_util_tests.dir/util/csv_test.cpp.o.d"
+  "/root/repo/tests/util/ewma_test.cpp" "tests/CMakeFiles/pfp_util_tests.dir/util/ewma_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_util_tests.dir/util/ewma_test.cpp.o.d"
+  "/root/repo/tests/util/histogram_test.cpp" "tests/CMakeFiles/pfp_util_tests.dir/util/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_util_tests.dir/util/histogram_test.cpp.o.d"
+  "/root/repo/tests/util/logging_test.cpp" "tests/CMakeFiles/pfp_util_tests.dir/util/logging_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_util_tests.dir/util/logging_test.cpp.o.d"
+  "/root/repo/tests/util/lru_list_test.cpp" "tests/CMakeFiles/pfp_util_tests.dir/util/lru_list_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_util_tests.dir/util/lru_list_test.cpp.o.d"
+  "/root/repo/tests/util/options_test.cpp" "tests/CMakeFiles/pfp_util_tests.dir/util/options_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_util_tests.dir/util/options_test.cpp.o.d"
+  "/root/repo/tests/util/prng_test.cpp" "tests/CMakeFiles/pfp_util_tests.dir/util/prng_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_util_tests.dir/util/prng_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/pfp_util_tests.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_util_tests.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/string_utils_test.cpp" "tests/CMakeFiles/pfp_util_tests.dir/util/string_utils_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_util_tests.dir/util/string_utils_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/pfp_util_tests.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_util_tests.dir/util/table_test.cpp.o.d"
+  "/root/repo/tests/util/thread_pool_test.cpp" "tests/CMakeFiles/pfp_util_tests.dir/util/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_util_tests.dir/util/thread_pool_test.cpp.o.d"
+  "/root/repo/tests/util/zipf_test.cpp" "tests/CMakeFiles/pfp_util_tests.dir/util/zipf_test.cpp.o" "gcc" "tests/CMakeFiles/pfp_util_tests.dir/util/zipf_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pfp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pfp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

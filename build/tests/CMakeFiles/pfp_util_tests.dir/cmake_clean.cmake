@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfp_util_tests.dir/util/csv_test.cpp.o"
+  "CMakeFiles/pfp_util_tests.dir/util/csv_test.cpp.o.d"
+  "CMakeFiles/pfp_util_tests.dir/util/ewma_test.cpp.o"
+  "CMakeFiles/pfp_util_tests.dir/util/ewma_test.cpp.o.d"
+  "CMakeFiles/pfp_util_tests.dir/util/histogram_test.cpp.o"
+  "CMakeFiles/pfp_util_tests.dir/util/histogram_test.cpp.o.d"
+  "CMakeFiles/pfp_util_tests.dir/util/logging_test.cpp.o"
+  "CMakeFiles/pfp_util_tests.dir/util/logging_test.cpp.o.d"
+  "CMakeFiles/pfp_util_tests.dir/util/lru_list_test.cpp.o"
+  "CMakeFiles/pfp_util_tests.dir/util/lru_list_test.cpp.o.d"
+  "CMakeFiles/pfp_util_tests.dir/util/options_test.cpp.o"
+  "CMakeFiles/pfp_util_tests.dir/util/options_test.cpp.o.d"
+  "CMakeFiles/pfp_util_tests.dir/util/prng_test.cpp.o"
+  "CMakeFiles/pfp_util_tests.dir/util/prng_test.cpp.o.d"
+  "CMakeFiles/pfp_util_tests.dir/util/stats_test.cpp.o"
+  "CMakeFiles/pfp_util_tests.dir/util/stats_test.cpp.o.d"
+  "CMakeFiles/pfp_util_tests.dir/util/string_utils_test.cpp.o"
+  "CMakeFiles/pfp_util_tests.dir/util/string_utils_test.cpp.o.d"
+  "CMakeFiles/pfp_util_tests.dir/util/table_test.cpp.o"
+  "CMakeFiles/pfp_util_tests.dir/util/table_test.cpp.o.d"
+  "CMakeFiles/pfp_util_tests.dir/util/thread_pool_test.cpp.o"
+  "CMakeFiles/pfp_util_tests.dir/util/thread_pool_test.cpp.o.d"
+  "CMakeFiles/pfp_util_tests.dir/util/zipf_test.cpp.o"
+  "CMakeFiles/pfp_util_tests.dir/util/zipf_test.cpp.o.d"
+  "pfp_util_tests"
+  "pfp_util_tests.pdb"
+  "pfp_util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfp_util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/pfp_util_tests[1]_include.cmake")
+include("/root/repo/build/tests/pfp_trace_tests[1]_include.cmake")
+include("/root/repo/build/tests/pfp_cache_tests[1]_include.cmake")
+include("/root/repo/build/tests/pfp_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/pfp_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/pfp_integration_tests[1]_include.cmake")
