@@ -53,6 +53,27 @@ void BM_TreeParseBounded(benchmark::State& state) {
 BENCHMARK(BM_TreeParseBounded)->Arg(4096)->Arg(32768)
     ->Unit(benchmark::kMillisecond);
 
+void BM_EdgeLookup(benchmark::State& state) {
+  const auto& t = cad_trace();
+  core::tree::PrefetchTree tree;
+  for (const auto& r : t) {
+    tree.access(r.block);
+  }
+  util::Xoshiro256 rng(3);
+  std::vector<trace::BlockId> probes;
+  probes.reserve(4096);
+  for (int i = 0; i < 4096; ++i) {
+    probes.push_back(t[rng.below(t.size())].block);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.find_child(tree.root(), probes[i++ & 4095]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EdgeLookup);
+
 void BM_EnumerateCandidates(benchmark::State& state) {
   const auto& t = cad_trace();
   core::tree::PrefetchTree tree;
@@ -69,8 +90,31 @@ void BM_EnumerateCandidates(benchmark::State& state) {
         core::tree::enumerate_candidates(tree, tree.current(), limits));
     ++i;
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_EnumerateCandidates);
+
+void BM_EnumerateCandidatesReuse(benchmark::State& state) {
+  // Same walk as BM_EnumerateCandidates but through one reused
+  // CandidateEnumerator, i.e. the policy hot path's allocation-free mode;
+  // the gap between the two benchmarks is the one-shot setup cost.
+  const auto& t = cad_trace();
+  core::tree::PrefetchTree tree;
+  for (const auto& r : t) {
+    tree.access(r.block);
+  }
+  core::tree::EnumeratorLimits limits;
+  core::tree::CandidateEnumerator enumerator;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    tree.access(t[i % t.size()].block);
+    benchmark::DoNotOptimize(
+        enumerator.enumerate(tree, tree.current(), limits));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EnumerateCandidatesReuse);
 
 void BM_LruCacheAccess(benchmark::State& state) {
   cache::LruCache cache(static_cast<std::size_t>(state.range(0)));
@@ -78,6 +122,7 @@ void BM_LruCacheAccess(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(cache.access(rng.below(100'000)));
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_LruCacheAccess)->Arg(1024)->Arg(16384);
 
@@ -90,6 +135,7 @@ void BM_DemandCacheHitWithDepth(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(cache.access(rng.below(1024)));
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_DemandCacheHitWithDepth);
 
@@ -112,6 +158,7 @@ BENCHMARK(BM_SimulatorThroughput)
     ->Arg(static_cast<int>(core::policy::PolicyKind::kNextLimit))
     ->Arg(static_cast<int>(core::policy::PolicyKind::kTree))
     ->Arg(static_cast<int>(core::policy::PolicyKind::kTreeNextLimit))
+    ->Arg(static_cast<int>(core::policy::PolicyKind::kTreeThreshold))
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

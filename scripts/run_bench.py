@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Run the microbenchmarks and snapshot items/sec into BENCH_NN.json.
+
+Runs build/bench/micro_benchmarks with --benchmark_format=json and distils
+the result into a flat {benchmark name: items per second} snapshot at the
+repo root, so every PR leaves a comparable perf-trajectory data point.
+
+Usage:
+    scripts/run_bench.py                   # writes BENCH_01.json (default)
+    scripts/run_bench.py --out BENCH_02.json
+    scripts/run_bench.py --filter 'BM_Simulator.*'
+    scripts/run_bench.py --compare BENCH_01.json   # diff, don't write
+
+Comparisons print per-benchmark speedup of the fresh run over the named
+snapshot and exit non-zero if any benchmark regressed by more than
+--tolerance (default 10%), which makes the script usable as a local
+regression gate: scripts/run_bench.py --compare BENCH_01.json
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_BINARY = REPO_ROOT / "build" / "bench" / "micro_benchmarks"
+DEFAULT_OUT = REPO_ROOT / "BENCH_01.json"
+
+
+def run_benchmarks(binary: pathlib.Path, bench_filter: str | None) -> dict:
+    cmd = [str(binary), "--benchmark_format=json"]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    proc = subprocess.run(cmd, capture_output=True, text=True, check=True)
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        # e.g. a --filter that matches nothing makes the binary print a
+        # warning instead of JSON (and still exit 0).
+        print(proc.stdout.strip() or proc.stderr.strip(), file=sys.stderr)
+        sys.exit(2)
+
+
+def snapshot(raw: dict) -> dict:
+    """Flatten google-benchmark JSON to {name: items_per_second}."""
+    out = {}
+    for bench in raw.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench["name"]
+        label = bench.get("label")
+        if label:
+            name = f"{name}[{label}]"
+        ips = bench.get("items_per_second")
+        if ips is None:
+            # Fall back to inverse wall time so every benchmark lands in
+            # the snapshot even if it forgot SetItemsProcessed.
+            unit = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}[
+                bench["time_unit"]
+            ]
+            ips = 1.0 / (bench["real_time"] * unit)
+        out[name] = ips
+    return out
+
+
+def compare(fresh: dict, baseline_path: pathlib.Path, tolerance: float) -> int:
+    if not baseline_path.exists():
+        print(f"snapshot not found: {baseline_path}", file=sys.stderr)
+        return 2
+    baseline = json.loads(baseline_path.read_text())["items_per_second"]
+    regressions = []
+    width = max(map(len, fresh), default=0)
+    for name, ips in sorted(fresh.items()):
+        base = baseline.get(name)
+        if base is None:
+            print(f"{name:{width}}  {ips:>14,.0f}  (new benchmark)")
+            continue
+        ratio = ips / base if base else float("inf")
+        marker = ""
+        if ratio < 1.0 - tolerance:
+            marker = "  << REGRESSION"
+            regressions.append(name)
+        print(f"{name:{width}}  {ips:>14,.0f}  vs {base:>14,.0f}"
+              f"  ({ratio:6.2%}){marker}")
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed more than "
+              f"{tolerance:.0%}: {', '.join(regressions)}")
+        return 1
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", type=pathlib.Path, default=DEFAULT_BINARY,
+                        help="micro_benchmarks binary (default: %(default)s)")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT,
+                        help="snapshot to write (default: %(default)s)")
+    parser.add_argument("--filter", default=None,
+                        help="google-benchmark regexp filter")
+    parser.add_argument("--compare", type=pathlib.Path, default=None,
+                        help="compare against this snapshot instead of "
+                             "writing one")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional slowdown before --compare "
+                             "fails (default: %(default)s)")
+    args = parser.parse_args()
+
+    if not args.binary.exists():
+        print(f"benchmark binary not found: {args.binary}\n"
+              f"build it first: cmake -B build -S . && "
+              f"cmake --build build -j", file=sys.stderr)
+        return 2
+
+    raw = run_benchmarks(args.binary, args.filter)
+    fresh = snapshot(raw)
+    if not fresh:
+        print("no benchmarks ran (bad --filter?)", file=sys.stderr)
+        return 2
+
+    if args.compare is not None:
+        return compare(fresh, args.compare, args.tolerance)
+
+    payload = {
+        "context": {
+            "host": raw.get("context", {}).get("host_name", "unknown"),
+            "num_cpus": raw.get("context", {}).get("num_cpus"),
+            "cpu_mhz": raw.get("context", {}).get("mhz_per_cpu"),
+            "library_build_type":
+                raw.get("context", {}).get("library_build_type"),
+            "date": raw.get("context", {}).get("date"),
+        },
+        "items_per_second": fresh,
+    }
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out} ({len(fresh)} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,10 +13,10 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "trace/record.hpp"
+#include "util/flat_map.hpp"
 #include "util/lru_list.hpp"
 
 namespace pfp::cache {
@@ -62,7 +62,7 @@ class DemandCache {
   std::vector<BlockId> slot_block_;
   std::vector<std::uint64_t> slot_time_;
   std::vector<std::uint32_t> free_slots_;
-  std::unordered_map<BlockId, std::uint32_t> map_;
+  util::FlatMap<BlockId, std::uint32_t> map_;
   util::LruList lru_;
 
   // Fenwick tree over timestamps within the current window.

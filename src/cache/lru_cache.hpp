@@ -6,10 +6,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "trace/record.hpp"
+#include "util/flat_map.hpp"
 #include "util/lru_list.hpp"
 
 namespace pfp::cache {
@@ -43,7 +43,7 @@ class LruCache {
   std::size_t capacity_;
   std::vector<BlockId> slot_block_;
   std::vector<std::uint32_t> free_slots_;
-  std::unordered_map<BlockId, std::uint32_t> map_;
+  util::FlatMap<BlockId, std::uint32_t> map_;
   util::LruList lru_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

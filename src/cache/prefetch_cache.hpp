@@ -17,10 +17,10 @@
 #include <cstdint>
 #include <optional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "trace/record.hpp"
+#include "util/flat_map.hpp"
 #include "util/lru_list.hpp"
 
 namespace pfp::cache {
@@ -93,7 +93,7 @@ class PrefetchCache {
   std::vector<PrefetchEntry> slots_;
   std::vector<std::uint64_t> slot_generation_;
   std::vector<std::uint32_t> free_slots_;
-  std::unordered_map<BlockId, std::uint32_t> map_;
+  util::FlatMap<BlockId, std::uint32_t> map_;
   util::LruList insert_lru_;  ///< all entries, insertion recency
   util::LruList obl_lru_;     ///< OBL entries only
   mutable std::priority_queue<HeapItem, std::vector<HeapItem>,

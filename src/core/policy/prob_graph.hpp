@@ -11,10 +11,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "core/policy/prefetcher.hpp"
+#include "util/flat_map.hpp"
 
 namespace pfp::core::policy {
 
@@ -54,7 +54,7 @@ class ProbGraph final : public Prefetcher {
   void record_transition(BlockId from, BlockId to);
 
   ProbGraphConfig config_;
-  std::unordered_map<BlockId, Node> graph_;
+  util::FlatMap<BlockId, Node> graph_;
   BlockId previous_ = 0;
   bool has_previous_ = false;
 };

@@ -74,8 +74,8 @@ void TreeCostBenefit::admit_tree_prefetch(Context& ctx,
 }
 
 std::uint32_t TreeCostBenefit::run_cost_benefit(Context& ctx) {
-  auto candidates = enumerate_candidates(tree_, tree_.current(),
-                                         config_.limits);
+  const auto candidates =
+      enumerator_.enumerate(tree_, tree_.current(), config_.limits);
   if (candidates.empty()) {
     return 0;
   }
@@ -83,8 +83,8 @@ std::uint32_t TreeCostBenefit::run_cost_benefit(Context& ctx) {
   // within the loop: evaluate once and process best-first.
   const double s = ctx.estimators.s();
   const double floor = probability_floor();
-  std::vector<std::pair<double, std::size_t>> order;
-  order.reserve(candidates.size());
+  order_.clear();
+  order_.reserve(candidates.size());
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     const auto& c = candidates[i];
     if (c.probability < floor) {
@@ -93,14 +93,14 @@ std::uint32_t TreeCostBenefit::run_cost_benefit(Context& ctx) {
     const double b = costben::benefit(ctx.timing, s, c.probability,
                                       c.parent_probability, c.depth);
     if (b > 0.0) {
-      order.emplace_back(b, i);
+      order_.emplace_back(b, i);
     }
   }
-  std::sort(order.begin(), order.end(),
+  std::sort(order_.begin(), order_.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
 
   std::uint32_t issued = 0;
-  for (const auto& [benefit_value, index] : order) {
+  for (const auto& [benefit_value, index] : order_) {
     if (issued >= config_.max_prefetches_per_period) {
       break;
     }

@@ -74,6 +74,10 @@ class TreeCostBenefit : public TreeInstrumentedPrefetcher {
   void reclaim_one(Context& ctx);
 
   TreePolicyConfig config_;
+  /// Reused across access periods so the per-access hot path performs no
+  /// heap allocation once the buffers reach steady-state size.
+  tree::CandidateEnumerator enumerator_;
+  std::vector<std::pair<double, std::size_t>> order_;
 };
 
 }  // namespace pfp::core::policy

@@ -1,70 +1,67 @@
 #include "core/tree/enumerator.hpp"
 
 #include <algorithm>
-#include <queue>
 
 namespace pfp::core::tree {
 
-namespace {
-
-struct FrontierItem {
-  double probability;
-  double parent_probability;
-  NodeId node;
-  std::uint32_t depth;
-  bool operator<(const FrontierItem& other) const {
-    return probability < other.probability;  // max-heap on probability
+void CandidateEnumerator::push_children(const PrefetchTree& tree, NodeId node,
+                                        double path_prob, std::uint32_t depth,
+                                        const EnumeratorLimits& limits) {
+  if (depth >= limits.max_depth) {
+    return;
   }
-};
+  // Children are kept sorted by descending weight, hence descending
+  // edge probability: stop at the first child below the cutoff.
+  for (const NodeId child : tree.children(node)) {
+    const double p = path_prob * tree.edge_probability(node, child);
+    if (p < limits.min_probability) {
+      break;
+    }
+    frontier_.push_back(FrontierItem{p, path_prob, child, depth + 1});
+    std::push_heap(frontier_.begin(), frontier_.end());
+  }
+}
 
-}  // namespace
+std::span<const Candidate> CandidateEnumerator::enumerate(
+    const PrefetchTree& tree, NodeId from, const EnumeratorLimits& limits) {
+  out_.clear();
+  seen_.clear();
+  frontier_.clear();
+  if (tree.node(from).weight == 0) {
+    return {};  // empty tree: no statistics yet
+  }
+  out_.reserve(limits.max_candidates);
+  seen_.reserve(limits.max_candidates);
+
+  push_children(tree, from, 1.0, 0, limits);
+
+  while (!frontier_.empty() && out_.size() < limits.max_candidates) {
+    std::pop_heap(frontier_.begin(), frontier_.end());
+    const FrontierItem item = frontier_.back();
+    frontier_.pop_back();
+    const Node& node = tree.node(item.node);
+    // A block can be a descendant along several paths; heap order makes
+    // the first occurrence the most probable one.  The emitted set is
+    // small (<= max_candidates), so a linear scan beats hashing.
+    const bool duplicate =
+        std::find(seen_.begin(), seen_.end(), node.block) != seen_.end();
+    if (!duplicate) {
+      out_.push_back(Candidate{node.block, item.probability,
+                               item.parent_probability, item.depth,
+                               item.node});
+      seen_.push_back(node.block);
+    }
+    push_children(tree, item.node, item.probability, item.depth, limits);
+  }
+  return out_;
+}
 
 std::vector<Candidate> enumerate_candidates(const PrefetchTree& tree,
                                             NodeId from,
                                             const EnumeratorLimits& limits) {
-  std::vector<Candidate> out;
-  if (tree.node(from).weight == 0) {
-    return out;  // empty tree: no statistics yet
-  }
-  out.reserve(limits.max_candidates);
-
-  std::priority_queue<FrontierItem> frontier;
-  const auto push_children = [&](NodeId node, double path_prob,
-                                 std::uint32_t depth) {
-    if (depth >= limits.max_depth) {
-      return;
-    }
-    // Children are kept sorted by descending weight, hence descending
-    // edge probability: stop at the first child below the cutoff.
-    for (const NodeId child : tree.children(node)) {
-      const double p = path_prob * tree.edge_probability(node, child);
-      if (p < limits.min_probability) {
-        break;
-      }
-      frontier.push(FrontierItem{p, path_prob, child, depth + 1});
-    }
-  };
-  push_children(from, 1.0, 0);
-
-  while (!frontier.empty() && out.size() < limits.max_candidates) {
-    const FrontierItem item = frontier.top();
-    frontier.pop();
-    const Node& node = tree.node(item.node);
-    // A block can be a descendant along several paths; heap order makes
-    // the first occurrence the most probable one.  The candidate list is
-    // small (<= max_candidates), so a linear scan beats hashing.
-    const bool duplicate =
-        std::any_of(out.begin(), out.end(), [&](const Candidate& c) {
-          return c.block == node.block;
-        });
-    if (!duplicate) {
-      out.push_back(Candidate{node.block, item.probability,
-                              item.parent_probability, item.depth,
-                              item.node});
-    }
-    push_children(item.node, item.probability, item.depth);
-  }
-  return out;
+  CandidateEnumerator enumerator;
+  const auto span = enumerator.enumerate(tree, from, limits);
+  return std::vector<Candidate>(span.begin(), span.end());
 }
 
 }  // namespace pfp::core::tree

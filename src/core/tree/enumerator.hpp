@@ -11,9 +11,16 @@
 // / count pruning: probabilities only shrink along a path, so a
 // probability-ordered frontier yields the globally most probable
 // descendants first and the cut-offs are exact, not heuristic.
+//
+// Enumeration runs once per simulated access, so CandidateEnumerator owns
+// its frontier heap, output buffer and dedup scratch and reuses them
+// across calls — the hot path allocates nothing after the first few
+// periods.  enumerate_candidates() remains as a convenience wrapper for
+// one-shot callers (tests, examples).
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/tree/prefetch_tree.hpp"
@@ -34,9 +41,39 @@ struct EnumeratorLimits {
   std::size_t max_candidates = 48;  ///< cap on emitted candidates
 };
 
-/// Descendants of `from`, most probable first.  Duplicate blocks (same
-/// block reachable along several paths) keep only their most probable
-/// occurrence.  The root's weight-0 state (empty tree) yields nothing.
+/// Reusable best-first enumerator.  One instance per policy; not
+/// thread-safe (each simulation owns its policies, so no sharing occurs).
+class CandidateEnumerator {
+ public:
+  /// Descendants of `from`, most probable first.  Duplicate blocks (same
+  /// block reachable along several paths) keep only their most probable
+  /// occurrence.  The root's weight-0 state (empty tree) yields nothing.
+  /// The returned span aliases internal storage and is invalidated by the
+  /// next enumerate() call.
+  std::span<const Candidate> enumerate(const PrefetchTree& tree, NodeId from,
+                                       const EnumeratorLimits& limits);
+
+ private:
+  struct FrontierItem {
+    double probability;
+    double parent_probability;
+    NodeId node;
+    std::uint32_t depth;
+    bool operator<(const FrontierItem& other) const {
+      return probability < other.probability;  // max-heap on probability
+    }
+  };
+
+  void push_children(const PrefetchTree& tree, NodeId node, double path_prob,
+                     std::uint32_t depth, const EnumeratorLimits& limits);
+
+  std::vector<FrontierItem> frontier_;  ///< binary max-heap (std::push_heap)
+  std::vector<Candidate> out_;
+  std::vector<BlockId> seen_;  ///< blocks already emitted (dedup scratch)
+};
+
+/// One-shot wrapper around CandidateEnumerator with identical results;
+/// prefer a reused enumerator on hot paths.
 std::vector<Candidate> enumerate_candidates(const PrefetchTree& tree,
                                             NodeId from,
                                             const EnumeratorLimits& limits);

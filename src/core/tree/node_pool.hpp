@@ -5,15 +5,18 @@
 // thousands of nodes without allocator churn, and so sizeof bookkeeping
 // matches the paper's "each node corresponds to 40 bytes" accounting.
 // Edge lookup (parent, block) -> child is a single hash probe in a global
-// edge map; per-node child lists support enumeration.
+// open-addressing edge map; per-node child lists support enumeration and
+// keep their first few entries inline (typical nodes have 1–4 children,
+// so the common case allocates nothing).
 #pragma once
 
 #include <cstdint>
 #include <limits>
-#include <unordered_map>
 #include <vector>
 
 #include "trace/record.hpp"
+#include "util/flat_map.hpp"
+#include "util/small_vector.hpp"
 
 namespace pfp::core::tree {
 
@@ -32,7 +35,7 @@ struct Node {
   /// the parametric policies rely on this order to stop scanning at their
   /// probability cutoff instead of visiting every child (the root of a
   /// low-locality trace can have tens of thousands).
-  std::vector<NodeId> children;
+  util::SmallVector<NodeId, 4> children;
 };
 
 class NodePool {
@@ -87,7 +90,7 @@ class NodePool {
 
   std::vector<Node> nodes_;
   std::vector<NodeId> free_;
-  std::unordered_map<EdgeKey, NodeId, EdgeHash> edges_;
+  util::FlatMap<EdgeKey, NodeId, EdgeHash> edges_;
   std::size_t live_ = 0;
 };
 

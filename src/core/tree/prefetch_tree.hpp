@@ -61,7 +61,8 @@ class PrefetchTree {
 
   const Node& node(NodeId id) const { return pool_[id]; }
   std::span<const NodeId> children(NodeId id) const {
-    return pool_[id].children;
+    const auto& c = pool_[id].children;
+    return {c.data(), c.size()};
   }
 
   /// weight(child) / weight(parent) — the edge probability.

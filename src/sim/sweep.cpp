@@ -1,6 +1,7 @@
 #include "sim/sweep.hpp"
 
 #include <future>
+#include <stdexcept>
 
 #include "util/thread_pool.hpp"
 
@@ -8,17 +9,36 @@ namespace pfp::sim {
 
 std::vector<Result> run_parallel(const std::vector<RunSpec>& specs,
                                  std::size_t threads) {
+  std::vector<Result> results;
+  if (specs.empty()) {
+    return results;  // nothing to run: skip pool startup entirely
+  }
   util::ThreadPool pool(threads);
   std::vector<std::future<Result>> futures;
   futures.reserve(specs.size());
   for (const auto& spec : specs) {
-    futures.push_back(
-        pool.submit([&spec] { return simulate(spec.config, *spec.trace); }));
+    futures.push_back(pool.submit([&spec] {
+      if (spec.trace == nullptr) {
+        throw std::invalid_argument("run_parallel: RunSpec without a trace");
+      }
+      return simulate(spec.config, *spec.trace);
+    }));
   }
-  std::vector<Result> results;
   results.reserve(specs.size());
+  // Drain every future before rethrowing so no worker still references
+  // `specs` (or a half-built result) when an exception leaves this frame.
+  std::exception_ptr first_error;
   for (auto& future : futures) {
-    results.push_back(future.get());
+    try {
+      results.push_back(future.get());
+    } catch (...) {
+      if (!first_error) {
+        first_error = std::current_exception();
+      }
+    }
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
   }
   return results;
 }

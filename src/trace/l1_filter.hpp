@@ -10,9 +10,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "trace/trace.hpp"
+#include "util/flat_map.hpp"
 #include "util/lru_list.hpp"
 
 namespace pfp::trace {
@@ -42,7 +42,7 @@ class L1Filter {
   // slot bookkeeping: slots_ maps LRU slot -> block; map_ block -> slot.
   std::vector<BlockId> slot_block_;
   std::vector<std::uint32_t> free_slots_;
-  std::unordered_map<BlockId, std::uint32_t> map_;
+  util::FlatMap<BlockId, std::uint32_t> map_;
   util::LruList lru_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

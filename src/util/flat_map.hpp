@@ -1,0 +1,242 @@
+// Open-addressing hash map for the simulator hot path.
+//
+// Every simulated reference probes the edge map and two cache partitions,
+// so map lookups dominate simulator throughput.  std::unordered_map pays a
+// heap node per element and a pointer chase per probe; this map stores
+// key/value pairs in one flat power-of-two array with linear probing, so a
+// lookup is one mix, one masked index, and a short contiguous scan.
+// Deletion uses backward-shift (Knuth 6.4 algorithm R) instead of
+// tombstones, so probe sequences never degrade under churn — important for
+// the caches, which erase as often as they insert.
+//
+// The API mirrors the std::unordered_map subset the hot paths use (find /
+// emplace / erase / contains / operator[] / iteration); semantics match
+// except for iteration order, which is unspecified in both.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace pfp::util {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class FlatMap {
+ public:
+  using value_type = std::pair<Key, Value>;
+
+  /// Forward iterator over occupied slots.  Stable across lookups but
+  /// invalidated by any insert or erase (like unordered_map on rehash,
+  /// but unconditionally — callers must not cache iterators across
+  /// mutations).
+  template <bool Const>
+  class Iterator {
+   public:
+    using Map = std::conditional_t<Const, const FlatMap, FlatMap>;
+    using reference =
+        std::conditional_t<Const, const value_type&, value_type&>;
+    using pointer = std::conditional_t<Const, const value_type*, value_type*>;
+
+    Iterator() = default;
+    reference operator*() const { return map_->slots_[index_]; }
+    pointer operator->() const { return &map_->slots_[index_]; }
+    Iterator& operator++() {
+      ++index_;
+      skip_empty();
+      return *this;
+    }
+    bool operator==(const Iterator& other) const {
+      return index_ == other.index_;
+    }
+
+   private:
+    friend class FlatMap;
+    Iterator(Map* map, std::size_t index) : map_(map), index_(index) {
+      skip_empty();
+    }
+    void skip_empty() {
+      while (index_ < map_->slots_.size() && !map_->used_[index_]) {
+        ++index_;
+      }
+    }
+    Map* map_ = nullptr;
+    std::size_t index_ = 0;
+  };
+
+  using iterator = Iterator<false>;
+  using const_iterator = Iterator<true>;
+
+  FlatMap() = default;
+  explicit FlatMap(std::size_t expected) { reserve(expected); }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, slots_.size()); }
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, slots_.size()); }
+
+  bool contains(const Key& key) const { return find_index(key) != knpos; }
+
+  iterator find(const Key& key) {
+    const std::size_t i = find_index(key);
+    return i == knpos ? end() : iterator(this, i);
+  }
+  const_iterator find(const Key& key) const {
+    const std::size_t i = find_index(key);
+    return i == knpos ? end() : const_iterator(this, i);
+  }
+
+  /// Inserts (key, value) if absent; returns the slot either way, with
+  /// second == true when the insertion happened.
+  template <typename... Args>
+  std::pair<iterator, bool> emplace(const Key& key, Args&&... args) {
+    grow_if_needed();
+    std::size_t i = home(key);
+    while (used_[i]) {
+      if (slots_[i].first == key) {
+        return {iterator(this, i), false};
+      }
+      i = (i + 1) & mask_;
+    }
+    used_[i] = 1;
+    slots_[i].first = key;
+    slots_[i].second = Value(std::forward<Args>(args)...);
+    ++size_;
+    return {iterator(this, i), true};
+  }
+
+  Value& operator[](const Key& key) {
+    return emplace(key, Value{}).first->second;
+  }
+
+  /// Erases a key; returns the number of elements removed (0 or 1).
+  std::size_t erase(const Key& key) {
+    const std::size_t i = find_index(key);
+    if (i == knpos) {
+      return 0;
+    }
+    erase_slot(i);
+    return 1;
+  }
+
+  /// Erases the element an iterator points at.  Backward-shift deletion
+  /// moves later elements, so the iterator must not be reused.
+  void erase(const_iterator pos) {
+    PFP_DASSERT(pos.index_ < slots_.size() && used_[pos.index_]);
+    erase_slot(pos.index_);
+  }
+  void erase(iterator pos) {
+    PFP_DASSERT(pos.index_ < slots_.size() && used_[pos.index_]);
+    erase_slot(pos.index_);
+  }
+
+  /// Pre-sizes the table for `expected` elements without rehashing on the
+  /// way there.
+  void reserve(std::size_t expected) {
+    std::size_t cap = kMinCapacity;
+    while (expected * 4 > cap * 3) {
+      cap *= 2;
+    }
+    if (cap > slots_.size()) {
+      rehash(cap);
+    }
+  }
+
+  void clear() {
+    std::fill(used_.begin(), used_.end(), std::uint8_t{0});
+    size_ = 0;
+  }
+
+  /// Slots in the backing array (power of two; 0 before first insert).
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+ private:
+  static constexpr std::size_t knpos = static_cast<std::size_t>(-1);
+  static constexpr std::size_t kMinCapacity = 16;
+
+  /// Fibonacci-mixes the user hash so identity hashes (std::hash on
+  /// integers) still spread across the table.
+  std::size_t home(const Key& key) const {
+    std::uint64_t x = static_cast<std::uint64_t>(hash_(key));
+    x *= 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 32;
+    return static_cast<std::size_t>(x) & mask_;
+  }
+
+  std::size_t find_index(const Key& key) const {
+    if (slots_.empty()) {
+      return knpos;
+    }
+    std::size_t i = home(key);
+    while (used_[i]) {
+      if (slots_[i].first == key) {
+        return i;
+      }
+      i = (i + 1) & mask_;
+    }
+    return knpos;
+  }
+
+  void grow_if_needed() {
+    if ((size_ + 1) * 4 > slots_.size() * 3) {
+      rehash(slots_.empty() ? kMinCapacity : slots_.size() * 2);
+    }
+  }
+
+  void rehash(std::size_t new_capacity) {
+    PFP_DASSERT((new_capacity & (new_capacity - 1)) == 0);
+    std::vector<value_type> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_used = std::move(used_);
+    slots_.assign(new_capacity, value_type{});
+    used_.assign(new_capacity, 0);
+    mask_ = new_capacity - 1;
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (!old_used[i]) {
+        continue;
+      }
+      std::size_t j = home(old_slots[i].first);
+      while (used_[j]) {
+        j = (j + 1) & mask_;
+      }
+      used_[j] = 1;
+      slots_[j] = std::move(old_slots[i]);
+    }
+  }
+
+  void erase_slot(std::size_t i) {
+    // Backward-shift: pull every displaced element of the probe chain one
+    // hole closer to its home slot, leaving no tombstone behind.
+    std::size_t j = i;
+    while (true) {
+      j = (j + 1) & mask_;
+      if (!used_[j]) {
+        break;
+      }
+      const std::size_t h = home(slots_[j].first);
+      // j's element may fill the hole at i only if its home position lies
+      // cyclically at-or-before i (otherwise the move would break the
+      // element's own probe chain).
+      if (((j - h) & mask_) >= ((j - i) & mask_)) {
+        slots_[i] = std::move(slots_[j]);
+        i = j;
+      }
+    }
+    used_[i] = 0;
+    slots_[i] = value_type{};
+    --size_;
+  }
+
+  std::vector<value_type> slots_;
+  std::vector<std::uint8_t> used_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+  [[no_unique_address]] Hash hash_;
+};
+
+}  // namespace pfp::util

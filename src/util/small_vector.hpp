@@ -1,0 +1,172 @@
+// Vector with small-buffer inline storage.
+//
+// Tree nodes average only a few children (the CAD trace's interior nodes
+// mostly hold 1–4), but std::vector<NodeId> costs a heap allocation for
+// the first child of every node — hundreds of thousands of allocations
+// per simulated run.  SmallVector keeps up to N elements inline in the
+// node itself and only spills to the heap for the rare high-fanout node
+// (the root of a low-locality trace).
+//
+// Restricted to trivially copyable element types so growth and erasure
+// are plain memcpy/memmove; that covers the NodeId/BlockId bookkeeping
+// this repo needs and keeps the container auditably simple.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <iterator>
+#include <type_traits>
+
+#include "util/assert.hpp"
+
+namespace pfp::util {
+
+template <typename T, std::size_t N = 4>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>);
+  static_assert(N >= 1);
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+  using reverse_iterator = std::reverse_iterator<iterator>;
+  using const_reverse_iterator = std::reverse_iterator<const_iterator>;
+
+  SmallVector() = default;
+
+  SmallVector(const SmallVector& other) { assign_from(other); }
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      release();
+      assign_from(other);
+    }
+    return *this;
+  }
+
+  SmallVector(SmallVector&& other) noexcept { steal_from(other); }
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      release();
+      steal_from(other);
+    }
+    return *this;
+  }
+
+  ~SmallVector() { release(); }
+
+  T* data() noexcept { return on_heap() ? heap_ : inline_; }
+  const T* data() const noexcept { return on_heap() ? heap_ : inline_; }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  /// Whether elements currently live in the heap spill (introspection).
+  bool on_heap() const noexcept { return capacity_ > N; }
+
+  T& operator[](std::size_t i) {
+    PFP_DASSERT(i < size_);
+    return data()[i];
+  }
+  const T& operator[](std::size_t i) const {
+    PFP_DASSERT(i < size_);
+    return data()[i];
+  }
+
+  T& back() {
+    PFP_DASSERT(size_ > 0);
+    return data()[size_ - 1];
+  }
+  const T& back() const {
+    PFP_DASSERT(size_ > 0);
+    return data()[size_ - 1];
+  }
+
+  iterator begin() noexcept { return data(); }
+  iterator end() noexcept { return data() + size_; }
+  const_iterator begin() const noexcept { return data(); }
+  const_iterator end() const noexcept { return data() + size_; }
+  reverse_iterator rbegin() noexcept { return reverse_iterator(end()); }
+  reverse_iterator rend() noexcept { return reverse_iterator(begin()); }
+  const_reverse_iterator rbegin() const noexcept {
+    return const_reverse_iterator(end());
+  }
+  const_reverse_iterator rend() const noexcept {
+    return const_reverse_iterator(begin());
+  }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) {
+      grow(capacity_ * 2);
+    }
+    data()[size_++] = value;
+  }
+
+  void pop_back() {
+    PFP_DASSERT(size_ > 0);
+    --size_;
+  }
+
+  /// Erases the element at `pos`, shifting the tail left (preserves
+  /// order, unlike swap-and-pop — callers rely on sortedness).
+  iterator erase(const_iterator pos) {
+    T* base = data();
+    const std::size_t index = static_cast<std::size_t>(pos - base);
+    PFP_DASSERT(index < size_);
+    std::memmove(base + index, base + index + 1,
+                 (size_ - index - 1) * sizeof(T));
+    --size_;
+    return base + index;
+  }
+
+  void clear() noexcept { size_ = 0; }
+
+ private:
+  void grow(std::size_t new_capacity) {
+    T* fresh = new T[new_capacity];
+    std::memcpy(fresh, data(), size_ * sizeof(T));
+    release();
+    heap_ = fresh;
+    capacity_ = static_cast<std::uint32_t>(new_capacity);
+  }
+
+  void release() noexcept {
+    if (on_heap()) {
+      delete[] heap_;
+    }
+    capacity_ = N;
+  }
+
+  void assign_from(const SmallVector& other) {
+    if (other.size_ > N) {
+      heap_ = new T[other.capacity_];
+      capacity_ = other.capacity_;
+    }
+    size_ = other.size_;
+    std::memcpy(data(), other.data(), size_ * sizeof(T));
+  }
+
+  void steal_from(SmallVector& other) noexcept {
+    if (other.on_heap()) {
+      heap_ = other.heap_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.capacity_ = N;
+      other.size_ = 0;
+      return;
+    }
+    size_ = other.size_;
+    std::memcpy(inline_, other.inline_, size_ * sizeof(T));
+    other.size_ = 0;
+  }
+
+  std::uint32_t size_ = 0;
+  std::uint32_t capacity_ = N;
+  union {
+    T inline_[N];
+    T* heap_;
+  };
+};
+
+}  // namespace pfp::util

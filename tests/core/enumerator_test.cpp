@@ -123,5 +123,55 @@ TEST(Enumerator, FromInteriorNode) {
   EXPECT_DOUBLE_EQ(c[0].probability, 0.6);
 }
 
+TEST(Enumerator, ReusedEnumeratorMatchesFreshCalls) {
+  // One CandidateEnumerator driven across many positions and limit sets
+  // must return exactly what a fresh enumerate_candidates call returns —
+  // no state may leak between calls through the reused buffers.
+  PrefetchTree tree;
+  CandidateEnumerator reused;
+  const BlockId stream[] = {1, 2, 3, 1, 2, 4, 1, 2, 3, 5, 1, 2,
+                            3, 1, 4, 2, 1, 2, 3, 4, 5, 1, 2, 3};
+  EnumeratorLimits tight;
+  tight.max_depth = 2;
+  tight.min_probability = 0.05;
+  tight.max_candidates = 4;
+  std::size_t step = 0;
+  for (const BlockId b : stream) {
+    tree.access(b);
+    const EnumeratorLimits& limits = (step % 2 == 0) ? loose() : tight;
+    const auto fresh = enumerate_candidates(tree, tree.current(), limits);
+    const auto again = reused.enumerate(tree, tree.current(), limits);
+    ASSERT_EQ(again.size(), fresh.size()) << "step " << step;
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      EXPECT_EQ(again[i].block, fresh[i].block) << "step " << step;
+      EXPECT_EQ(again[i].node, fresh[i].node) << "step " << step;
+      EXPECT_EQ(again[i].depth, fresh[i].depth) << "step " << step;
+      EXPECT_DOUBLE_EQ(again[i].probability, fresh[i].probability)
+          << "step " << step;
+      EXPECT_DOUBLE_EQ(again[i].parent_probability,
+                       fresh[i].parent_probability)
+          << "step " << step;
+    }
+    ++step;
+  }
+}
+
+TEST(Enumerator, ReuseAfterEmptyTreeResult) {
+  // An empty-tree call must not leave stale candidates behind for the
+  // next call.
+  PrefetchTree empty;
+  PrefetchTree tree = figure1_tree();
+  CandidateEnumerator reused;
+  EXPECT_FALSE(reused.enumerate(tree, tree.root(), loose()).empty());
+  EXPECT_TRUE(reused.enumerate(empty, empty.root(), loose()).empty());
+  const auto fresh = enumerate_candidates(tree, tree.root(), loose());
+  const auto again = reused.enumerate(tree, tree.root(), loose());
+  ASSERT_EQ(again.size(), fresh.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(again[i].block, fresh[i].block);
+    EXPECT_DOUBLE_EQ(again[i].probability, fresh[i].probability);
+  }
+}
+
 }  // namespace
 }  // namespace pfp::core::tree

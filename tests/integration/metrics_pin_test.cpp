@@ -1,0 +1,116 @@
+// Pins exact simulation results against golden values recorded from the
+// std-container implementation (before flat_map / small_vector / reusable
+// enumeration landed).  The hot-path containers are used strictly as
+// sets/maps — never as ordered collections — so swapping their internals
+// must not move a single counter.  Any drift here means an optimization
+// changed simulation SEMANTICS, not just speed, and is a bug even if the
+// new numbers look plausible.
+//
+// Regenerating (only after an intentional semantic change): run each
+// (workload, policy) pair below at 30'000 references, seed 7, 512 cache
+// blocks, default timing, and transcribe demand_hits / prefetch_hits /
+// misses exactly and stall_ms / elapsed_ms to full double precision.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/policy/factory.hpp"
+#include "sim/simulator.hpp"
+#include "trace/workloads.hpp"
+
+namespace pfp::sim {
+namespace {
+
+struct Golden {
+  trace::Workload workload;
+  core::policy::PolicyKind kind;
+  std::uint64_t demand_hits;
+  std::uint64_t prefetch_hits;
+  std::uint64_t misses;
+  double stall_ms;
+  double elapsed_ms;
+};
+
+constexpr std::uint64_t kReferences = 30'000;
+constexpr std::uint64_t kSeed = 7;
+constexpr std::size_t kCacheBlocks = 512;
+
+const Golden kGolden[] = {
+    {trace::Workload::kCad, core::policy::PolicyKind::kNoPrefetch,
+     8135u, 0u, 21865u, 327975, 1847946.7000008877},
+    {trace::Workload::kCad, core::policy::PolicyKind::kNextLimit,
+     7868u, 0u, 22132u, 331980, 1864943.1200013915},
+    {trace::Workload::kCad, core::policy::PolicyKind::kTree,
+     4054u, 9105u, 16841u, 252615, 1775256.4400009138},
+    {trace::Workload::kCad, core::policy::PolicyKind::kTreeNextLimit,
+     3945u, 9173u, 16882u, 253230, 1791023.9400007452},
+    {trace::Workload::kCad, core::policy::PolicyKind::kTreeLvc,
+     3608u, 9421u, 16971u, 254565, 1778226.0800010264},
+    {trace::Workload::kCad, core::policy::PolicyKind::kTreeThreshold,
+     8134u, 5224u, 16642u, 249630, 1773151.8800008276},
+    {trace::Workload::kCad, core::policy::PolicyKind::kTreeChildren,
+     8134u, 5268u, 16598u, 248970, 1771611.4400008137},
+    {trace::Workload::kCad, core::policy::PolicyKind::kProbGraph,
+     8134u, 13534u, 8332u, 124979.99999999997, 1647739.7600007725},
+    {trace::Workload::kCad, core::policy::PolicyKind::kPerfectSelector,
+     8135u, 11663u, 10202u, 153030, 1673001.7000007906},
+    {trace::Workload::kCad, core::policy::PolicyKind::kTreeAdaptive,
+     4054u, 9105u, 16841u, 252615, 1775256.4400009138},
+    {trace::Workload::kSitar, core::policy::PolicyKind::kNoPrefetch,
+     16665u, 0u, 13335u, 200025, 1715049.3000006385},
+    {trace::Workload::kSitar, core::policy::PolicyKind::kNextLimit,
+     16012u, 12983u, 1005u, 15075, 1530945.5200005798},
+    {trace::Workload::kSitar, core::policy::PolicyKind::kTree,
+     11432u, 6930u, 11638u, 174570, 1692898.5600007956},
+    {trace::Workload::kSitar, core::policy::PolicyKind::kTreeNextLimit,
+     10112u, 18993u, 895u, 13425, 1532924.5800006709},
+    {trace::Workload::kSitar, core::policy::PolicyKind::kTreeLvc,
+     11228u, 7111u, 11661u, 174915, 1693372.9000008027},
+    {trace::Workload::kSitar, core::policy::PolicyKind::kTreeThreshold,
+     16664u, 2018u, 11318u, 169769.99999999994, 1686752.9600006524},
+    {trace::Workload::kSitar, core::policy::PolicyKind::kTreeChildren,
+     16664u, 1997u, 11339u, 170085, 1687875.9000006858},
+    {trace::Workload::kSitar, core::policy::PolicyKind::kProbGraph,
+     16665u, 5886u, 7449u, 111735, 1627437.3200006019},
+    {trace::Workload::kSitar, core::policy::PolicyKind::kPerfectSelector,
+     16665u, 4536u, 8799u, 131985, 1647009.3000006182},
+    {trace::Workload::kSitar, core::policy::PolicyKind::kTreeAdaptive,
+     11432u, 6930u, 11638u, 174570, 1692898.5600007956},
+};
+
+class MetricsPin : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(MetricsPin, ExactlyMatchesStdContainerBaseline) {
+  const Golden& golden = GetParam();
+  const trace::Trace t =
+      trace::make_workload(golden.workload, kReferences, kSeed);
+  SimConfig config;
+  config.cache_blocks = kCacheBlocks;
+  config.policy.kind = golden.kind;
+  const Result r = simulate(config, t);
+  EXPECT_EQ(r.metrics.demand_hits, golden.demand_hits);
+  EXPECT_EQ(r.metrics.prefetch_hits, golden.prefetch_hits);
+  EXPECT_EQ(r.metrics.misses, golden.misses);
+  // Exact double comparison on purpose: the timing model is a deterministic
+  // fold over per-access doubles, so any container-induced reordering of
+  // simulation events shows up here even when the counters happen to agree.
+  EXPECT_EQ(r.metrics.stall_ms, golden.stall_ms);
+  EXPECT_EQ(r.metrics.elapsed_ms, golden.elapsed_ms);
+}
+
+std::string pin_name(const ::testing::TestParamInfo<Golden>& info) {
+  std::string name = trace::workload_name(info.param.workload) + "_" +
+                     core::policy::kind_name(info.param.kind);
+  for (char& c : name) {
+    if (c == '-') {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, MetricsPin, ::testing::ValuesIn(kGolden),
+                         pin_name);
+
+}  // namespace
+}  // namespace pfp::sim

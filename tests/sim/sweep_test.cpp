@@ -1,0 +1,73 @@
+#include "sim/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/experiment.hpp"
+#include "trace/workloads.hpp"
+
+namespace pfp::sim {
+namespace {
+
+trace::Trace small_trace() {
+  return trace::make_workload(trace::Workload::kCad, 2'000, 11);
+}
+
+TEST(Sweep, EmptySpecsReturnsEmptyResults) {
+  const std::vector<RunSpec> specs;
+  const auto results = run_parallel(specs);
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(Sweep, ResultOrderMatchesSpecOrder) {
+  const trace::Trace t = small_trace();
+  // Distinct cache sizes label each run; more runs than threads forces
+  // queueing, and 3 threads on shuffled durations scrambles completion
+  // order relative to submission order.
+  const std::vector<std::size_t> sizes = {64, 512, 128, 1024, 256, 96};
+  std::vector<RunSpec> specs;
+  for (const std::size_t size : sizes) {
+    RunSpec spec;
+    spec.trace = &t;
+    spec.config.cache_blocks = size;
+    spec.config.policy.kind = core::policy::PolicyKind::kTree;
+    specs.push_back(spec);
+  }
+  const auto parallel = run_parallel(specs, 3);
+  const auto serial = run_serial(specs);
+  ASSERT_EQ(parallel.size(), specs.size());
+  ASSERT_EQ(serial.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(parallel[i].config.cache_blocks, sizes[i]) << "slot " << i;
+    // Order preserved implies each slot carries its own run's metrics.
+    EXPECT_EQ(parallel[i].metrics.demand_hits, serial[i].metrics.demand_hits)
+        << "slot " << i;
+    EXPECT_EQ(parallel[i].metrics.misses, serial[i].metrics.misses)
+        << "slot " << i;
+  }
+}
+
+TEST(Sweep, ExceptionFromOneRunPropagatesWithoutDeadlock) {
+  const trace::Trace t = small_trace();
+  std::vector<RunSpec> specs;
+  for (int i = 0; i < 6; ++i) {
+    RunSpec spec;
+    spec.trace = &t;
+    spec.config.cache_blocks = 128;
+    specs.push_back(spec);
+  }
+  specs[2].trace = nullptr;  // this run throws inside the worker
+  // Must rethrow the worker's exception after all runs drain — a hang
+  // here (the old failure mode would be a deadlocked pool join) trips the
+  // test timeout rather than passing silently.
+  EXPECT_THROW(run_parallel(specs, 2), std::invalid_argument);
+  // The pool must be fully torn down and reusable: a follow-up sweep on
+  // the same thread count still works.
+  specs[2].trace = &t;
+  const auto results = run_parallel(specs, 2);
+  EXPECT_EQ(results.size(), specs.size());
+}
+
+}  // namespace
+}  // namespace pfp::sim

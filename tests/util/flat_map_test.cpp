@@ -1,0 +1,189 @@
+#include "util/flat_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace pfp::util {
+namespace {
+
+TEST(FlatMap, StartsEmpty) {
+  FlatMap<std::uint64_t, int> map;
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_TRUE(map.empty());
+  EXPECT_FALSE(map.contains(7));
+  EXPECT_EQ(map.find(7), map.end());
+  EXPECT_EQ(map.erase(7), 0u);
+  EXPECT_EQ(map.begin(), map.end());
+}
+
+TEST(FlatMap, InsertFindErase) {
+  FlatMap<std::uint64_t, int> map;
+  EXPECT_TRUE(map.emplace(1, 10).second);
+  EXPECT_TRUE(map.emplace(2, 20).second);
+  EXPECT_FALSE(map.emplace(1, 99).second);  // duplicate keeps old value
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.find(1), map.end());
+  EXPECT_EQ(map.find(1)->second, 10);
+  EXPECT_EQ(map.erase(1), 1u);
+  EXPECT_EQ(map.find(1), map.end());
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap, SubscriptInsertsDefault) {
+  FlatMap<std::uint64_t, int> map;
+  map[5] = 50;
+  EXPECT_EQ(map[5], 50);
+  EXPECT_EQ(map[6], 0);  // default-constructed on first touch
+  EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(FlatMap, ReserveAvoidsRehash) {
+  FlatMap<std::uint64_t, int> map;
+  map.reserve(1000);
+  const std::size_t cap = map.capacity();
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    map.emplace(k, static_cast<int>(k));
+  }
+  EXPECT_EQ(map.capacity(), cap);
+  EXPECT_EQ(map.size(), 1000u);
+}
+
+TEST(FlatMap, IterationVisitsEveryElementOnce) {
+  FlatMap<std::uint64_t, int> map;
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    map.emplace(k * 7919, static_cast<int>(k));
+  }
+  std::vector<bool> seen(100, false);
+  for (const auto& [key, value] : map) {
+    ASSERT_EQ(key, static_cast<std::uint64_t>(value) * 7919);
+    ASSERT_FALSE(seen[static_cast<std::size_t>(value)]);
+    seen[static_cast<std::size_t>(value)] = true;
+  }
+  for (const bool s : seen) {
+    EXPECT_TRUE(s);
+  }
+}
+
+TEST(FlatMap, NonTrivialValueTypeReleasedOnErase) {
+  FlatMap<std::uint64_t, std::vector<std::string>> map;
+  map[1].push_back("hello");
+  map[2].push_back("world");
+  EXPECT_EQ(map.erase(1), 1u);
+  ASSERT_NE(map.find(2), map.end());
+  ASSERT_EQ(map.find(2)->second.size(), 1u);
+  EXPECT_EQ(map.find(2)->second[0], "world");
+}
+
+TEST(FlatMap, ClearKeepsCapacity) {
+  FlatMap<std::uint64_t, int> map;
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    map.emplace(k, 1);
+  }
+  const std::size_t cap = map.capacity();
+  map.clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.capacity(), cap);
+  EXPECT_FALSE(map.contains(3));
+  EXPECT_TRUE(map.emplace(3, 4).second);
+}
+
+// Backward-shift deletion must repair probe chains: keys engineered to
+// collide into one cluster stay findable as cluster members are erased in
+// every order.
+TEST(FlatMap, CollisionClusterSurvivesErasure) {
+  struct OneBucketHash {
+    std::size_t operator()(std::uint64_t) const noexcept { return 0; }
+  };
+  for (std::uint64_t victim = 0; victim < 8; ++victim) {
+    FlatMap<std::uint64_t, std::uint64_t, OneBucketHash> map;
+    for (std::uint64_t k = 0; k < 8; ++k) {
+      map.emplace(k, k * 100);
+    }
+    EXPECT_EQ(map.erase(victim), 1u);
+    for (std::uint64_t k = 0; k < 8; ++k) {
+      if (k == victim) {
+        EXPECT_FALSE(map.contains(k));
+      } else {
+        ASSERT_TRUE(map.contains(k)) << "victim=" << victim << " k=" << k;
+        EXPECT_EQ(map.find(k)->second, k * 100);
+      }
+    }
+  }
+}
+
+// Property test: ~10^5 randomized insert/find/erase/clear operations must
+// leave FlatMap observably identical to std::unordered_map.  Keys are
+// drawn from a small universe so collisions, growth and churn all happen.
+TEST(FlatMapProperty, MatchesUnorderedMapUnderRandomOps) {
+  util::Xoshiro256 rng(0xf1a7);
+  FlatMap<std::uint64_t, std::uint32_t> flat;
+  std::unordered_map<std::uint64_t, std::uint32_t> reference;
+
+  for (std::uint32_t op = 0; op < 100'000; ++op) {
+    const std::uint64_t key = rng.below(4096);
+    switch (rng.below(10)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // insert
+        const bool inserted = flat.emplace(key, op).second;
+        const bool ref_inserted = reference.emplace(key, op).second;
+        ASSERT_EQ(inserted, ref_inserted) << "op " << op;
+        break;
+      }
+      case 4:
+      case 5:
+      case 6: {  // find
+        const auto it = flat.find(key);
+        const auto ref_it = reference.find(key);
+        ASSERT_EQ(it == flat.end(), ref_it == reference.end())
+            << "op " << op;
+        if (ref_it != reference.end()) {
+          ASSERT_EQ(it->second, ref_it->second) << "op " << op;
+        }
+        break;
+      }
+      case 7:
+      case 8: {  // erase
+        ASSERT_EQ(flat.erase(key), reference.erase(key)) << "op " << op;
+        break;
+      }
+      default: {  // occasionally wipe to exercise the cleared state
+        if (rng.below(1000) == 0) {
+          flat.clear();
+          reference.clear();
+        } else {  // subscript upsert
+          flat[key] = op;
+          reference[key] = op;
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(flat.size(), reference.size()) << "op " << op;
+  }
+
+  // Final deep comparison in both directions: every reference entry is in
+  // the flat map, and iteration yields exactly the reference contents.
+  for (const auto& [key, value] : reference) {
+    const auto it = flat.find(key);
+    ASSERT_NE(it, flat.end());
+    EXPECT_EQ(it->second, value);
+  }
+  std::size_t visited = 0;
+  for (const auto& [key, value] : flat) {
+    const auto ref_it = reference.find(key);
+    ASSERT_NE(ref_it, reference.end());
+    EXPECT_EQ(value, ref_it->second);
+    ++visited;
+  }
+  EXPECT_EQ(visited, reference.size());
+}
+
+}  // namespace
+}  // namespace pfp::util

@@ -1,0 +1,124 @@
+#include "util/small_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace pfp::util {
+namespace {
+
+TEST(SmallVector, InlineUntilCapacity) {
+  SmallVector<std::uint32_t, 4> v;
+  EXPECT_TRUE(v.empty());
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    v.push_back(i);
+    EXPECT_FALSE(v.on_heap());
+  }
+  EXPECT_EQ(v.size(), 4u);
+  v.push_back(4);
+  EXPECT_TRUE(v.on_heap());
+  ASSERT_EQ(v.size(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(v[i], i);
+  }
+}
+
+TEST(SmallVector, EraseShiftsTailAndPreservesOrder) {
+  SmallVector<std::uint32_t, 4> v;
+  for (std::uint32_t i = 0; i < 7; ++i) {
+    v.push_back(i);
+  }
+  v.erase(v.begin() + 2);
+  const std::uint32_t expected[] = {0, 1, 3, 4, 5, 6};
+  ASSERT_EQ(v.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(v[i], expected[i]);
+  }
+  v.erase(v.begin() + 5);  // last element
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v.back(), 5u);
+}
+
+TEST(SmallVector, ReverseIteration) {
+  SmallVector<std::uint32_t, 4> v;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    v.push_back(i);
+  }
+  std::vector<std::uint32_t> reversed(v.rbegin(), v.rend());
+  ASSERT_EQ(reversed.size(), 6u);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(reversed[i], 5 - i);
+  }
+}
+
+TEST(SmallVector, CopyAndMoveAcrossSpillBoundary) {
+  for (const std::uint32_t count : {2u, 4u, 9u}) {
+    SmallVector<std::uint32_t, 4> original;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      original.push_back(i * 3);
+    }
+    SmallVector<std::uint32_t, 4> copy(original);
+    ASSERT_EQ(copy.size(), count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      EXPECT_EQ(copy[i], i * 3);
+    }
+
+    SmallVector<std::uint32_t, 4> moved(std::move(original));
+    ASSERT_EQ(moved.size(), count);
+    EXPECT_TRUE(original.empty());  // NOLINT(bugprone-use-after-move)
+    for (std::uint32_t i = 0; i < count; ++i) {
+      EXPECT_EQ(moved[i], i * 3);
+    }
+
+    SmallVector<std::uint32_t, 4> assigned;
+    assigned.push_back(999);
+    assigned = copy;
+    ASSERT_EQ(assigned.size(), count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      EXPECT_EQ(assigned[i], i * 3);
+    }
+  }
+}
+
+TEST(SmallVector, ClearAndRefill) {
+  SmallVector<std::uint32_t, 4> v;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    v.push_back(i);
+  }
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.push_back(42);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 42u);
+}
+
+TEST(SmallVector, MatchesStdVectorUnderMixedOps) {
+  SmallVector<std::uint32_t, 4> small;
+  std::vector<std::uint32_t> reference;
+  std::uint32_t next = 0;
+  // Deterministic push/pop/erase mix crossing the spill boundary often.
+  for (int round = 0; round < 200; ++round) {
+    const int action = round % 5;
+    if (action < 3) {
+      small.push_back(next);
+      reference.push_back(next);
+      ++next;
+    } else if (action == 3 && !reference.empty()) {
+      small.pop_back();
+      reference.pop_back();
+    } else if (!reference.empty()) {
+      const std::size_t at = static_cast<std::size_t>(round) % reference.size();
+      small.erase(small.begin() + static_cast<std::ptrdiff_t>(at));
+      reference.erase(reference.begin() + static_cast<std::ptrdiff_t>(at));
+    }
+    ASSERT_EQ(small.size(), reference.size()) << "round " << round;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_EQ(small[i], reference[i]) << "round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pfp::util
