@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Repo-specific conventions linter for the prefetching simulator.
+
+clang-tidy covers general C++ hygiene; this script enforces the handful of
+project rules that generic tooling cannot know about (see
+docs/static-analysis.md for the rationale behind each):
+
+  hot-container     std::map / std::unordered_map / std::set /
+                    std::unordered_set are banned in the hot-path dirs
+                    (src/core/, src/cache/).  The hot-path overhaul replaced
+                    them with util::FlatMap / util::SmallVector; a node-based
+                    container sneaking back in silently undoes that PR.
+  hot-alloc         per-access heap allocation (naked new, make_unique,
+                    make_shared) is banned in the hot-path dirs.  Setup-time
+                    construction sites carry an explicit waiver.
+  naked-new         naked new outside the hot dirs must also be waived
+                    (util::SmallVector's buffer management is the only
+                    legitimate owner today).
+  no-std-rand       std::rand / srand are banned everywhere in src/; all
+                    randomness flows through util::SplitMix64 / Xoshiro256 so
+                    runs stay reproducible from a seed.
+  no-float-costben  the cost-benefit arithmetic (paper Eq. 1-14, in
+                    src/core/costben/) must stay double; float intermediates
+                    change eviction decisions between builds.
+  include-guard     every header under src/ uses #pragma once (repo
+                    convention; mixing guard styles breaks the amalgamated
+                    include checks).
+
+Waivers: append `lint: allow(<rule>)` in a comment on the offending line, or
+put `lint: allow-file(<rule>)` in a comment anywhere in the file to waive a
+rule for the whole file.  Waivers are deliberate, greppable decisions.
+
+Exit status: 0 clean, 1 violations found, 2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from typing import Iterable, List, NamedTuple
+
+HOT_DIRS = ("src/core", "src/cache")
+COSTBEN_DIR = "src/core/costben"
+SOURCE_SUFFIXES = {".hpp", ".cpp"}
+
+ALLOW_LINE_RE = re.compile(r"lint:\s*allow\(([a-z-]+)\)")
+ALLOW_FILE_RE = re.compile(r"lint:\s*allow-file\(([a-z-]+)\)")
+
+HOT_CONTAINER_RE = re.compile(
+    r"std\s*::\s*(?:unordered_map|unordered_set|map|multimap|set|multiset)\s*<"
+)
+ALLOC_RE = re.compile(r"(?:\bnew\b(?!\s*\()|\bnew\s*\[|std\s*::\s*make_(?:unique|shared)\s*<)")
+NAKED_NEW_RE = re.compile(r"\bnew\b")
+STD_RAND_RE = re.compile(r"(?:std\s*::\s*rand\b|\bsrand\s*\(|\brand\s*\(\s*\))")
+FLOAT_RE = re.compile(r"\bfloat\b")
+
+
+class Violation(NamedTuple):
+    path: str
+    line: int  # 1-based; 0 for file-level findings
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_code(line: str) -> str:
+    """Drop string/char literals and // comments so regexes see only code.
+
+    Block comments are handled by the caller (they can span lines); this
+    function is line-local.  Escapes inside literals are honoured.
+    """
+    out: List[str] = []
+    i = 0
+    n = len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    i += 1
+                    break
+                i += 1
+            out.append(" ")  # keep column drift small
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def code_lines(text: str) -> List[str]:
+    """Return per-line code with comments and literals blanked."""
+    lines: List[str] = []
+    in_block = False
+    for raw in text.splitlines():
+        if in_block:
+            end = raw.find("*/")
+            if end == -1:
+                lines.append("")
+                continue
+            raw = " " * (end + 2) + raw[end + 2 :]
+            in_block = False
+        # Strip complete /* ... */ runs, then check for an unterminated one.
+        raw = strip_code(raw)
+        while True:
+            start = raw.find("/*")
+            if start == -1:
+                break
+            end = raw.find("*/", start + 2)
+            if end == -1:
+                raw = raw[:start]
+                in_block = True
+                break
+            raw = raw[:start] + " " * (end + 2 - start) + raw[end + 2 :]
+        lines.append(raw)
+    return lines
+
+
+def in_dir(rel: str, prefix: str) -> bool:
+    return rel == prefix or rel.startswith(prefix + "/")
+
+
+def check_file(root: pathlib.Path, path: pathlib.Path) -> List[Violation]:
+    rel = path.relative_to(root).as_posix()
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as err:
+        return [Violation(rel, 0, "io", f"unreadable: {err}")]
+
+    raw_lines = text.splitlines()
+    code = code_lines(text)
+    file_waivers = set(ALLOW_FILE_RE.findall(text))
+    hot = any(in_dir(rel, d) for d in HOT_DIRS)
+    costben = in_dir(rel, COSTBEN_DIR)
+
+    violations: List[Violation] = []
+
+    def report(lineno: int, rule: str, message: str) -> None:
+        if rule in file_waivers:
+            return
+        if lineno >= 1 and lineno <= len(raw_lines):
+            if rule in ALLOW_LINE_RE.findall(raw_lines[lineno - 1]):
+                return
+        violations.append(Violation(rel, lineno, rule, message))
+
+    if path.suffix == ".hpp" and "#pragma once" not in text:
+        report(0, "include-guard",
+               "header lacks '#pragma once' (repo guard convention)")
+
+    for i, line in enumerate(code, start=1):
+        if not line.strip():
+            continue
+        if STD_RAND_RE.search(line):
+            report(i, "no-std-rand",
+                   "std::rand/srand breaks seeded reproducibility; "
+                   "use util::SplitMix64 or util::Xoshiro256")
+        if hot and HOT_CONTAINER_RE.search(line):
+            report(i, "hot-container",
+                   "node-based std container in a hot-path dir; "
+                   "use util::FlatMap / util::SmallVector")
+        if hot and ALLOC_RE.search(line):
+            report(i, "hot-alloc",
+                   "heap allocation in a hot-path dir; hoist to setup "
+                   "or waive with 'lint: allow(hot-alloc)'")
+        elif not hot and NAKED_NEW_RE.search(line):
+            report(i, "naked-new",
+                   "naked new; prefer containers or std::make_unique, "
+                   "or waive with 'lint: allow(naked-new)'")
+        if costben and FLOAT_RE.search(line):
+            report(i, "no-float-costben",
+                   "cost-model arithmetic (paper Eq. 1-14) must stay "
+                   "double; float drifts eviction decisions")
+    return violations
+
+
+def iter_sources(root: pathlib.Path) -> Iterable[pathlib.Path]:
+    src = root / "src"
+    if not src.is_dir():
+        raise FileNotFoundError(f"no src/ directory under {root}")
+    for path in sorted(src.rglob("*")):
+        if path.suffix in SOURCE_SUFFIXES and path.is_file():
+            yield path
+
+
+def run(root: pathlib.Path) -> int:
+    try:
+        paths = list(iter_sources(root))
+    except FileNotFoundError as err:
+        print(f"check_conventions: error: {err}", file=sys.stderr)
+        return 2
+    violations: List[Violation] = []
+    for path in paths:
+        violations.extend(check_file(root, path))
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"check_conventions: {len(violations)} violation(s) in "
+              f"{len(paths)} file(s)", file=sys.stderr)
+        return 1
+    print(f"check_conventions: OK ({len(paths)} files)")
+    return 0
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="project conventions linter (see docs/static-analysis.md)")
+    parser.add_argument(
+        "--root", type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parents[2],
+        help="repository root (default: two levels above this script)")
+    args = parser.parse_args(argv)
+    return run(args.root.resolve())
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,220 @@
+"""Self-tests for check_conventions.py.
+
+Each rule gets a seeded-violation test (the rule must fire) and a
+clean-code test (it must stay silent); waiver markers get both flavours
+too.  Runnable with pytest or `python3 -m unittest` — CI uses pytest, the
+dev container only has unittest.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import check_conventions as lint  # noqa: E402
+
+
+class LintHarness(unittest.TestCase):
+    def setUp(self) -> None:
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = pathlib.Path(self._tmp.name)
+        self.addCleanup(self._tmp.cleanup)
+
+    def write(self, rel: str, text: str) -> pathlib.Path:
+        path = self.root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        return path
+
+    def lint_file(self, rel: str, text: str) -> list:
+        path = self.write(rel, text)
+        return lint.check_file(self.root, path)
+
+    def rules(self, violations: list) -> set:
+        return {v.rule for v in violations}
+
+
+class HotContainerRule(LintHarness):
+    def test_unordered_map_in_core_fires(self) -> None:
+        found = self.lint_file(
+            "src/core/tree/bad.hpp",
+            "#pragma once\n#include <unordered_map>\n"
+            "std::unordered_map<int, int> edges_;\n")
+        self.assertIn("hot-container", self.rules(found))
+        self.assertEqual(found[0].line, 3)
+
+    def test_std_map_in_cache_fires(self) -> None:
+        found = self.lint_file(
+            "src/cache/bad.cpp", "std::map<int, double> costs;\n")
+        self.assertIn("hot-container", self.rules(found))
+
+    def test_flat_map_is_fine(self) -> None:
+        found = self.lint_file(
+            "src/cache/good.cpp", "util::FlatMap<int, int> map_;\n")
+        self.assertEqual(self.rules(found), set())
+
+    def test_unordered_map_outside_hot_dirs_is_fine(self) -> None:
+        found = self.lint_file(
+            "src/sim/report.cpp", "std::unordered_map<int, int> rows;\n")
+        self.assertEqual(self.rules(found), set())
+
+    def test_mention_in_comment_is_fine(self) -> None:
+        found = self.lint_file(
+            "src/core/tree/good.cpp",
+            "// replaced std::unordered_map<int, int> with FlatMap\n"
+            "/* std::map<int, int> is banned here */\n")
+        self.assertEqual(self.rules(found), set())
+
+
+class HotAllocRule(LintHarness):
+    def test_naked_new_in_core_fires(self) -> None:
+        found = self.lint_file("src/core/bad.cpp", "int* p = new int[4];\n")
+        self.assertIn("hot-alloc", self.rules(found))
+
+    def test_make_unique_in_cache_fires(self) -> None:
+        found = self.lint_file(
+            "src/cache/bad.cpp", "auto e = std::make_unique<Entry>();\n")
+        self.assertIn("hot-alloc", self.rules(found))
+
+    def test_line_waiver_silences(self) -> None:
+        found = self.lint_file(
+            "src/core/ok.cpp",
+            "int* p = new int[4];  // lint: allow(hot-alloc)\n")
+        self.assertEqual(self.rules(found), set())
+
+    def test_file_waiver_silences(self) -> None:
+        found = self.lint_file(
+            "src/core/factory_like.cpp",
+            "// setup-time only.  lint: allow-file(hot-alloc)\n"
+            "auto a = std::make_unique<A>();\n"
+            "auto b = std::make_unique<B>();\n")
+        self.assertEqual(self.rules(found), set())
+
+    def test_identifier_containing_new_is_fine(self) -> None:
+        found = self.lint_file(
+            "src/core/ok2.cpp", "std::size_t new_capacity = renew(old);\n")
+        self.assertEqual(self.rules(found), set())
+
+
+class NakedNewRule(LintHarness):
+    def test_naked_new_outside_hot_dirs_fires(self) -> None:
+        found = self.lint_file("src/util/bad.cpp", "char* b = new char[8];\n")
+        self.assertIn("naked-new", self.rules(found))
+
+    def test_waived_naked_new_is_fine(self) -> None:
+        found = self.lint_file(
+            "src/util/ok.cpp",
+            "char* b = new char[8];  // lint: allow(naked-new)\n")
+        self.assertEqual(self.rules(found), set())
+
+    def test_make_unique_outside_hot_dirs_is_fine(self) -> None:
+        found = self.lint_file(
+            "src/sim/ok.cpp", "auto s = std::make_unique<Sim>();\n")
+        self.assertEqual(self.rules(found), set())
+
+
+class StdRandRule(LintHarness):
+    def test_std_rand_fires_anywhere(self) -> None:
+        found = self.lint_file(
+            "src/trace/bad.cpp", "int r = std::rand() % 6;\n")
+        self.assertIn("no-std-rand", self.rules(found))
+
+    def test_srand_fires(self) -> None:
+        found = self.lint_file("src/util/bad.cpp", "srand(42);\n")
+        self.assertIn("no-std-rand", self.rules(found))
+
+    def test_project_prng_is_fine(self) -> None:
+        found = self.lint_file(
+            "src/trace/good.cpp",
+            "util::Xoshiro256 rng(7);\nauto r = rng.below(6);\n")
+        self.assertEqual(self.rules(found), set())
+
+    def test_random_shuffle_word_is_fine(self) -> None:
+        found = self.lint_file(
+            "src/util/ok.cpp", "bool randomized = operand(x);\n")
+        self.assertEqual(self.rules(found), set())
+
+
+class FloatCostbenRule(LintHarness):
+    def test_float_in_costben_fires(self) -> None:
+        found = self.lint_file(
+            "src/core/costben/bad.hpp",
+            "#pragma once\nfloat t_disk = 15.0f;\n")
+        self.assertIn("no-float-costben", self.rules(found))
+
+    def test_double_in_costben_is_fine(self) -> None:
+        found = self.lint_file(
+            "src/core/costben/good.hpp",
+            "#pragma once\ndouble t_disk = 15.0;\n")
+        self.assertEqual(self.rules(found), set())
+
+    def test_float_outside_costben_is_fine(self) -> None:
+        found = self.lint_file("src/sim/ok.cpp", "float ratio = 0.5f;\n")
+        self.assertEqual(self.rules(found), set())
+
+    def test_float_in_comment_is_fine(self) -> None:
+        found = self.lint_file(
+            "src/core/costben/ok.cpp",
+            "// never use float here\ndouble x = 1.0;\n")
+        self.assertEqual(self.rules(found), set())
+
+
+class IncludeGuardRule(LintHarness):
+    def test_header_without_pragma_once_fires(self) -> None:
+        found = self.lint_file(
+            "src/util/bad.hpp",
+            "#ifndef PFP_BAD_HPP\n#define PFP_BAD_HPP\n#endif\n")
+        self.assertIn("include-guard", self.rules(found))
+        self.assertEqual(found[0].line, 0)
+
+    def test_pragma_once_is_fine(self) -> None:
+        found = self.lint_file("src/util/good.hpp", "#pragma once\nint x;\n")
+        self.assertEqual(self.rules(found), set())
+
+    def test_cpp_file_needs_no_guard(self) -> None:
+        found = self.lint_file("src/util/ok.cpp", "int x;\n")
+        self.assertEqual(self.rules(found), set())
+
+
+class CommentAndLiteralStripping(LintHarness):
+    def test_violation_inside_string_literal_is_fine(self) -> None:
+        found = self.lint_file(
+            "src/core/ok.cpp",
+            'const char* msg = "do not call std::rand() or new int";\n')
+        self.assertEqual(self.rules(found), set())
+
+    def test_multiline_block_comment_is_fine(self) -> None:
+        found = self.lint_file(
+            "src/core/ok2.cpp",
+            "/* std::map<int,int> banned\n   new int[4] also banned */\n"
+            "int x;\n")
+        self.assertEqual(self.rules(found), set())
+
+    def test_code_after_block_comment_still_checked(self) -> None:
+        found = self.lint_file(
+            "src/core/bad.cpp",
+            "/* harmless */ int* p = new int[4];\n")
+        self.assertIn("hot-alloc", self.rules(found))
+
+
+class Driver(LintHarness):
+    def test_run_reports_all_violations_and_exits_one(self) -> None:
+        self.write("src/core/bad.cpp", "int* p = new int[4];\n")
+        self.write("src/cache/bad.cpp", "std::map<int, int> m;\n")
+        self.write("src/util/good.hpp", "#pragma once\nint x;\n")
+        self.assertEqual(lint.run(self.root), 1)
+
+    def test_run_clean_tree_exits_zero(self) -> None:
+        self.write("src/core/good.cpp", "int x = 1;\n")
+        self.assertEqual(lint.run(self.root), 0)
+
+    def test_run_without_src_exits_two(self) -> None:
+        self.assertEqual(lint.run(self.root), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -68,7 +68,17 @@ def compare(fresh: dict, baseline_path: pathlib.Path, tolerance: float) -> int:
     if not baseline_path.exists():
         print(f"snapshot not found: {baseline_path}", file=sys.stderr)
         return 2
-    baseline = json.loads(baseline_path.read_text())["items_per_second"]
+    try:
+        payload = json.loads(baseline_path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError) as err:
+        print(f"snapshot {baseline_path} is not readable JSON: {err}",
+              file=sys.stderr)
+        return 2
+    baseline = payload.get("items_per_second")
+    if not isinstance(baseline, dict):
+        print(f"snapshot {baseline_path} has no 'items_per_second' table; "
+              f"was it written by this script?", file=sys.stderr)
+        return 2
     regressions = []
     width = max(map(len, fresh), default=0)
     for name, ips in sorted(fresh.items()):

@@ -1,6 +1,7 @@
 #include "cache/buffer_cache.hpp"
 
 #include "util/assert.hpp"
+#include "util/audit.hpp"
 
 namespace pfp::cache {
 
@@ -20,6 +21,7 @@ AccessResult BufferCache::access(BlockId block) {
     // cache; the buffer count is unchanged.
     const PrefetchEntry entry = prefetch_.remove(block);
     demand_.insert(block);
+    PFP_AUDIT_SWEEP(*this);
     return PrefetchHit{entry};
   }
   return Miss{};
@@ -28,12 +30,29 @@ AccessResult BufferCache::access(BlockId block) {
 void BufferCache::admit_demand(BlockId block) {
   PFP_REQUIRE(free_buffers() >= 1);
   demand_.insert(block);
+  PFP_AUDIT_SWEEP(*this);
 }
 
 void BufferCache::admit_prefetch(const PrefetchEntry& entry) {
   PFP_REQUIRE(free_buffers() >= 1);
   PFP_REQUIRE(!demand_.contains(entry.block));
   prefetch_.insert(entry);
+  PFP_AUDIT_SWEEP(*this);
+}
+
+void BufferCache::audit() const {
+#if PFP_AUDIT_ENABLED
+  demand_.audit();
+  prefetch_.audit();
+  PFP_AUDIT("BufferCache", resident() <= total_blocks_,
+            "partition sizes exceed the shared buffer pool");
+  // Figure 2: the partitions are disjoint — a block referenced while
+  // prefetched migrates, it is never duplicated.
+  for (const PrefetchEntry& entry : prefetch_.entries()) {
+    PFP_AUDIT("BufferCache", !demand_.contains(entry.block),
+              "block resident in both the demand and prefetch partitions");
+  }
+#endif
 }
 
 }  // namespace pfp::cache

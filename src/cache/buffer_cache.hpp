@@ -36,15 +36,17 @@ class BufferCache {
   /// the demand cache), or miss (no mutation).
   AccessResult access(BlockId block);
 
-  bool contains(BlockId block) const {
+  [[nodiscard]] bool contains(BlockId block) const {
     return demand_.contains(block) || prefetch_.contains(block);
   }
 
-  std::size_t total_blocks() const noexcept { return total_blocks_; }
-  std::size_t resident() const noexcept {
+  [[nodiscard]] std::size_t total_blocks() const noexcept {
+    return total_blocks_;
+  }
+  [[nodiscard]] std::size_t resident() const noexcept {
     return demand_.size() + prefetch_.size();
   }
-  std::size_t free_buffers() const noexcept {
+  [[nodiscard]] std::size_t free_buffers() const noexcept {
     return total_blocks_ - resident();
   }
 
@@ -55,9 +57,15 @@ class BufferCache {
   void admit_prefetch(const PrefetchEntry& entry);
 
   DemandCache& demand() noexcept { return demand_; }
-  const DemandCache& demand() const noexcept { return demand_; }
+  [[nodiscard]] const DemandCache& demand() const noexcept { return demand_; }
   PrefetchCache& prefetch() noexcept { return prefetch_; }
-  const PrefetchCache& prefetch() const noexcept { return prefetch_; }
+  [[nodiscard]] const PrefetchCache& prefetch() const noexcept { return prefetch_; }
+
+  /// SIM_AUDIT sweep: audits both partitions, then the Figure 2 pool
+  /// invariants — partition sizes sum within the pool and no block is
+  /// resident on both sides (docs/static-analysis.md).  No-op unless
+  /// compiled with SIM_AUDIT >= 1.
+  void audit() const;
 
  private:
   std::size_t total_blocks_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/assert.hpp"
+#include "util/audit.hpp"
 
 namespace pfp::cache {
 
@@ -73,6 +74,7 @@ std::optional<std::size_t> DemandCache::lookup_touch(BlockId block) {
   slot_time_[slot] = now_;
   mark(now_, +1);
   ++now_;
+  PFP_AUDIT_SWEEP(*this);
   return depth;
 }
 
@@ -90,6 +92,7 @@ void DemandCache::insert(BlockId block) {
   ++now_;
   map_.emplace(block, slot);
   lru_.push_front(slot);
+  PFP_AUDIT_SWEEP(*this);
 }
 
 BlockId DemandCache::evict_lru() {
@@ -99,6 +102,7 @@ BlockId DemandCache::evict_lru() {
   mark(slot_time_[slot], -1);
   map_.erase(block);
   free_slots_.push_back(slot);
+  PFP_AUDIT_SWEEP(*this);
   return block;
 }
 
@@ -118,6 +122,45 @@ void DemandCache::erase(BlockId block) {
   mark(slot_time_[slot], -1);
   map_.erase(it);
   free_slots_.push_back(slot);
+  PFP_AUDIT_SWEEP(*this);
+}
+
+void DemandCache::audit() const {
+#if PFP_AUDIT_ENABLED
+  PFP_AUDIT("DemandCache", map_.size() == lru_.size(),
+            "resident map and LRU list disagree on size");
+  PFP_AUDIT("DemandCache", map_.size() + free_slots_.size() == max_blocks_,
+            "slot accounting leak (resident + free != capacity)");
+  // Walk the LRU list: every linked slot must map back to itself through
+  // the resident map.  Bound the walk so a corrupted link cannot loop
+  // forever under a non-aborting handler.
+  std::size_t walked = 0;
+  for (auto slot = lru_.front();
+       slot != util::LruList::npos && walked <= map_.size();
+       slot = lru_.next(slot)) {
+    ++walked;
+    const auto it = map_.find(slot_block_[slot]);
+    PFP_AUDIT("DemandCache", it != map_.end() && it->second == slot,
+              "LRU slot does not round-trip through the resident map");
+    if (it == map_.end() || it->second != slot) {
+      return;  // stop the walk: the list and map no longer correspond
+    }
+  }
+  PFP_AUDIT("DemandCache", walked == map_.size(),
+            "LRU walk length does not match resident count");
+  // Rebuild the Fenwick tree from the resident slots' timestamps and
+  // compare element-wise: a root-level prefix query alone would miss
+  // drift in interior nodes that no coarse query traverses.
+  std::vector<std::int64_t> expected(fenwick_.size(), 0);
+  for (const auto& entry : map_) {
+    for (std::uint64_t i = slot_time_[entry.second] + 1;
+         i < expected.size(); i += i & (~i + 1)) {
+      expected[i] += 1;
+    }
+  }
+  PFP_AUDIT("DemandCache", expected == fenwick_,
+            "Fenwick stack-depth marks do not match resident timestamps");
+#endif
 }
 
 }  // namespace pfp::cache

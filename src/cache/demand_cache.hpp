@@ -33,7 +33,9 @@ class DemandCache {
   std::optional<std::size_t> lookup_touch(BlockId block);
 
   /// Non-mutating membership test.
-  bool contains(BlockId block) const { return map_.contains(block); }
+  [[nodiscard]] bool contains(BlockId block) const {
+    return map_.contains(block);
+  }
 
   /// Inserts a block at MRU.  The block must not be resident and the
   /// cache must not be full.
@@ -43,19 +45,27 @@ class DemandCache {
   BlockId evict_lru();
 
   /// The block an eviction would remove (no mutation); nullopt if empty.
-  std::optional<BlockId> lru_block() const;
+  [[nodiscard]] std::optional<BlockId> lru_block() const;
 
   /// Removes a specific resident block (used when a block is ejected for
   /// reasons other than LRU order, e.g. invalidation in tests).
   void erase(BlockId block);
 
-  std::size_t size() const noexcept { return map_.size(); }
-  std::size_t max_blocks() const noexcept { return max_blocks_; }
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return map_.empty(); }
+  [[nodiscard]] std::size_t max_blocks() const noexcept { return max_blocks_; }
+
+  /// SIM_AUDIT sweep: slot accounting, LRU <-> map agreement, Fenwick
+  /// mark count (docs/static-analysis.md).  No-op unless compiled with
+  /// SIM_AUDIT >= 1.
+  void audit() const;
 
  private:
-  std::size_t depth_of(std::uint64_t last_time) const;
+  friend struct AuditTestAccess;  // corruption hooks for audit tests
+
+  [[nodiscard]] std::size_t depth_of(std::uint64_t last_time) const;
   void mark(std::uint64_t time, int delta);
-  std::int64_t marks_at_most(std::uint64_t time) const;
+  [[nodiscard]] std::int64_t marks_at_most(std::uint64_t time) const;
   void compact();
 
   std::size_t max_blocks_;

@@ -37,9 +37,9 @@ class DiskArray {
   double submit(trace::BlockId block, double now_ms);
 
   /// Total time requests spent waiting behind other requests (ms).
-  double queue_delay_ms() const noexcept { return queue_delay_ms_; }
-  std::uint64_t requests() const noexcept { return requests_; }
-  const DiskConfig& config() const noexcept { return config_; }
+  [[nodiscard]] double queue_delay_ms() const noexcept { return queue_delay_ms_; }
+  [[nodiscard]] std::uint64_t requests() const noexcept { return requests_; }
+  [[nodiscard]] const DiskConfig& config() const noexcept { return config_; }
 
  private:
   DiskConfig config_;

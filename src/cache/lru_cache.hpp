@@ -24,20 +24,20 @@ class LruCache {
   /// On miss the block is inserted, evicting the LRU block if full.
   bool access(BlockId block);
 
-  bool contains(BlockId block) const { return map_.contains(block); }
-  std::size_t size() const noexcept { return map_.size(); }
-  std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool contains(BlockId block) const { return map_.contains(block); }
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
-  std::uint64_t hits() const noexcept { return hits_; }
-  std::uint64_t misses() const noexcept { return misses_; }
-  double hit_rate() const noexcept {
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] double hit_rate() const noexcept {
     const auto total = hits_ + misses_;
     return total ? static_cast<double>(hits_) / static_cast<double>(total)
                  : 0.0;
   }
 
   /// Resident blocks in MRU-to-LRU order (for tests; O(n)).
-  std::vector<BlockId> contents_mru_order() const;
+  [[nodiscard]] std::vector<BlockId> contents_mru_order() const;
 
  private:
   std::size_t capacity_;

@@ -1,6 +1,7 @@
 #include "cache/prefetch_cache.hpp"
 
 #include "util/assert.hpp"
+#include "util/audit.hpp"
 
 namespace pfp::cache {
 
@@ -39,6 +40,7 @@ void PrefetchCache::insert(const PrefetchEntry& entry) {
     obl_lru_.push_front(slot);
   }
   heap_.push(HeapItem{entry.eject_cost, slot, slot_generation_[slot]});
+  PFP_AUDIT_SWEEP(*this);
 }
 
 PrefetchEntry PrefetchCache::remove(BlockId block) {
@@ -53,6 +55,7 @@ PrefetchEntry PrefetchCache::remove(BlockId block) {
   }
   slot_generation_[slot] = ++generation_;  // invalidates heap items
   free_slots_.push_back(slot);
+  PFP_AUDIT_SWEEP(*this);
   return entry;
 }
 
@@ -97,6 +100,7 @@ void PrefetchCache::reprice(BlockId block, double eject_cost) {
   slots_[slot].eject_cost = eject_cost;
   slot_generation_[slot] = ++generation_;
   heap_.push(HeapItem{eject_cost, slot, slot_generation_[slot]});
+  PFP_AUDIT_SWEEP(*this);
 }
 
 std::vector<PrefetchEntry> PrefetchCache::entries() const {
@@ -106,6 +110,33 @@ std::vector<PrefetchEntry> PrefetchCache::entries() const {
     out.push_back(slots_[slot]);
   }
   return out;
+}
+
+void PrefetchCache::audit() const {
+#if PFP_AUDIT_ENABLED
+  PFP_AUDIT("PrefetchCache", map_.size() == insert_lru_.size(),
+            "resident map and insertion list disagree on size");
+  PFP_AUDIT("PrefetchCache", map_.size() + free_slots_.size() == max_blocks_,
+            "slot accounting leak (resident + free != capacity)");
+  std::size_t obl_seen = 0;
+  for (const auto& [block, slot] : map_) {
+    const PrefetchEntry& entry = slots_[slot];
+    PFP_AUDIT("PrefetchCache", entry.block == block,
+              "mapped slot stores a different block");
+    PFP_AUDIT("PrefetchCache", insert_lru_.contains(slot),
+              "resident slot missing from the insertion recency list");
+    PFP_AUDIT("PrefetchCache", entry.obl == obl_lru_.contains(slot),
+              "OBL flag disagrees with OBL recency list membership");
+    PFP_AUDIT("PrefetchCache",
+              entry.probability >= 0.0 && entry.probability <= 1.0,
+              "stored access probability outside [0, 1]");
+    if (entry.obl) {
+      ++obl_seen;
+    }
+  }
+  PFP_AUDIT("PrefetchCache", obl_seen == obl_lru_.size(),
+            "OBL entry count does not match OBL list size");
+#endif
 }
 
 }  // namespace pfp::cache

@@ -46,9 +46,11 @@ class PrefetchCache {
   /// Hit test without promotion semantics (prefetch blocks have no
   /// recency of their own once referenced — they migrate to the demand
   /// cache).  Returns the entry if resident.
-  std::optional<PrefetchEntry> lookup(BlockId block) const;
+  [[nodiscard]] std::optional<PrefetchEntry> lookup(BlockId block) const;
 
-  bool contains(BlockId block) const { return map_.contains(block); }
+  [[nodiscard]] bool contains(BlockId block) const {
+    return map_.contains(block);
+  }
 
   /// Inserts a prefetched block.  Must not be resident; cache must not be
   /// full (the caller reclaims buffers first).
@@ -59,25 +61,35 @@ class PrefetchCache {
   PrefetchEntry remove(BlockId block);
 
   /// Entry with the smallest eject_cost, if any (no mutation).
-  std::optional<PrefetchEntry> cheapest() const;
+  [[nodiscard]] std::optional<PrefetchEntry> cheapest() const;
 
   /// Least recently inserted OBL entry, if any.
-  std::optional<BlockId> oldest_obl() const;
+  [[nodiscard]] std::optional<BlockId> oldest_obl() const;
 
   /// Least recently inserted entry of any kind, if any.
-  std::optional<BlockId> oldest_any() const;
+  [[nodiscard]] std::optional<BlockId> oldest_any() const;
 
   /// Updates the stored ejection cost of a resident block.
   void reprice(BlockId block, double eject_cost);
 
-  std::size_t size() const noexcept { return map_.size(); }
-  std::size_t obl_count() const noexcept { return obl_lru_.size(); }
-  std::size_t max_blocks() const noexcept { return max_blocks_; }
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return map_.empty(); }
+  [[nodiscard]] std::size_t obl_count() const noexcept {
+    return obl_lru_.size();
+  }
+  [[nodiscard]] std::size_t max_blocks() const noexcept { return max_blocks_; }
 
   /// Resident entries in unspecified order (tests, introspection; O(n)).
-  std::vector<PrefetchEntry> entries() const;
+  [[nodiscard]] std::vector<PrefetchEntry> entries() const;
+
+  /// SIM_AUDIT sweep: slot accounting, insertion/OBL list agreement, OBL
+  /// flag consistency, probability bounds (docs/static-analysis.md).
+  /// No-op unless compiled with SIM_AUDIT >= 1.
+  void audit() const;
 
  private:
+  friend struct AuditTestAccess;  // corruption hooks for audit tests
+
   struct HeapItem {
     double cost;
     std::uint32_t slot;

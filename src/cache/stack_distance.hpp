@@ -32,12 +32,12 @@ class StackDistanceEstimator {
 
   /// Estimated rate of hits at stack depth exactly n, i.e. H(n) - H(n-1),
   /// in hits per access.  n is 1-based.
-  double marginal_hit_rate(std::size_t n) const;
+  [[nodiscard]] double marginal_hit_rate(std::size_t n) const;
 
   /// Estimated hit rate of an LRU cache of size n (sum of marginals).
-  double hit_rate(std::size_t n) const;
+  [[nodiscard]] double hit_rate(std::size_t n) const;
 
-  double accesses_weighted() const noexcept { return total_weight_; }
+  [[nodiscard]] double accesses_weighted() const noexcept { return total_weight_; }
 
   void reset();
 

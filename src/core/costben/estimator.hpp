@@ -35,13 +35,13 @@ class Estimators {
   void prefetch_outcome(bool accessed, bool obl);
 
   /// Current estimate of s (>= 0).
-  double s() const noexcept { return s_.value(); }
+  [[nodiscard]] double s() const noexcept { return s_.value(); }
   /// Current estimate of h in [0, 1] (tree-predicted blocks).
-  double h() const noexcept { return h_.value(); }
+  [[nodiscard]] double h() const noexcept { return h_.value(); }
   /// Current OBL hit-ratio estimate in [0, 1].
-  double obl_h() const noexcept { return obl_h_.value(); }
+  [[nodiscard]] double obl_h() const noexcept { return obl_h_.value(); }
 
-  std::uint64_t periods() const noexcept { return periods_; }
+  [[nodiscard]] std::uint64_t periods() const noexcept { return periods_; }
 
  private:
   util::Ewma s_;

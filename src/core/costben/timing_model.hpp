@@ -15,7 +15,7 @@ struct TimingParams {
   double t_cpu = 50.0;     ///< mean computation between I/Os
 
   /// T_miss = T_driver + T_disk + T_hit (Section 6.2).
-  double t_miss() const noexcept { return t_driver + t_disk + t_hit; }
+  [[nodiscard]] double t_miss() const noexcept { return t_driver + t_disk + t_hit; }
 };
 
 }  // namespace pfp::core::costben

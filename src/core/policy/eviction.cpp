@@ -13,7 +13,7 @@ constexpr double kInfinity = std::numeric_limits<double>::infinity();
 
 double demand_lru_cost(const Context& ctx) {
   const auto& demand = ctx.cache.demand();
-  if (demand.size() == 0) {
+  if (demand.empty()) {
     return kInfinity;
   }
   // Eq. 13 with the online estimate of H(n) - H(n-1) at the demand
@@ -60,7 +60,7 @@ double evict_cheapest(Context& ctx) {
 void evict_prefetch_first(Context& ctx) {
   PFP_REQUIRE(ctx.cache.resident() > 0);
   auto& prefetch = ctx.cache.prefetch();
-  if (prefetch.size() > 0) {
+  if (!prefetch.empty()) {
     const auto victim = prefetch.oldest_any();
     PFP_DASSERT(victim.has_value());
     do_eject_prefetch(ctx, *prefetch.lookup(*victim));
@@ -71,7 +71,7 @@ void evict_prefetch_first(Context& ctx) {
 
 void evict_demand_first(Context& ctx) {
   PFP_REQUIRE(ctx.cache.resident() > 0);
-  if (ctx.cache.demand().size() > 0) {
+  if (!ctx.cache.demand().empty()) {
     do_evict_demand_lru(ctx);
     return;
   }

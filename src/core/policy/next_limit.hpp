@@ -11,7 +11,7 @@ class NextLimit final : public Prefetcher {
   explicit NextLimit(double quota_fraction = 0.10)
       : lookahead_(quota_fraction) {}
 
-  std::string name() const override { return "next-limit"; }
+  [[nodiscard]] std::string name() const override { return "next-limit"; }
   void on_access(BlockId block, AccessOutcome outcome,
                  Context& ctx) override;
   void reclaim_for_demand(Context& ctx) override;

@@ -10,7 +10,7 @@ namespace pfp::core::policy {
 
 class NoPrefetch final : public Prefetcher {
  public:
-  std::string name() const override { return "no-prefetch"; }
+  [[nodiscard]] std::string name() const override { return "no-prefetch"; }
   void on_access(BlockId block, AccessOutcome outcome,
                  Context& ctx) override;
   void reclaim_for_demand(Context& ctx) override;

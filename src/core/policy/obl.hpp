@@ -23,7 +23,7 @@ class SequentialLookahead {
   /// Returns true if a prefetch was issued.
   bool maybe_prefetch_next(BlockId block, Context& ctx);
 
-  double quota_fraction() const noexcept { return quota_fraction_; }
+  [[nodiscard]] double quota_fraction() const noexcept { return quota_fraction_; }
 
  private:
   double quota_fraction_;

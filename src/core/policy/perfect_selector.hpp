@@ -16,7 +16,7 @@ class PerfectSelector final : public TreeInstrumentedPrefetcher {
   PerfectSelector();  // unbounded tree
   explicit PerfectSelector(tree::TreeConfig config);
 
-  std::string name() const override { return "perfect-selector"; }
+  [[nodiscard]] std::string name() const override { return "perfect-selector"; }
   void on_access(BlockId block, AccessOutcome outcome,
                  Context& ctx) override;
   void reclaim_for_demand(Context& ctx) override;

@@ -25,7 +25,7 @@ class Prefetcher {
   virtual ~Prefetcher() = default;
 
   /// Stable identifier ("tree", "next-limit", ...).
-  virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
 
   /// Called once per trace reference, after the cache state reflects the
   /// access (hit promoted / prefetch migrated / missed block admitted).

@@ -31,15 +31,15 @@ class ProbGraph final : public Prefetcher {
   ProbGraph();  // default config
   explicit ProbGraph(ProbGraphConfig config);
 
-  std::string name() const override { return "prob-graph"; }
+  [[nodiscard]] std::string name() const override { return "prob-graph"; }
   void on_access(BlockId block, AccessOutcome outcome,
                  Context& ctx) override;
   void reclaim_for_demand(Context& ctx) override;
 
   /// Observed P(next == successor | current == block); 0 if unknown.
-  double successor_probability(BlockId block, BlockId successor) const;
+  [[nodiscard]] double successor_probability(BlockId block, BlockId successor) const;
 
-  std::size_t tracked_blocks() const noexcept { return graph_.size(); }
+  [[nodiscard]] std::size_t tracked_blocks() const noexcept { return graph_.size(); }
 
  private:
   struct Edge {

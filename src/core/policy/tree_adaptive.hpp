@@ -28,11 +28,11 @@ class TreeAdaptive final : public TreeCostBenefit {
   TreeAdaptive();  // default configs
   TreeAdaptive(TreePolicyConfig tree_config, AdaptiveConfig adaptive);
 
-  std::string name() const override { return "tree-adaptive"; }
+  [[nodiscard]] std::string name() const override { return "tree-adaptive"; }
   void on_access(BlockId block, AccessOutcome outcome,
                  Context& ctx) override;
 
-  double probability_floor() const noexcept override { return floor_; }
+  [[nodiscard]] double probability_floor() const noexcept override { return floor_; }
 
  private:
   AdaptiveConfig adaptive_;

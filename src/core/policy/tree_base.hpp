@@ -15,7 +15,7 @@ class TreeInstrumentedPrefetcher : public Prefetcher {
  public:
   explicit TreeInstrumentedPrefetcher(tree::TreeConfig config);
 
-  const tree::PrefetchTree& prefetch_tree() const noexcept { return tree_; }
+  [[nodiscard]] const tree::PrefetchTree& prefetch_tree() const noexcept { return tree_; }
 
  protected:
   /// Feeds the reference through the parse and updates the shared tree

@@ -15,12 +15,12 @@ class TreeChildren final : public TreeInstrumentedPrefetcher {
   explicit TreeChildren(std::uint32_t count,
                         tree::TreeConfig config = tree::TreeConfig{});
 
-  std::string name() const override;
+  [[nodiscard]] std::string name() const override;
   void on_access(BlockId block, AccessOutcome outcome,
                  Context& ctx) override;
   void reclaim_for_demand(Context& ctx) override;
 
-  std::uint32_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint32_t count() const noexcept { return count_; }
 
  private:
   std::uint32_t count_;

@@ -15,7 +15,7 @@ class TreeLvc final : public TreeCostBenefit {
   TreeLvc();  // default config
   explicit TreeLvc(TreePolicyConfig config);
 
-  std::string name() const override { return "tree-lvc"; }
+  [[nodiscard]] std::string name() const override { return "tree-lvc"; }
   void on_access(BlockId block, AccessOutcome outcome,
                  Context& ctx) override;
 };

@@ -17,7 +17,7 @@ class TreeNextLimit final : public TreeCostBenefit {
   TreeNextLimit();  // default config, 10 % OBL quota
   TreeNextLimit(TreePolicyConfig config, double quota_fraction);
 
-  std::string name() const override { return "tree-next-limit"; }
+  [[nodiscard]] std::string name() const override { return "tree-next-limit"; }
   void on_access(BlockId block, AccessOutcome outcome,
                  Context& ctx) override;
 

@@ -50,18 +50,18 @@ class TreeCostBenefit : public TreeInstrumentedPrefetcher {
   TreeCostBenefit();  // default config
   explicit TreeCostBenefit(TreePolicyConfig config);
 
-  std::string name() const override { return "tree"; }
+  [[nodiscard]] std::string name() const override { return "tree"; }
   void on_access(BlockId block, AccessOutcome outcome,
                  Context& ctx) override;
   void reclaim_for_demand(Context& ctx) override;
 
-  const TreePolicyConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const TreePolicyConfig& config() const noexcept { return config_; }
 
  protected:
   /// Minimum path probability a candidate must carry to be considered
   /// this period.  The base policy imposes none beyond the enumerator's
   /// static cutoff; tree-adaptive overrides this with its feedback floor.
-  virtual double probability_floor() const noexcept { return 0.0; }
+  [[nodiscard]] virtual double probability_floor() const noexcept { return 0.0; }
 
   /// Runs selection/pricing/decision for this period; returns the number
   /// of prefetches issued (callers fold it into the s estimate).

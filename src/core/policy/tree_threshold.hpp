@@ -16,12 +16,12 @@ class TreeThreshold final : public TreeInstrumentedPrefetcher {
   explicit TreeThreshold(double threshold,
                          tree::TreeConfig config = tree::TreeConfig{});
 
-  std::string name() const override;
+  [[nodiscard]] std::string name() const override;
   void on_access(BlockId block, AccessOutcome outcome,
                  Context& ctx) override;
   void reclaim_for_demand(Context& ctx) override;
 
-  double threshold() const noexcept { return threshold_; }
+  [[nodiscard]] double threshold() const noexcept { return threshold_; }
 
  private:
   double threshold_;

@@ -47,7 +47,7 @@ class NodePool {
   NodeId create(NodeId parent, BlockId block);
 
   /// Child of `parent` labelled `block`, or kNoNode.
-  NodeId find_child(NodeId parent, BlockId block) const;
+  [[nodiscard]] NodeId find_child(NodeId parent, BlockId block) const;
 
   /// Increments a node's weight, restoring the parent's descending-weight
   /// child order with one binary search + swap (weights only ever grow by
@@ -61,13 +61,13 @@ class NodePool {
   Node& operator[](NodeId id) { return nodes_[id]; }
   const Node& operator[](NodeId id) const { return nodes_[id]; }
 
-  std::size_t live_nodes() const noexcept { return live_; }
+  [[nodiscard]] std::size_t live_nodes() const noexcept { return live_; }
   /// Upper bound on node ids ever allocated (for sizing side tables).
-  std::size_t id_bound() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t id_bound() const noexcept { return nodes_.size(); }
 
   /// Paper's storage accounting: 40 bytes per node (Section 9.3).
   static constexpr std::size_t kPaperBytesPerNode = 40;
-  std::size_t approx_memory_bytes() const noexcept {
+  [[nodiscard]] std::size_t approx_memory_bytes() const noexcept {
     return live_ * kPaperBytesPerNode;
   }
 

@@ -20,13 +20,13 @@ struct PredictabilityReport {
   std::size_t tree_nodes = 0;           ///< final tree size
 
   /// Table 2's "prediction accuracy".
-  double prediction_accuracy() const {
+  [[nodiscard]] double prediction_accuracy() const {
     return accesses == 0 ? 0.0
                          : static_cast<double>(predictable) /
                                static_cast<double>(accesses);
   }
   /// Table 3's last-visited-child revisit rate.
-  double lvc_revisit_rate() const {
+  [[nodiscard]] double lvc_revisit_rate() const {
     return lvc_opportunities == 0
                ? 0.0
                : static_cast<double>(lvc_followed) /

@@ -1,6 +1,9 @@
 #include "core/tree/prefetch_tree.hpp"
 
+#include <vector>
+
 #include "util/assert.hpp"
+#include "util/audit.hpp"
 
 namespace pfp::core::tree {
 
@@ -108,7 +111,69 @@ AccessInfo PrefetchTree::access(BlockId block) {
       }
     }
   }
+  PFP_AUDIT_SWEEP(*this);
   return info;
+}
+
+void PrefetchTree::audit() const {
+#if PFP_AUDIT_ENABLED
+  // Preorder walk from the root; every structural invariant is checked at
+  // the node that owns it.  The walk is bounded by the live-node count so
+  // a corrupted child link cannot loop forever under a throwing handler.
+  std::vector<NodeId> stack{root_};
+  std::size_t visited = 0;
+  bool current_reachable = false;
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    ++visited;
+    if (visited > pool_.live_nodes()) {
+      PFP_AUDIT("PrefetchTree", false,
+                "reachable nodes exceed live count (child-link cycle?)");
+      return;
+    }
+    if (id == current_) {
+      current_reachable = true;
+    }
+    const Node& n = pool_[id];
+    const bool is_leaf = n.children.empty() && id != root_;
+    PFP_AUDIT("PrefetchTree", leaf_lru_.contains(id) == is_leaf,
+              "leaf-LRU membership disagrees with leaf status");
+    std::uint64_t child_weight_sum = 0;
+    std::uint64_t prev_weight = ~0ULL;
+    bool lvc_found = n.last_visited_child == kNoNode;
+    for (std::size_t i = 0; i < n.children.size(); ++i) {
+      const NodeId c = n.children[i];
+      const Node& child = pool_[c];
+      PFP_AUDIT("PrefetchTree", child.parent == id,
+                "child's parent link does not point back (symmetry)");
+      PFP_AUDIT("PrefetchTree",
+                child.pos_in_parent == static_cast<std::uint32_t>(i),
+                "child's pos_in_parent disagrees with the child list");
+      PFP_AUDIT("PrefetchTree", pool_.find_child(id, child.block) == c,
+                "edge map disagrees with the child list");
+      PFP_AUDIT("PrefetchTree", child.weight <= prev_weight,
+                "children not in descending-weight order");
+      prev_weight = child.weight;
+      child_weight_sum += child.weight;
+      if (c == n.last_visited_child) {
+        lvc_found = true;
+      }
+      stack.push_back(c);
+    }
+    // Every arrival at a child follows a distinct arrival at this node
+    // (Section 2's parse), so child visit counts can never outnumber the
+    // node's own.
+    PFP_AUDIT("PrefetchTree", child_weight_sum <= n.weight,
+              "children's weights sum past the node's visit count");
+    PFP_AUDIT("PrefetchTree", lvc_found,
+              "last-visited child is not among the node's children");
+  }
+  PFP_AUDIT("PrefetchTree", visited == pool_.live_nodes(),
+            "live nodes unreachable from the root");
+  PFP_AUDIT("PrefetchTree", current_reachable,
+            "parse position (current node) unreachable from the root");
+#endif
 }
 
 }  // namespace pfp::core::tree

@@ -56,33 +56,42 @@ class PrefetchTree {
   AccessInfo access(BlockId block);
 
   /// Node the parse is currently positioned at (prediction context).
-  NodeId current() const noexcept { return current_; }
-  NodeId root() const noexcept { return root_; }
+  [[nodiscard]] NodeId current() const noexcept { return current_; }
+  [[nodiscard]] NodeId root() const noexcept { return root_; }
 
-  const Node& node(NodeId id) const { return pool_[id]; }
-  std::span<const NodeId> children(NodeId id) const {
+  [[nodiscard]] const Node& node(NodeId id) const { return pool_[id]; }
+  [[nodiscard]] std::span<const NodeId> children(NodeId id) const {
     const auto& c = pool_[id].children;
     return {c.data(), c.size()};
   }
 
   /// weight(child) / weight(parent) — the edge probability.
-  double edge_probability(NodeId parent, NodeId child) const;
+  [[nodiscard]] double edge_probability(NodeId parent, NodeId child) const;
 
   /// Child of `id` labelled `block`, or kNoNode.
-  NodeId find_child(NodeId id, BlockId block) const {
+  [[nodiscard]] NodeId find_child(NodeId id, BlockId block) const {
     return pool_.find_child(id, block);
   }
 
   /// Last-visited child of `id`, or kNoNode (Section 9.6).
-  NodeId last_visited_child(NodeId id) const {
+  [[nodiscard]] NodeId last_visited_child(NodeId id) const {
     return pool_[id].last_visited_child;
   }
 
-  std::size_t node_count() const noexcept { return pool_.live_nodes(); }
-  std::size_t approx_memory_bytes() const noexcept {
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return pool_.live_nodes();
+  }
+  [[nodiscard]] std::size_t approx_memory_bytes() const noexcept {
     return pool_.approx_memory_bytes();
   }
-  const TreeConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const TreeConfig& config() const noexcept { return config_; }
+
+  /// SIM_AUDIT sweep: parent/child symmetry, descending-weight child
+  /// order, edge-map agreement, child weight sums, leaf-LRU membership,
+  /// and reachability of every live node and of the parse position
+  /// (docs/static-analysis.md).  No-op unless compiled with
+  /// SIM_AUDIT >= 1.
+  void audit() const;
 
   /// Persists the tree's structure (topology, blocks, weights) as a
   /// compact binary stream, so a trained predictor can warm-start a later
@@ -97,6 +106,8 @@ class PrefetchTree {
                                   TreeConfig config = TreeConfig{});
 
  private:
+  friend struct AuditTestAccess;  // corruption hooks for audit tests
+
   /// Deserialization helper: attach a child with a known weight, keeping
   /// the leaf-LRU bookkeeping consistent.  Children must be restored in
   /// descending-weight order (the serialized order).

@@ -32,31 +32,31 @@ struct Metrics {
   // --- derived -----------------------------------------------------------
 
   /// Miss rate in the combined demand + prefetch cache (Figure 6 y-axis).
-  double miss_rate() const;
+  [[nodiscard]] double miss_rate() const;
   /// Fraction of accesses served by either cache.
-  double hit_rate() const { return 1.0 - miss_rate(); }
+  [[nodiscard]] double hit_rate() const { return 1.0 - miss_rate(); }
   /// Fraction of prefetched blocks that were referenced before ejection
   /// (Figure 9 / Figure 12 y-axis).
-  double prefetch_cache_hit_rate() const;
+  [[nodiscard]] double prefetch_cache_hit_rate() const;
   /// Blocks prefetched per access period, the measured s (Fig 8 / 11).
-  double prefetches_per_access() const;
+  [[nodiscard]] double prefetches_per_access() const;
   /// Mean tree-assigned probability of prefetched blocks (Figure 10).
-  double mean_prefetch_probability() const;
+  [[nodiscard]] double mean_prefetch_probability() const;
   /// Fraction of chosen candidates already resident (Figure 7).
-  double candidates_cached_fraction() const;
+  [[nodiscard]] double candidates_cached_fraction() const;
   /// Prediction accuracy: predictable accesses / accesses (Table 2).
-  double prediction_accuracy() const;
+  [[nodiscard]] double prediction_accuracy() const;
   /// Of predictable accesses, fraction NOT already cached (Figure 14).
-  double predictable_uncached_fraction() const;
+  [[nodiscard]] double predictable_uncached_fraction() const;
   /// Last-visited-child revisit rate (Table 3).
-  double lvc_revisit_rate() const;
+  [[nodiscard]] double lvc_revisit_rate() const;
   /// Fraction of last-visited children already cached (Figure 16).
-  double lvc_cached_fraction() const;
+  [[nodiscard]] double lvc_cached_fraction() const;
   /// Extra disk traffic from prefetching, relative to demand fetches.
-  double prefetch_traffic_ratio() const;
+  [[nodiscard]] double prefetch_traffic_ratio() const;
 
   /// Multi-line summary for logs/examples.
-  std::string summary() const;
+  [[nodiscard]] std::string summary() const;
 };
 
 }  // namespace pfp::sim

@@ -45,12 +45,12 @@ class OnlineSession {
   AccessResult access(trace::BlockId block);
 
   /// Metrics accumulated so far (misses, prefetch hit rate, ...).
-  const Metrics& metrics() const;
+  [[nodiscard]] const Metrics& metrics() const;
 
   /// The cache state, for introspection.
-  const cache::BufferCache& buffer_cache() const;
+  [[nodiscard]] const cache::BufferCache& buffer_cache() const;
 
-  const SimConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
 
  private:
   SimConfig config_;

@@ -45,9 +45,9 @@ class Simulator {
 
   /// Access to live state mid-run (tests drive step() directly).
   void step(const trace::Trace& trace, std::size_t index);
-  const cache::BufferCache& buffer_cache() const { return cache_; }
-  const Metrics& metrics() const { return metrics_; }
-  const core::policy::Prefetcher& prefetcher() const { return *policy_; }
+  [[nodiscard]] const cache::BufferCache& buffer_cache() const { return cache_; }
+  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+  [[nodiscard]] const core::policy::Prefetcher& prefetcher() const { return *policy_; }
 
  private:
   SimConfig config_;

@@ -42,9 +42,9 @@ class CadGenerator {
 
   explicit CadGenerator(Config config);
 
-  Trace generate() const;
+  [[nodiscard]] Trace generate() const;
 
-  const Config& config() const noexcept { return config_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
 
  private:
   Config config_;

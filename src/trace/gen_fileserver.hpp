@@ -41,9 +41,9 @@ class FileServerGenerator {
 
   explicit FileServerGenerator(Config config);
 
-  Trace generate() const;
+  [[nodiscard]] Trace generate() const;
 
-  const Config& config() const noexcept { return config_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
 
  private:
   Config config_;

@@ -40,9 +40,9 @@ class SitarGenerator {
   explicit SitarGenerator(Config config);
 
   /// Deterministic for a fixed config (including seed).
-  Trace generate() const;
+  [[nodiscard]] Trace generate() const;
 
-  const Config& config() const noexcept { return config_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
 
  private:
   Config config_;

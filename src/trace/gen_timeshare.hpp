@@ -50,9 +50,9 @@ class TimeshareGenerator {
 
   explicit TimeshareGenerator(Config config);
 
-  Trace generate() const;
+  [[nodiscard]] Trace generate() const;
 
-  const Config& config() const noexcept { return config_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
 
  private:
   Config config_;

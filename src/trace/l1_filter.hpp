@@ -32,10 +32,10 @@ class L1Filter {
   /// not a separate dataset.
   Trace filter(const Trace& input);
 
-  std::size_t capacity() const noexcept { return capacity_; }
-  std::size_t resident() const noexcept { return map_.size(); }
-  std::uint64_t hits() const noexcept { return hits_; }
-  std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t resident() const noexcept { return map_.size(); }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
 
  private:
   std::size_t capacity_;

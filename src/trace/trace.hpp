@@ -19,11 +19,11 @@ class Trace {
   Trace(std::string name, std::vector<TraceRecord> records)
       : name_(std::move(name)), records_(std::move(records)) {}
 
-  const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 
-  std::size_t size() const noexcept { return records_.size(); }
-  bool empty() const noexcept { return records_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
 
   const TraceRecord& operator[](std::size_t i) const { return records_[i]; }
 
@@ -34,13 +34,13 @@ class Trace {
   void reserve(std::size_t n) { records_.reserve(n); }
   void clear() { records_.clear(); }
 
-  std::span<const TraceRecord> records() const noexcept { return records_; }
+  [[nodiscard]] std::span<const TraceRecord> records() const noexcept { return records_; }
 
-  auto begin() const noexcept { return records_.begin(); }
-  auto end() const noexcept { return records_.end(); }
+  [[nodiscard]] auto begin() const noexcept { return records_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return records_.end(); }
 
   /// Number of distinct blocks referenced (O(n) scan).
-  std::size_t unique_blocks() const;
+  [[nodiscard]] std::size_t unique_blocks() const;
 
   /// Keeps only the first n records (no-op if already shorter).
   void truncate(std::size_t n);

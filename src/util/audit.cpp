@@ -1,0 +1,35 @@
+#include "util/audit.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pfp::util {
+
+namespace {
+
+[[noreturn]] void default_handler(const char* component, const char* what,
+                                  const char* file, int line) {
+  std::fprintf(stderr, "pfp: SIM_AUDIT failed: %s: %s (%s:%d)\n", component,
+               what, file, line);
+  std::abort();
+}
+
+// Handler swaps happen on test threads while audits may run anywhere, so
+// the slot is atomic; relaxed ordering suffices — installing a handler is
+// not a synchronization point for the structures being audited.
+std::atomic<AuditHandler> g_handler{&default_handler};
+
+}  // namespace
+
+AuditHandler set_audit_handler(AuditHandler handler) noexcept {
+  return g_handler.exchange(handler != nullptr ? handler : &default_handler,
+                            std::memory_order_relaxed);
+}
+
+void audit_failure(const char* component, const char* what, const char* file,
+                   int line) {
+  g_handler.load(std::memory_order_relaxed)(component, what, file, line);
+}
+
+}  // namespace pfp::util

@@ -1,0 +1,67 @@
+// SIM_AUDIT: opt-in deep invariant checking for debug builds.
+//
+// The cost-benefit scheme leans on structural invariants the type system
+// cannot express: the demand/prefetch partition of the buffer pool
+// (Figure 2), LRU-list/hash-map agreement inside each cache, and the
+// parent/child/weight discipline of the LZ prefetch tree (Section 2).
+// PFP_DASSERT guards single operations; the audits here sweep whole
+// containers and cross-check redundant state, so a bookkeeping bug is
+// caught at the operation that introduced it instead of thousands of
+// accesses later when a counter drifts.
+//
+// Levels (set SIM_AUDIT at compile time; CMake: -DPFP_AUDIT=ON and
+// -DPFP_AUDIT_LEVEL=<1|2>):
+//   0 (default)  audits compile to nothing; zero release overhead.
+//   1            audit() sweeps are compiled and callable — tests and
+//                tools invoke them explicitly after interesting ops.
+//   2            every mutating container operation additionally runs a
+//                full sweep (O(n) per op; debugging sessions only).
+//
+// On a violated invariant the installed handler is called; the default
+// prints the failure and aborts.  Tests install a throwing handler to
+// assert that a deliberately corrupted structure is detected.
+#pragma once
+
+#ifndef SIM_AUDIT
+#define SIM_AUDIT 0
+#endif
+
+#define PFP_AUDIT_ENABLED (SIM_AUDIT >= 1)
+
+namespace pfp::util {
+
+/// Called with the auditing component ("DemandCache", ...), a description
+/// of the violated invariant, and the audit's source location.  The
+/// handler may throw (tests) or return (logging); returning from the
+/// default handler is impossible — it aborts.
+using AuditHandler = void (*)(const char* component, const char* what,
+                              const char* file, int line);
+
+/// Installs a new failure handler and returns the previous one.
+/// Pass nullptr to restore the default print-and-abort handler.
+AuditHandler set_audit_handler(AuditHandler handler) noexcept;
+
+/// Invokes the current handler (used by the PFP_AUDIT macro).
+void audit_failure(const char* component, const char* what, const char* file,
+                   int line);
+
+}  // namespace pfp::util
+
+#if PFP_AUDIT_ENABLED
+#define PFP_AUDIT(component, cond, what)                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::pfp::util::audit_failure(component, what, __FILE__, __LINE__);     \
+    }                                                                      \
+  } while (0)
+// Level-2 hook: placed at the end of mutating operations; expands to a
+// full audit sweep only when per-operation auditing was requested.
+#if SIM_AUDIT >= 2
+#define PFP_AUDIT_SWEEP(obj) (obj).audit()
+#else
+#define PFP_AUDIT_SWEEP(obj) ((void)0)
+#endif
+#else
+#define PFP_AUDIT(component, cond, what) ((void)0)
+#define PFP_AUDIT_SWEEP(obj) ((void)0)
+#endif

@@ -39,8 +39,8 @@ class CsvWriter {
 
   RowBuilder row() { return RowBuilder(*this); }
 
-  std::size_t columns() const noexcept { return columns_; }
-  std::size_t rows_written() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t columns() const noexcept { return columns_; }
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
 
   /// Escapes one field per RFC 4180.
   static std::string escape(std::string_view field);

@@ -28,8 +28,8 @@ class Ewma {
     value_ += alpha_ * (sample - value_);
   }
 
-  double value() const noexcept { return value_; }
-  bool seeded() const noexcept { return seeded_; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] bool seeded() const noexcept { return seeded_; }
 
   /// Resets to the given initial estimate and forgets all samples.
   void reset(double initial = 0.0) noexcept {

@@ -73,21 +73,21 @@ class FlatMap {
   FlatMap() = default;
   explicit FlatMap(std::size_t expected) { reserve(expected); }
 
-  std::size_t size() const noexcept { return size_; }
-  bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
 
   iterator begin() { return iterator(this, 0); }
   iterator end() { return iterator(this, slots_.size()); }
-  const_iterator begin() const { return const_iterator(this, 0); }
-  const_iterator end() const { return const_iterator(this, slots_.size()); }
+  [[nodiscard]] const_iterator begin() const { return const_iterator(this, 0); }
+  [[nodiscard]] const_iterator end() const { return const_iterator(this, slots_.size()); }
 
-  bool contains(const Key& key) const { return find_index(key) != knpos; }
+  [[nodiscard]] bool contains(const Key& key) const { return find_index(key) != knpos; }
 
   iterator find(const Key& key) {
     const std::size_t i = find_index(key);
     return i == knpos ? end() : iterator(this, i);
   }
-  const_iterator find(const Key& key) const {
+  [[nodiscard]] const_iterator find(const Key& key) const {
     const std::size_t i = find_index(key);
     return i == knpos ? end() : const_iterator(this, i);
   }
@@ -154,7 +154,7 @@ class FlatMap {
   }
 
   /// Slots in the backing array (power of two; 0 before first insert).
-  std::size_t capacity() const noexcept { return slots_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
 
  private:
   static constexpr std::size_t knpos = static_cast<std::size_t>(-1);
@@ -162,14 +162,14 @@ class FlatMap {
 
   /// Fibonacci-mixes the user hash so identity hashes (std::hash on
   /// integers) still spread across the table.
-  std::size_t home(const Key& key) const {
+  [[nodiscard]] std::size_t home(const Key& key) const {
     std::uint64_t x = static_cast<std::uint64_t>(hash_(key));
     x *= 0x9e3779b97f4a7c15ULL;
     x ^= x >> 32;
     return static_cast<std::size_t>(x) & mask_;
   }
 
-  std::size_t find_index(const Key& key) const {
+  [[nodiscard]] std::size_t find_index(const Key& key) const {
     if (slots_.empty()) {
       return knpos;
     }

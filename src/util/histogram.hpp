@@ -15,18 +15,18 @@ class LinearHistogram {
 
   void add(double x, std::uint64_t weight = 1);
 
-  std::size_t bins() const noexcept { return counts_.size(); }
-  std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
-  double bin_lo(std::size_t i) const;
-  double bin_hi(std::size_t i) const;
-  std::uint64_t underflow() const noexcept { return underflow_; }
-  std::uint64_t overflow() const noexcept { return overflow_; }
-  std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
 
   /// Value below which the given fraction q (0..1) of samples fall,
   /// linearly interpolated within the bin.  Under/overflow samples clamp
   /// to the range edges.
-  double quantile(double q) const;
+  [[nodiscard]] double quantile(double q) const;
 
   void reset();
 
@@ -47,16 +47,16 @@ class Log2Histogram {
  public:
   void add(std::uint64_t x, std::uint64_t weight = 1);
 
-  std::size_t buckets() const noexcept { return counts_.size(); }
-  std::uint64_t bucket_count(std::size_t i) const;
+  [[nodiscard]] std::size_t buckets() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const;
   /// Inclusive lower bound of bucket i.
   static std::uint64_t bucket_lo(std::size_t i) noexcept;
   /// Inclusive upper bound of bucket i.
   static std::uint64_t bucket_hi(std::size_t i) noexcept;
-  std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
 
   /// Render as "lo-hi: count" lines for reports.
-  std::string to_string() const;
+  [[nodiscard]] std::string to_string() const;
 
   void reset();
 

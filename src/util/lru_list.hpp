@@ -34,25 +34,25 @@ class LruList {
     prev_.resize(capacity, unlinked);
   }
 
-  std::size_t capacity() const noexcept { return next_.size(); }
-  std::size_t size() const noexcept { return size_; }
-  bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return next_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
 
-  bool contains(std::uint32_t slot) const noexcept {
+  [[nodiscard]] bool contains(std::uint32_t slot) const noexcept {
     return slot < next_.size() && next_[slot] != unlinked;
   }
 
-  std::uint32_t front() const noexcept { return head_; }
-  std::uint32_t back() const noexcept { return tail_; }
+  [[nodiscard]] std::uint32_t front() const noexcept { return head_; }
+  [[nodiscard]] std::uint32_t back() const noexcept { return tail_; }
 
   /// Successor toward the LRU end; npos past the tail.
-  std::uint32_t next(std::uint32_t slot) const noexcept {
+  [[nodiscard]] std::uint32_t next(std::uint32_t slot) const noexcept {
     PFP_DASSERT(contains(slot));
     return next_[slot] == end_mark ? npos : next_[slot];
   }
 
   /// Predecessor toward the MRU end; npos before the head.
-  std::uint32_t prev(std::uint32_t slot) const noexcept {
+  [[nodiscard]] std::uint32_t prev(std::uint32_t slot) const noexcept {
     PFP_DASSERT(contains(slot));
     return prev_[slot] == end_mark ? npos : prev_[slot];
   }

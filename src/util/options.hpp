@@ -27,17 +27,17 @@ class Options {
   bool parse(int argc, const char* const* argv);
 
   /// Accessors; fatal (PFP_REQUIRE) if the option was never registered.
-  std::string str(const std::string& name) const;
-  std::uint64_t u64(const std::string& name) const;
-  double real(const std::string& name) const;
-  bool flag(const std::string& name) const;
+  [[nodiscard]] std::string str(const std::string& name) const;
+  [[nodiscard]] std::uint64_t u64(const std::string& name) const;
+  [[nodiscard]] double real(const std::string& name) const;
+  [[nodiscard]] bool flag(const std::string& name) const;
 
-  const std::vector<std::string>& positional() const noexcept {
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
     return positional_;
   }
 
   /// Usage text generated from the registered options.
-  std::string usage(const std::string& program) const;
+  [[nodiscard]] std::string usage(const std::string& program) const;
 
  private:
   struct Spec {

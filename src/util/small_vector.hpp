@@ -57,13 +57,13 @@ class SmallVector {
   ~SmallVector() { release(); }
 
   T* data() noexcept { return on_heap() ? heap_ : inline_; }
-  const T* data() const noexcept { return on_heap() ? heap_ : inline_; }
+  [[nodiscard]] const T* data() const noexcept { return on_heap() ? heap_ : inline_; }
 
-  std::size_t size() const noexcept { return size_; }
-  bool empty() const noexcept { return size_ == 0; }
-  std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   /// Whether elements currently live in the heap spill (introspection).
-  bool on_heap() const noexcept { return capacity_ > N; }
+  [[nodiscard]] bool on_heap() const noexcept { return capacity_ > N; }
 
   T& operator[](std::size_t i) {
     PFP_DASSERT(i < size_);
@@ -78,21 +78,21 @@ class SmallVector {
     PFP_DASSERT(size_ > 0);
     return data()[size_ - 1];
   }
-  const T& back() const {
+  [[nodiscard]] const T& back() const {
     PFP_DASSERT(size_ > 0);
     return data()[size_ - 1];
   }
 
   iterator begin() noexcept { return data(); }
   iterator end() noexcept { return data() + size_; }
-  const_iterator begin() const noexcept { return data(); }
-  const_iterator end() const noexcept { return data() + size_; }
+  [[nodiscard]] const_iterator begin() const noexcept { return data(); }
+  [[nodiscard]] const_iterator end() const noexcept { return data() + size_; }
   reverse_iterator rbegin() noexcept { return reverse_iterator(end()); }
   reverse_iterator rend() noexcept { return reverse_iterator(begin()); }
-  const_reverse_iterator rbegin() const noexcept {
+  [[nodiscard]] const_reverse_iterator rbegin() const noexcept {
     return const_reverse_iterator(end());
   }
-  const_reverse_iterator rend() const noexcept {
+  [[nodiscard]] const_reverse_iterator rend() const noexcept {
     return const_reverse_iterator(begin());
   }
 
@@ -124,7 +124,7 @@ class SmallVector {
 
  private:
   void grow(std::size_t new_capacity) {
-    T* fresh = new T[new_capacity];
+    T* fresh = new T[new_capacity];  // lint: allow(naked-new) -- owns buffer
     std::memcpy(fresh, data(), size_ * sizeof(T));
     release();
     heap_ = fresh;
@@ -140,7 +140,7 @@ class SmallVector {
 
   void assign_from(const SmallVector& other) {
     if (other.size_ > N) {
-      heap_ = new T[other.capacity_];
+      heap_ = new T[other.capacity_];  // lint: allow(naked-new) -- owns buffer
       capacity_ = other.capacity_;
     }
     size_ = other.size_;

@@ -18,19 +18,19 @@ class RunningStats {
   /// Merges another accumulator (parallel sweep reduction).
   void merge(const RunningStats& other) noexcept;
 
-  std::uint64_t count() const noexcept { return count_; }
-  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
   /// Population variance; 0 with fewer than two samples.
-  double variance() const noexcept;
-  double stddev() const noexcept;
-  double min() const noexcept { return count_ ? min_ : 0.0; }
-  double max() const noexcept { return count_ ? max_ : 0.0; }
-  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
 
   void reset() noexcept { *this = RunningStats{}; }
 
   /// "mean=.. sd=.. min=.. max=.. n=.." one-liner for logs.
-  std::string summary() const;
+  [[nodiscard]] std::string summary() const;
 
  private:
   std::uint64_t count_ = 0;
@@ -52,11 +52,11 @@ class RatioCounter {
   void miss() noexcept { ++den_; }
   void add(bool in_numerator) noexcept { in_numerator ? hit() : miss(); }
 
-  std::uint64_t numerator() const noexcept { return num_; }
-  std::uint64_t denominator() const noexcept { return den_; }
+  [[nodiscard]] std::uint64_t numerator() const noexcept { return num_; }
+  [[nodiscard]] std::uint64_t denominator() const noexcept { return den_; }
 
   /// num/den, or 0 when no events recorded.
-  double value() const noexcept {
+  [[nodiscard]] double value() const noexcept {
     return den_ ? static_cast<double>(num_) / static_cast<double>(den_) : 0.0;
   }
 

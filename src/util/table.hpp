@@ -21,7 +21,7 @@ class TextTable {
   /// Renders with a header underline; columns padded to the widest cell.
   void print(std::ostream& out) const;
 
-  std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
 
  private:
   std::vector<std::string> header_;

@@ -44,7 +44,7 @@ class ThreadPool {
     return future;
   }
 
-  std::size_t thread_count() const noexcept { return workers_.size(); }
+  [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
 
  private:
   void worker_loop();

@@ -23,12 +23,12 @@ class ZipfSampler {
   /// Draws one rank in [0, n).
   std::uint64_t operator()(Xoshiro256& rng) const;
 
-  std::uint64_t size() const noexcept { return n_; }
-  double skew() const noexcept { return s_; }
+  [[nodiscard]] std::uint64_t size() const noexcept { return n_; }
+  [[nodiscard]] double skew() const noexcept { return s_; }
 
  private:
-  double h(double x) const;
-  double h_inverse(double x) const;
+  [[nodiscard]] double h(double x) const;
+  [[nodiscard]] double h_inverse(double x) const;
 
   std::uint64_t n_;
   double s_;

@@ -6,10 +6,12 @@
 // changed simulation SEMANTICS, not just speed, and is a bug even if the
 // new numbers look plausible.
 //
-// Regenerating (only after an intentional semantic change): run each
-// (workload, policy) pair below at 30'000 references, seed 7, 512 cache
-// blocks, default timing, and transcribe demand_hits / prefetch_hits /
-// misses exactly and stall_ms / elapsed_ms to full double precision.
+// Regenerating (only after an intentional semantic change): run
+// ./build/examples/pin_goldens, which replays every (workload, policy)
+// pair below at 30'000 references, seed 7, 512 cache blocks, default
+// timing, and prints rows in exactly this format (counters exact,
+// doubles at max_digits10); paste them over kGolden and explain the
+// drift in the commit message.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -76,6 +78,46 @@ const Golden kGolden[] = {
      16665u, 4536u, 8799u, 131985, 1647009.3000006182},
     {trace::Workload::kSitar, core::policy::PolicyKind::kTreeAdaptive,
      11432u, 6930u, 11638u, 174570, 1692898.5600007956},
+    {trace::Workload::kCello, core::policy::PolicyKind::kNoPrefetch,
+     0u, 0u, 30000u, 450000, 1974690.0000011714},
+    {trace::Workload::kCello, core::policy::PolicyKind::kNextLimit,
+     0u, 9925u, 20075u, 301125, 1837279.8600014711},
+    {trace::Workload::kCello, core::policy::PolicyKind::kTree,
+     0u, 369u, 29631u, 444465, 1969636.4000012134},
+    {trace::Workload::kCello, core::policy::PolicyKind::kTreeNextLimit,
+     0u, 9478u, 20522u, 307830, 1844761.4800014023},
+    {trace::Workload::kCello, core::policy::PolicyKind::kTreeLvc,
+     0u, 366u, 29634u, 444510, 1970318.8200012879},
+    {trace::Workload::kCello, core::policy::PolicyKind::kTreeThreshold,
+     0u, 101u, 29899u, 448485, 1973924.9400012051},
+    {trace::Workload::kCello, core::policy::PolicyKind::kTreeChildren,
+     0u, 101u, 29899u, 448484.99999999988, 2012905.0000009078},
+    {trace::Workload::kCello, core::policy::PolicyKind::kProbGraph,
+     0u, 747u, 29253u, 438795, 1968629.0200011856},
+    {trace::Workload::kCello, core::policy::PolicyKind::kPerfectSelector,
+     0u, 4947u, 25053u, 375795, 1900485.0000011257},
+    {trace::Workload::kCello, core::policy::PolicyKind::kTreeAdaptive,
+     0u, 266u, 29734u, 446010, 1970999.2800011917},
+    {trace::Workload::kSnake, core::policy::PolicyKind::kNoPrefetch,
+     1u, 0u, 29999u, 449985, 1974674.4200011713},
+    {trace::Workload::kSnake, core::policy::PolicyKind::kNextLimit,
+     0u, 27293u, 2707u, 40605, 1566717.7400007911},
+    {trace::Workload::kSnake, core::policy::PolicyKind::kTree,
+     0u, 3983u, 26017u, 390255, 1915570.8200010902},
+    {trace::Workload::kSnake, core::policy::PolicyKind::kTreeNextLimit,
+     0u, 27495u, 2505u, 37575, 1564296.1600007147},
+    {trace::Workload::kSnake, core::policy::PolicyKind::kTreeLvc,
+     0u, 3983u, 26017u, 390255, 1916862.4800012289},
+    {trace::Workload::kSnake, core::policy::PolicyKind::kTreeThreshold,
+     1u, 2086u, 27913u, 418694.99999999994, 1946415.5000011344},
+    {trace::Workload::kSnake, core::policy::PolicyKind::kTreeChildren,
+     1u, 2095u, 27904u, 418560.00000000012, 1970474.0400008687},
+    {trace::Workload::kSnake, core::policy::PolicyKind::kProbGraph,
+     1u, 7223u, 22776u, 341640, 1871225.2000010931},
+    {trace::Workload::kSnake, core::policy::PolicyKind::kPerfectSelector,
+     1u, 8397u, 21602u, 324030, 1848719.420001077},
+    {trace::Workload::kSnake, core::policy::PolicyKind::kTreeAdaptive,
+     0u, 3983u, 26017u, 390255, 1915570.8200010902},
 };
 
 class MetricsPin : public ::testing::TestWithParam<Golden> {};

@@ -1,0 +1,69 @@
+// run_parallel stress: many small simulations across worker threads must
+// produce exactly the serial results, in spec order, with no data races —
+// the TSan CI leg runs this alongside the ThreadPool stress tests.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
+#include "trace/workloads.hpp"
+
+namespace pfp::sim {
+namespace {
+
+std::vector<RunSpec> small_grid(const trace::Trace& trace) {
+  using core::policy::PolicyKind;
+  std::vector<RunSpec> specs;
+  for (const PolicyKind kind :
+       {PolicyKind::kNoPrefetch, PolicyKind::kTree, PolicyKind::kProbGraph}) {
+    for (const std::size_t blocks : {32u, 64u, 128u, 256u}) {
+      RunSpec spec;
+      spec.trace = &trace;
+      spec.config.cache_blocks = blocks;
+      spec.config.policy.kind = kind;
+      specs.push_back(spec);
+    }
+  }
+  return specs;
+}
+
+TEST(SweepStress, ParallelMatchesSerialAcrossManyRuns) {
+  const trace::Trace cad =
+      trace::make_workload(trace::Workload::kCad, 1'000, /*seed=*/3);
+  const trace::Trace sitar =
+      trace::make_workload(trace::Workload::kSitar, 1'000, /*seed=*/3);
+  std::vector<RunSpec> specs = small_grid(cad);
+  for (const RunSpec& spec : small_grid(sitar)) {
+    specs.push_back(spec);
+  }
+
+  const std::vector<Result> serial = run_serial(specs);
+  const std::vector<Result> parallel = run_parallel(specs, /*threads=*/4);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel[i].policy_name, serial[i].policy_name) << i;
+    EXPECT_EQ(parallel[i].metrics.demand_hits, serial[i].metrics.demand_hits)
+        << i;
+    EXPECT_EQ(parallel[i].metrics.prefetch_hits,
+              serial[i].metrics.prefetch_hits)
+        << i;
+    EXPECT_EQ(parallel[i].metrics.misses, serial[i].metrics.misses) << i;
+    EXPECT_EQ(parallel[i].metrics.stall_ms, serial[i].metrics.stall_ms) << i;
+  }
+}
+
+TEST(SweepStress, ExceptionUnderLoadStillDrainsCleanly) {
+  const trace::Trace cad =
+      trace::make_workload(trace::Workload::kCad, 500, /*seed=*/5);
+  std::vector<RunSpec> specs = small_grid(cad);
+  RunSpec broken;  // null trace: the worker throws mid-sweep
+  specs.insert(specs.begin() + static_cast<std::ptrdiff_t>(specs.size() / 2),
+               broken);
+  EXPECT_THROW(run_parallel(specs, /*threads=*/4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pfp::sim
