@@ -4,17 +4,25 @@
 Runs build/bench/micro_benchmarks with --benchmark_format=json and distils
 the result into a flat {benchmark name: items per second} snapshot at the
 repo root, so every PR leaves a comparable perf-trajectory data point.
+The snapshot context records host, CPU, git SHA and CMake build type so a
+later reader can judge comparability.
 
 Usage:
     scripts/run_bench.py                   # writes BENCH_01.json (default)
     scripts/run_bench.py --out BENCH_02.json
     scripts/run_bench.py --filter 'BM_Simulator.*'
+    scripts/run_bench.py --min-time 1x     # quick smoke pass
     scripts/run_bench.py --compare BENCH_01.json   # diff, don't write
+    scripts/run_bench.py --self-test       # exercise the compare logic
 
 Comparisons print per-benchmark speedup of the fresh run over the named
 snapshot and exit non-zero if any benchmark regressed by more than
 --tolerance (default 10%), which makes the script usable as a local
 regression gate: scripts/run_bench.py --compare BENCH_01.json
+
+Benchmarks missing from the baseline are warned about and skipped (new
+benchmarks must be able to land without tripping the gate); a missing or
+malformed baseline file still exits 2.
 """
 
 import argparse
@@ -22,16 +30,20 @@ import json
 import pathlib
 import subprocess
 import sys
+import tempfile
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_BINARY = REPO_ROOT / "build" / "bench" / "micro_benchmarks"
 DEFAULT_OUT = REPO_ROOT / "BENCH_01.json"
 
 
-def run_benchmarks(binary: pathlib.Path, bench_filter: str | None) -> dict:
+def run_benchmarks(binary: pathlib.Path, bench_filter: str | None,
+                   min_time: str | None) -> dict:
     cmd = [str(binary), "--benchmark_format=json"]
     if bench_filter:
         cmd.append(f"--benchmark_filter={bench_filter}")
+    if min_time:
+        cmd.append(f"--benchmark_min_time={min_time}")
     proc = subprocess.run(cmd, capture_output=True, text=True, check=True)
     try:
         return json.loads(proc.stdout)
@@ -64,6 +76,33 @@ def snapshot(raw: dict) -> dict:
     return out
 
 
+def git_sha() -> str:
+    try:
+        proc = subprocess.run(["git", "rev-parse", "HEAD"], cwd=REPO_ROOT,
+                              capture_output=True, text=True, timeout=10)
+    except OSError:
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"
+
+
+def cmake_build_type(binary: pathlib.Path) -> str:
+    """CMAKE_BUILD_TYPE from the build tree the binary came out of."""
+    for parent in binary.resolve().parents:
+        cache = parent / "CMakeCache.txt"
+        if not cache.is_file():
+            continue
+        try:
+            for line in cache.read_text().splitlines():
+                if line.startswith("CMAKE_BUILD_TYPE:"):
+                    value = line.split("=", 1)[-1].strip()
+                    return value or "unknown"
+        except OSError:
+            break
+        break
+    return "unknown"
+
+
 def compare(fresh: dict, baseline_path: pathlib.Path, tolerance: float) -> int:
     if not baseline_path.exists():
         print(f"snapshot not found: {baseline_path}", file=sys.stderr)
@@ -74,29 +113,87 @@ def compare(fresh: dict, baseline_path: pathlib.Path, tolerance: float) -> int:
         print(f"snapshot {baseline_path} is not readable JSON: {err}",
               file=sys.stderr)
         return 2
-    baseline = payload.get("items_per_second")
+    baseline = payload.get("items_per_second") if isinstance(payload, dict) \
+        else None
     if not isinstance(baseline, dict):
         print(f"snapshot {baseline_path} has no 'items_per_second' table; "
               f"was it written by this script?", file=sys.stderr)
         return 2
     regressions = []
+    skipped = []
     width = max(map(len, fresh), default=0)
     for name, ips in sorted(fresh.items()):
         base = baseline.get(name)
-        if base is None:
-            print(f"{name:{width}}  {ips:>14,.0f}  (new benchmark)")
+        if not isinstance(base, (int, float)) or base <= 0:
+            # New benchmarks (or junk baseline rows) must not trip the
+            # gate; they simply have no baseline to regress against.
+            skipped.append(name)
+            print(f"{name:{width}}  {ips:>14,.0f}  (not in baseline; "
+                  f"skipped)")
             continue
-        ratio = ips / base if base else float("inf")
+        ratio = ips / base
         marker = ""
         if ratio < 1.0 - tolerance:
             marker = "  << REGRESSION"
             regressions.append(name)
         print(f"{name:{width}}  {ips:>14,.0f}  vs {base:>14,.0f}"
               f"  ({ratio:6.2%}){marker}")
+    if skipped:
+        print(f"warning: {len(skipped)} benchmark(s) not in "
+              f"{baseline_path.name}, skipped: {', '.join(skipped)}",
+              file=sys.stderr)
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed more than "
               f"{tolerance:.0%}: {', '.join(regressions)}")
         return 1
+    return 0
+
+
+def self_test() -> int:
+    """Exercise compare()'s decision paths without the benchmark binary."""
+    fresh = {"BM_A": 100.0, "BM_New": 5.0}
+    failures = []
+
+    def check(name: str, got: int, want: int) -> None:
+        status = "ok" if got == want else f"FAIL (exit {got}, want {want})"
+        print(f"self-test: {name}: {status}")
+        if got != want:
+            failures.append(name)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmpdir = pathlib.Path(tmp)
+
+        check("missing baseline file exits 2",
+              compare(fresh, tmpdir / "absent.json", 0.10), 2)
+
+        malformed = tmpdir / "malformed.json"
+        malformed.write_text("{not json")
+        check("malformed baseline exits 2", compare(fresh, malformed, 0.10), 2)
+
+        wrong_shape = tmpdir / "wrong_shape.json"
+        wrong_shape.write_text(json.dumps({"benchmarks": []}))
+        check("baseline without items_per_second exits 2",
+              compare(fresh, wrong_shape, 0.10), 2)
+
+        partial = tmpdir / "partial.json"
+        partial.write_text(json.dumps({"items_per_second": {"BM_A": 99.0}}))
+        check("benchmark absent from baseline is skipped, exit 0",
+              compare(fresh, partial, 0.10), 0)
+
+        regressed = tmpdir / "regressed.json"
+        regressed.write_text(json.dumps({"items_per_second": {"BM_A": 200.0}}))
+        check("regression beyond tolerance exits 1",
+              compare(fresh, regressed, 0.10), 1)
+
+        within = tmpdir / "within.json"
+        within.write_text(json.dumps({"items_per_second": {"BM_A": 105.0}}))
+        check("slowdown within tolerance exits 0",
+              compare(fresh, within, 0.10), 0)
+
+    if failures:
+        print(f"self-test: {len(failures)} failure(s)", file=sys.stderr)
+        return 1
+    print("self-test: all checks passed")
     return 0
 
 
@@ -108,13 +205,22 @@ def main() -> int:
                         help="snapshot to write (default: %(default)s)")
     parser.add_argument("--filter", default=None,
                         help="google-benchmark regexp filter")
+    parser.add_argument("--min-time", default=None,
+                        help="forwarded as --benchmark_min_time "
+                             "(e.g. '1x' for a smoke pass)")
     parser.add_argument("--compare", type=pathlib.Path, default=None,
                         help="compare against this snapshot instead of "
                              "writing one")
     parser.add_argument("--tolerance", type=float, default=0.10,
                         help="allowed fractional slowdown before --compare "
                              "fails (default: %(default)s)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the script's own compare-logic checks "
+                             "and exit")
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
 
     if not args.binary.exists():
         print(f"benchmark binary not found: {args.binary}\n"
@@ -122,7 +228,7 @@ def main() -> int:
               f"cmake --build build -j", file=sys.stderr)
         return 2
 
-    raw = run_benchmarks(args.binary, args.filter)
+    raw = run_benchmarks(args.binary, args.filter, args.min_time)
     fresh = snapshot(raw)
     if not fresh:
         print("no benchmarks ran (bad --filter?)", file=sys.stderr)
@@ -138,6 +244,8 @@ def main() -> int:
             "cpu_mhz": raw.get("context", {}).get("mhz_per_cpu"),
             "library_build_type":
                 raw.get("context", {}).get("library_build_type"),
+            "cmake_build_type": cmake_build_type(args.binary),
+            "git_sha": git_sha(),
             "date": raw.get("context", {}).get("date"),
         },
         "items_per_second": fresh,

@@ -36,6 +36,17 @@ double benefit(const TimingParams& timing, double s, double p_b, double p_x,
          p_x * delta_t_pf(timing, s, d_b - 1);
 }
 
+BenefitTable::BenefitTable(const TimingParams& timing, double s,
+                           std::uint32_t max_depth,
+                           std::vector<double>& storage) {
+  storage.resize(static_cast<std::size_t>(max_depth) + 1);
+  for (std::uint32_t d = 0; d <= max_depth; ++d) {
+    storage[d] = delta_t_pf(timing, s, d);
+  }
+  dtpf_ = storage.data();
+  max_depth_ = max_depth;
+}
+
 double prefetch_overhead(const TimingParams& timing, double p_b, double p_x) {
   PFP_DASSERT(p_x > 0.0);
   const double conditional = std::min(p_b / p_x, 1.0);

@@ -17,8 +17,10 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/costben/timing_model.hpp"
+#include "util/assert.hpp"
 
 namespace pfp::core::costben {
 
@@ -36,6 +38,32 @@ double delta_t_pf(const TimingParams& timing, double s, std::uint32_t d);
 /// d_b, whose path-parent x (at depth d_b - 1) has path probability p_x.
 double benefit(const TimingParams& timing, double s, double p_b,
                double p_x, std::uint32_t d_b);
+
+/// Eq. 1 through a per-period table.  dT_pf depends only on (timing, s,
+/// d), and s is an EWMA refreshed once per access period — so a policy
+/// pricing dozens of candidates per period precomputes dT_pf for
+/// d = 0..max_depth and reduces every benefit to two multiplies.
+/// Bit-identical to benefit(): the same delta_t_pf() values feed the same
+/// expression in the same order.
+class BenefitTable {
+ public:
+  /// Fills `storage` with dT_pf(0..max_depth) for this period and keeps a
+  /// view of it.  The buffer is caller-owned so policies reuse one vector
+  /// across periods allocation-free; it must outlive the table.
+  BenefitTable(const TimingParams& timing, double s, std::uint32_t max_depth,
+               std::vector<double>& storage);
+
+  [[nodiscard]] double operator()(double p_b, double p_x,
+                                  std::uint32_t d_b) const {
+    PFP_DASSERT(d_b >= 1 && d_b <= max_depth_);
+    PFP_DASSERT(p_b >= 0.0 && p_b <= p_x + 1e-12);
+    return p_b * dtpf_[d_b] - p_x * dtpf_[d_b - 1];
+  }
+
+ private:
+  const double* dtpf_;
+  std::uint32_t max_depth_;
+};
 
 /// Eq. 14: expected wasted driver time for prefetching b under parent x.
 double prefetch_overhead(const TimingParams& timing, double p_b, double p_x);

@@ -80,8 +80,10 @@ std::uint32_t TreeCostBenefit::run_cost_benefit(Context& ctx) {
     return 0;
   }
   // s is an EWMA refreshed once per access period, so benefits are fixed
-  // within the loop: evaluate once and process best-first.
+  // within the loop: tabulate dT_pf once and process best-first.
   const double s = ctx.estimators.s();
+  const costben::BenefitTable benefit_of(ctx.timing, s,
+                                         config_.limits.max_depth, dtpf_);
   const double floor = probability_floor();
   order_.clear();
   order_.reserve(candidates.size());
@@ -90,8 +92,7 @@ std::uint32_t TreeCostBenefit::run_cost_benefit(Context& ctx) {
     if (c.probability < floor) {
       continue;  // below the (possibly adaptive) precision floor
     }
-    const double b = costben::benefit(ctx.timing, s, c.probability,
-                                      c.parent_probability, c.depth);
+    const double b = benefit_of(c.probability, c.parent_probability, c.depth);
     if (b > 0.0) {
       order_.emplace_back(b, i);
     }

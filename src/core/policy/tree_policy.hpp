@@ -57,6 +57,16 @@ class TreeCostBenefit : public TreeInstrumentedPrefetcher {
 
   [[nodiscard]] const TreePolicyConfig& config() const noexcept { return config_; }
 
+  /// Cache-path counters of the policy's candidate enumerator.
+  [[nodiscard]] const tree::CandidateEnumerator::CacheStats&
+  enumeration_cache_stats() const noexcept {
+    return enumerator_.cache_stats();
+  }
+
+  /// SIM_AUDIT >= 1: every reusable cached candidate list must reproduce
+  /// a fresh enumeration bit-for-bit (no-op otherwise).
+  void audit_enumeration_cache() const { enumerator_.audit(tree_); }
+
  protected:
   /// Minimum path probability a candidate must carry to be considered
   /// this period.  The base policy imposes none beyond the enumerator's
@@ -78,6 +88,7 @@ class TreeCostBenefit : public TreeInstrumentedPrefetcher {
   /// heap allocation once the buffers reach steady-state size.
   tree::CandidateEnumerator enumerator_;
   std::vector<std::pair<double, std::size_t>> order_;
+  std::vector<double> dtpf_;  ///< per-period Eq. 2 table (BenefitTable)
 };
 
 }  // namespace pfp::core::policy

@@ -31,6 +31,13 @@ NodeId NodePool::create(NodeId parent, BlockId block) {
     edges_.emplace(EdgeKey{parent, block}, id);
   }
   ++live_;
+  // The parent's child list grew; the new node itself gets a stamp
+  // strictly above anything ever cached, which is what makes free-list
+  // slot reuse safe for epoch-keyed caches.
+  if (parent != kNoNode) {
+    nodes_[parent].children_epoch = ++epoch_;
+  }
+  node.children_epoch = ++epoch_;
   return id;
 }
 
@@ -40,6 +47,10 @@ void NodePool::increment_weight(NodeId id) {
   if (node.parent == kNoNode) {
     return;
   }
+  // O(1) stamp: only the immediate parent's downward view changed here.
+  // The node's own stamp stays — its descendants did not move, only its
+  // own weight did (that is exactly the enumerator's rescale case).
+  nodes_[node.parent].children_epoch = ++epoch_;
   auto& siblings = nodes_[node.parent].children;
   const std::uint32_t pos = node.pos_in_parent;
   PFP_DASSERT(siblings[pos] == id);
@@ -88,10 +99,16 @@ void NodePool::destroy(NodeId id) {
     }
     edges_.erase(EdgeKey{parent, node.block});
   }
-  node = Node{};
+  node = Node{};  // resets children_epoch to 0: a freed slot never matches
   node.parent = kNoNode;
   free_.push_back(id);
   --live_;
+  if (parent != kNoNode) {
+    nodes_[parent].children_epoch = ++epoch_;
+  }
+  // The victim may sit far from the parse path, outside the parse-order
+  // argument; the global eviction stamp invalidates every cached list.
+  ++eviction_epoch_;
 }
 
 }  // namespace pfp::core::tree

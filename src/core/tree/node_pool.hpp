@@ -36,6 +36,15 @@ struct Node {
   /// probability cutoff instead of visiting every child (the root of a
   /// low-locality trace can have tens of thousands).
   util::SmallVector<NodeId, 4> children;
+  /// Version stamp of this node's *downward* state: advances when a
+  /// direct child's weight changes or the child list gains or loses an
+  /// entry — but NOT when only this node's own weight grows.  Maintained
+  /// in O(1) per parse step (only the mutated node's parent is stamped);
+  /// CandidateEnumerator proves whole-subtree stability from it by
+  /// exploiting the LZ parse order: the parse cannot mutate anything
+  /// below this node without first crossing it — which stamps it (see
+  /// enumerator.hpp for the cache-validity argument).
+  std::uint64_t children_epoch = 0;
 };
 
 class NodePool {
@@ -65,6 +74,21 @@ class NodePool {
   /// Upper bound on node ids ever allocated (for sizing side tables).
   [[nodiscard]] std::size_t id_bound() const noexcept { return nodes_.size(); }
 
+  /// Strictly monotone counter behind every children_epoch stamp.  Freed
+  /// slots are re-stamped from it on reuse, so a cached epoch can never
+  /// collide with a recycled NodeId.
+  [[nodiscard]] std::uint64_t current_epoch() const noexcept { return epoch_; }
+
+  /// Count of destroy() calls.  Evictions are the one subtree mutation
+  /// the parse-order argument cannot cover (the leaf-LRU victim may sit
+  /// anywhere), so cached candidate lists are additionally keyed on this.
+  [[nodiscard]] std::uint64_t eviction_epoch() const noexcept {
+    return eviction_epoch_;
+  }
+
+  /// Raw slab access for tight read-only walks (valid ids < id_bound()).
+  [[nodiscard]] const Node* data() const noexcept { return nodes_.data(); }
+
   /// Paper's storage accounting: 40 bytes per node (Section 9.3).
   static constexpr std::size_t kPaperBytesPerNode = 40;
   [[nodiscard]] std::size_t approx_memory_bytes() const noexcept {
@@ -92,6 +116,8 @@ class NodePool {
   std::vector<NodeId> free_;
   util::FlatMap<EdgeKey, NodeId, EdgeHash> edges_;
   std::size_t live_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t eviction_epoch_ = 0;
 };
 
 }  // namespace pfp::core::tree

@@ -1,5 +1,7 @@
 #include "core/tree/prefetch_tree.hpp"
 
+#include <atomic>
+#include <utility>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -7,19 +9,64 @@
 
 namespace pfp::core::tree {
 
-PrefetchTree::PrefetchTree(TreeConfig config) : config_(config) {
+std::uint64_t PrefetchTree::next_uid() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+PrefetchTree::PrefetchTree(TreeConfig config)
+    : config_(config), uid_(next_uid()) {
   root_ = pool_.create(kNoNode, /*block=*/0);
   pool_[root_].weight = 0;  // root counts substrings, none seen yet
   current_ = root_;
   leaf_lru_.resize(16);
 }
 
-double PrefetchTree::edge_probability(NodeId parent, NodeId child) const {
-  const std::uint64_t wp = pool_[parent].weight;
-  const std::uint64_t wc = pool_[child].weight;
-  PFP_DASSERT(wp > 0);
-  PFP_DASSERT(wc <= wp);
-  return static_cast<double>(wc) / static_cast<double>(wp);
+PrefetchTree::PrefetchTree(const PrefetchTree& other)
+    : config_(other.config_),
+      pool_(other.pool_),
+      root_(other.root_),
+      current_(other.current_),
+      leaf_lru_(other.leaf_lru_),
+      uid_(next_uid()),
+      access_serial_(other.access_serial_) {}
+
+PrefetchTree& PrefetchTree::operator=(const PrefetchTree& other) {
+  if (this != &other) {
+    config_ = other.config_;
+    pool_ = other.pool_;
+    root_ = other.root_;
+    current_ = other.current_;
+    leaf_lru_ = other.leaf_lru_;
+    uid_ = next_uid();
+    access_serial_ = other.access_serial_;
+  }
+  return *this;
+}
+
+PrefetchTree::PrefetchTree(PrefetchTree&& other) noexcept
+    : config_(other.config_),
+      pool_(std::move(other.pool_)),
+      root_(other.root_),
+      current_(other.current_),
+      leaf_lru_(std::move(other.leaf_lru_)),
+      uid_(other.uid_),
+      access_serial_(other.access_serial_) {
+  other.uid_ = next_uid();
+}
+
+PrefetchTree& PrefetchTree::operator=(PrefetchTree&& other) noexcept {
+  if (this != &other) {
+    config_ = other.config_;
+    pool_ = std::move(other.pool_);
+    root_ = other.root_;
+    current_ = other.current_;
+    leaf_lru_ = std::move(other.leaf_lru_);
+    uid_ = other.uid_;
+    access_serial_ = other.access_serial_;
+    other.uid_ = next_uid();
+  }
+  return *this;
 }
 
 void PrefetchTree::touch(NodeId id) {
@@ -65,6 +112,7 @@ void PrefetchTree::evict_one_leaf() {
 }
 
 AccessInfo PrefetchTree::access(BlockId block) {
+  ++access_serial_;
   AccessInfo info;
   const NodeId lvc = pool_[current_].last_visited_child;
   info.had_lvc = lvc != kNoNode;
@@ -139,6 +187,8 @@ void PrefetchTree::audit() const {
     const bool is_leaf = n.children.empty() && id != root_;
     PFP_AUDIT("PrefetchTree", leaf_lru_.contains(id) == is_leaf,
               "leaf-LRU membership disagrees with leaf status");
+    PFP_AUDIT("PrefetchTree", n.children_epoch <= pool_.current_epoch(),
+              "node stamped with an epoch the pool has not issued yet");
     std::uint64_t child_weight_sum = 0;
     std::uint64_t prev_weight = ~0ULL;
     bool lvc_found = n.last_visited_child == kNoNode;

@@ -24,6 +24,7 @@
 #include <span>
 
 #include "core/tree/node_pool.hpp"
+#include "util/assert.hpp"
 #include "util/lru_list.hpp"
 
 namespace pfp::core::tree {
@@ -52,6 +53,17 @@ class PrefetchTree {
  public:
   explicit PrefetchTree(TreeConfig config = TreeConfig{});
 
+  // Trees carry a process-unique id that epoch-keyed caches (see
+  // CandidateEnumerator) fold into their keys.  A copy is a new tree
+  // (fresh uid); a move keeps the uid — the moved-to object holds the
+  // exact structure the cache entries describe — and re-uids the
+  // moved-from shell so later reuse of it cannot alias stale entries.
+  PrefetchTree(const PrefetchTree& other);
+  PrefetchTree& operator=(const PrefetchTree& other);
+  PrefetchTree(PrefetchTree&& other) noexcept;
+  PrefetchTree& operator=(PrefetchTree&& other) noexcept;
+  ~PrefetchTree() = default;
+
   /// Feeds one reference through the LZ parse.
   AccessInfo access(BlockId block);
 
@@ -65,8 +77,15 @@ class PrefetchTree {
     return {c.data(), c.size()};
   }
 
-  /// weight(child) / weight(parent) — the edge probability.
-  [[nodiscard]] double edge_probability(NodeId parent, NodeId child) const;
+  /// weight(child) / weight(parent) — the edge probability.  Inline: this
+  /// sits in the innermost loop of candidate enumeration.
+  [[nodiscard]] double edge_probability(NodeId parent, NodeId child) const {
+    const std::uint64_t wp = pool_[parent].weight;
+    const std::uint64_t wc = pool_[child].weight;
+    PFP_DASSERT(wp > 0);
+    PFP_DASSERT(wc <= wp);
+    return static_cast<double>(wc) / static_cast<double>(wp);
+  }
 
   /// Child of `id` labelled `block`, or kNoNode.
   [[nodiscard]] NodeId find_child(NodeId id, BlockId block) const {
@@ -77,6 +96,18 @@ class PrefetchTree {
   [[nodiscard]] NodeId last_visited_child(NodeId id) const {
     return pool_[id].last_visited_child;
   }
+
+  /// Process-unique identity of this tree instance (cache key component).
+  [[nodiscard]] std::uint64_t uid() const noexcept { return uid_; }
+
+  /// Count of access() calls.  Between two reads with equal serials the
+  /// tree is bitwise unchanged — the cheapest possible cache-hit proof.
+  [[nodiscard]] std::uint64_t access_serial() const noexcept {
+    return access_serial_;
+  }
+
+  /// Read-only pool access for tight walks over the node slab.
+  [[nodiscard]] const NodePool& pool() const noexcept { return pool_; }
 
   [[nodiscard]] std::size_t node_count() const noexcept {
     return pool_.live_nodes();
@@ -108,6 +139,8 @@ class PrefetchTree {
  private:
   friend struct AuditTestAccess;  // corruption hooks for audit tests
 
+  static std::uint64_t next_uid() noexcept;
+
   /// Deserialization helper: attach a child with a known weight, keeping
   /// the leaf-LRU bookkeeping consistent.  Children must be restored in
   /// descending-weight order (the serialized order).
@@ -122,6 +155,8 @@ class PrefetchTree {
   NodeId current_;
   /// LRU over *leaf* nodes only; interior nodes are not evictable.
   util::LruList leaf_lru_;
+  std::uint64_t uid_;
+  std::uint64_t access_serial_ = 0;
 };
 
 }  // namespace pfp::core::tree

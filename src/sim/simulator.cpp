@@ -1,7 +1,15 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <typeinfo>
 
+#include "core/policy/next_limit.hpp"
+#include "core/policy/no_prefetch.hpp"
+#include "core/policy/perfect_selector.hpp"
+#include "core/policy/tree_children.hpp"
+#include "core/policy/tree_lvc.hpp"
+#include "core/policy/tree_next_limit.hpp"
+#include "core/policy/tree_threshold.hpp"
 #include "util/assert.hpp"
 
 namespace pfp::sim {
@@ -9,19 +17,53 @@ namespace pfp::sim {
 using core::policy::AccessOutcome;
 using core::policy::Context;
 
+namespace {
+
+// Qualified-call proxy for the devirtualized run() loops: `P` is the
+// exact dynamic type (asserted at dispatch), so P::member calls skip the
+// vtable and can inline.  Works for non-final policies too — kTree maps
+// to a TreeCostBenefit object even though subclasses of it exist.
+template <typename P>
+struct Direct {
+  P& p;
+  void on_access(trace::BlockId block, AccessOutcome outcome, Context& ctx) {
+    p.P::on_access(block, outcome, ctx);
+  }
+  void reclaim_for_demand(Context& ctx) { p.P::reclaim_for_demand(ctx); }
+  void on_prefetch_consumed(const cache::PrefetchEntry& entry, Context& ctx) {
+    p.P::on_prefetch_consumed(entry, ctx);
+  }
+};
+
+// Vtable proxy: the test-facing step() path and the fallback for policy
+// kinds without a dedicated loop.
+struct Virtual {
+  core::policy::Prefetcher& p;
+  void on_access(trace::BlockId block, AccessOutcome outcome, Context& ctx) {
+    p.on_access(block, outcome, ctx);
+  }
+  void reclaim_for_demand(Context& ctx) { p.reclaim_for_demand(ctx); }
+  void on_prefetch_consumed(const cache::PrefetchEntry& entry, Context& ctx) {
+    p.on_prefetch_consumed(entry, ctx);
+  }
+};
+
+}  // namespace
+
 Simulator::Simulator(SimConfig config)
     : config_(config),
       cache_(config.cache_blocks),
       disks_(cache::DiskConfig{config.disks, config.timing.t_disk}),
       policy_(core::policy::make_prefetcher(config.policy)) {}
 
-void Simulator::step(const trace::Trace& trace, std::size_t index) {
+template <typename PolicyRef>
+void Simulator::step_impl(PolicyRef policy, const trace::Trace& trace,
+                          std::size_t index, Context& ctx) {
   const trace::BlockId block = trace[index].block;
   const double period_start = metrics_.elapsed_ms;
-  Context ctx{cache_,   disks_,          config_.timing,
-              estimators_, stack_,       metrics_.policy,
-              /*period=*/index,          /*now_ms=*/period_start,
-              trace.records().subspan(index + 1)};
+  ctx.period = index;
+  ctx.now_ms = period_start;
+  ctx.upcoming = trace.records().subspan(index + 1);
 
   const auto result = cache_.access(block);
   ++metrics_.accesses;
@@ -44,7 +86,7 @@ void Simulator::step(const trace::Trace& trace, std::size_t index) {
         std::max(pf->entry.completion_ms - period_start, 0.0);
     metrics_.elapsed_ms += stall;
     metrics_.stall_ms += stall;
-    policy_->on_prefetch_consumed(pf->entry, ctx);
+    policy.on_prefetch_consumed(pf->entry, ctx);
   } else {
     outcome = AccessOutcome::kMiss;
     ++metrics_.misses;
@@ -55,7 +97,7 @@ void Simulator::step(const trace::Trace& trace, std::size_t index) {
     metrics_.elapsed_ms = completion;
     metrics_.stall_ms += stall;
     if (cache_.free_buffers() == 0) {
-      policy_->reclaim_for_demand(ctx);
+      policy.reclaim_for_demand(ctx);
       PFP_REQUIRE(cache_.free_buffers() >= 1);
     }
     cache_.admit_demand(block);
@@ -64,7 +106,7 @@ void Simulator::step(const trace::Trace& trace, std::size_t index) {
   // Policy turn: learn from the access, then issue this period's
   // prefetches; each costs T_driver of CPU time (Figure 3b).
   const std::uint64_t issued_before = metrics_.policy.prefetches_issued;
-  policy_->on_access(block, outcome, ctx);
+  policy.on_access(block, outcome, ctx);
   const std::uint64_t issued =
       metrics_.policy.prefetches_issued - issued_before;
   metrics_.elapsed_ms +=
@@ -78,10 +120,72 @@ void Simulator::step(const trace::Trace& trace, std::size_t index) {
   PFP_DASSERT(cache_.resident() <= cache_.total_blocks());
 }
 
-Result Simulator::run(const trace::Trace& trace) {
+void Simulator::step(const trace::Trace& trace, std::size_t index) {
+  Context ctx{cache_,      disks_, config_.timing, estimators_,
+              stack_,      metrics_.policy};
+  step_impl(Virtual{*policy_}, trace, index, ctx);
+}
+
+template <typename PolicyRef>
+void Simulator::run_loop(PolicyRef policy, const trace::Trace& trace) {
+  // One Context for the whole run; step_impl refreshes the per-period
+  // fields (period, now_ms, upcoming) instead of rebuilding the struct
+  // of references every access.
+  Context ctx{cache_,      disks_, config_.timing, estimators_,
+              stack_,      metrics_.policy};
   for (std::size_t i = 0; i < trace.size(); ++i) {
-    step(trace, i);
+    step_impl(policy, trace, i, ctx);
   }
+}
+
+template <typename PolicyT>
+void Simulator::run_as(const trace::Trace& trace) {
+  PFP_DASSERT(typeid(*policy_) == typeid(PolicyT));
+  run_loop(Direct<PolicyT>{static_cast<PolicyT&>(*policy_)}, trace);
+}
+
+void Simulator::dispatch_run(const trace::Trace& trace) {
+  using core::policy::PolicyKind;
+  // The factory maps each kind to exactly one concrete class (asserted in
+  // run_as under debug), which is what makes the qualified-call loops
+  // semantically identical to the virtual path.
+  switch (config_.policy.kind) {
+    case PolicyKind::kNoPrefetch:
+      run_as<core::policy::NoPrefetch>(trace);
+      return;
+    case PolicyKind::kNextLimit:
+      run_as<core::policy::NextLimit>(trace);
+      return;
+    case PolicyKind::kTree:
+      run_as<core::policy::TreeCostBenefit>(trace);
+      return;
+    case PolicyKind::kTreeNextLimit:
+      run_as<core::policy::TreeNextLimit>(trace);
+      return;
+    case PolicyKind::kTreeLvc:
+      run_as<core::policy::TreeLvc>(trace);
+      return;
+    case PolicyKind::kPerfectSelector:
+      run_as<core::policy::PerfectSelector>(trace);
+      return;
+    case PolicyKind::kTreeThreshold:
+      run_as<core::policy::TreeThreshold>(trace);
+      return;
+    case PolicyKind::kTreeChildren:
+      run_as<core::policy::TreeChildren>(trace);
+      return;
+    case PolicyKind::kProbGraph:
+      run_as<core::policy::ProbGraph>(trace);
+      return;
+    case PolicyKind::kTreeAdaptive:
+      run_as<core::policy::TreeAdaptive>(trace);
+      return;
+  }
+  run_loop(Virtual{*policy_}, trace);  // unknown kind: vtable fallback
+}
+
+Result Simulator::run(const trace::Trace& trace) {
+  dispatch_run(trace);
   Result result;
   result.config = config_;
   result.policy_name = policy_->name();

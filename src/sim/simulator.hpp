@@ -50,6 +50,20 @@ class Simulator {
   [[nodiscard]] const core::policy::Prefetcher& prefetcher() const { return *policy_; }
 
  private:
+  // The per-access pipeline is shared verbatim between the test-facing
+  // virtual path (step()) and the devirtualized per-policy loops run()
+  // dispatches to, so the two can never drift apart.  `PolicyRef` is a
+  // dispatch proxy: Virtual goes through the vtable, Direct<P> makes
+  // qualified calls on the exact dynamic type the factory guarantees.
+  template <typename PolicyRef>
+  void step_impl(PolicyRef policy, const trace::Trace& trace,
+                 std::size_t index, core::policy::Context& ctx);
+  template <typename PolicyRef>
+  void run_loop(PolicyRef policy, const trace::Trace& trace);
+  template <typename PolicyT>
+  void run_as(const trace::Trace& trace);
+  void dispatch_run(const trace::Trace& trace);
+
   SimConfig config_;
   cache::BufferCache cache_;
   cache::DiskArray disks_;

@@ -1,0 +1,380 @@
+// The incremental candidate cache: verbatim reuse, O(k) rescale, and the
+// invalidation edge cases (leaf-LRU slot reuse, limit changes, cross-tree
+// slot collisions, tree copies/moves), plus seeded-corruption proof that
+// the SIM_AUDIT sweep detects a cache that drifted from the tree.
+//
+// Cache slots materialize lazily: the first lookup of a key records only
+// a header and answers from the shared hot buffer; the second (still
+// valid) lookup promotes the slot with a walk into its own list; from the
+// third on, reuse is verbatim or rescaled.  Tests below spell out that
+// miss → promote → hit progression in their stats expectations.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/tree/enumerator.hpp"
+#include "core/tree/prefetch_tree.hpp"
+#include "util/audit.hpp"
+#include "util/prng.hpp"
+
+namespace pfp::core::tree {
+
+// Friend of CandidateEnumerator: exposes the slot array so tests can
+// corrupt cached candidate lists.  Lives in the test binary only.
+struct EnumeratorTestAccess {
+  static auto& slots(CandidateEnumerator& enumerator) {
+    return enumerator.slots_;
+  }
+};
+
+namespace {
+
+// The Figure 1 tree: (a)(ac)(ab)(aba)(abb)(b) with a=1, b=2, c=3.
+PrefetchTree figure1_tree() {
+  PrefetchTree tree;
+  for (const BlockId b : {1u, 1u, 3u, 1u, 2u, 1u, 2u, 1u, 1u, 2u, 2u, 2u}) {
+    tree.access(b);
+  }
+  return tree;
+}
+
+EnumeratorLimits loose() {
+  EnumeratorLimits limits;
+  limits.max_depth = 8;
+  limits.min_probability = 0.0001;
+  limits.max_candidates = 100;
+  return limits;
+}
+
+std::vector<Candidate> copy_of(std::span<const Candidate> span) {
+  return {span.begin(), span.end()};
+}
+
+void expect_same(std::span<const Candidate> got,
+                 const std::vector<Candidate>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].block, want[i].block) << "candidate " << i;
+    EXPECT_EQ(got[i].probability, want[i].probability) << "candidate " << i;
+    EXPECT_EQ(got[i].parent_probability, want[i].parent_probability)
+        << "candidate " << i;
+    EXPECT_EQ(got[i].depth, want[i].depth) << "candidate " << i;
+    EXPECT_EQ(got[i].node, want[i].node) << "candidate " << i;
+  }
+}
+
+TEST(EnumeratorCache, UnchangedTreeServesVerbatimHit) {
+  PrefetchTree tree = figure1_tree();
+  CandidateEnumerator enumerator;
+  const auto first = copy_of(enumerator.enumerate(tree, tree.root(), loose()));
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(enumerator.cache_stats().full_walks, 1u);
+
+  // The key repeated while valid: the slot is promoted with its own walk.
+  const auto second = copy_of(enumerator.enumerate(tree, tree.root(), loose()));
+  EXPECT_EQ(enumerator.cache_stats().verbatim_hits, 0u);
+  EXPECT_EQ(enumerator.cache_stats().full_walks, 2u);
+  expect_same(second, first);
+
+  // From here on the materialized list is served verbatim.
+  const auto third = enumerator.enumerate(tree, tree.root(), loose());
+  EXPECT_EQ(enumerator.cache_stats().verbatim_hits, 1u);
+  EXPECT_EQ(enumerator.cache_stats().full_walks, 2u);
+  expect_same(third, first);
+}
+
+TEST(EnumeratorCache, OwnWeightGrowthRescalesBitIdentically) {
+  // Enumerate from node ab, then have the parse re-arrive at ab: its own
+  // weight grows but nothing below it changes, so the cached list is
+  // rescaled in O(k) — and must equal a fresh enumeration exactly.
+  PrefetchTree tree = figure1_tree();
+  ASSERT_EQ(tree.current(), tree.root());
+  const NodeId a = tree.find_child(tree.root(), 1);
+  ASSERT_NE(a, kNoNode);
+  const NodeId ab = tree.find_child(a, 2);
+  ASSERT_NE(ab, kNoNode);
+
+  CandidateEnumerator enumerator;
+  (void)enumerator.enumerate(tree, ab, loose());
+  const auto before = copy_of(enumerator.enumerate(tree, ab, loose()));
+  ASSERT_FALSE(before.empty());
+  ASSERT_EQ(enumerator.cache_stats().full_walks, 2u);  // miss then promote
+  const std::uint64_t epoch_before = tree.node(ab).children_epoch;
+  const std::uint64_t weight_before = tree.node(ab).weight;
+
+  tree.access(1);  // parse descends root -> a
+  tree.access(2);  // parse descends a -> ab; ab's weight grows
+  ASSERT_EQ(tree.node(ab).weight, weight_before + 1);
+  ASSERT_EQ(tree.node(ab).children_epoch, epoch_before)
+      << "growing ab's own weight must not stamp ab itself";
+
+  const auto rescaled = enumerator.enumerate(tree, ab, loose());
+  EXPECT_EQ(enumerator.cache_stats().rescale_hits, 1u);
+  EXPECT_EQ(enumerator.cache_stats().full_walks, 2u);
+  expect_same(rescaled, enumerate_candidates(tree, ab, loose()));
+}
+
+TEST(EnumeratorCache, RescaleCrossingCutoffFallsBackToFullWalk) {
+  // With min_probability between 1/4 and 1/3, ab's children (weight 1
+  // each) survive at weight(ab)=3 but drop out at weight(ab)=4 — the
+  // membership change makes the rescale ineligible.
+  PrefetchTree tree = figure1_tree();
+  const NodeId a = tree.find_child(tree.root(), 1);
+  const NodeId ab = tree.find_child(a, 2);
+  ASSERT_NE(ab, kNoNode);
+  ASSERT_EQ(tree.node(ab).weight, 3u);
+
+  EnumeratorLimits limits = loose();
+  limits.min_probability = 0.3;
+  CandidateEnumerator enumerator;
+  (void)enumerator.enumerate(tree, ab, limits);
+  const auto before = enumerator.enumerate(tree, ab, limits);  // promote
+  ASSERT_EQ(before.size(), 2u);  // children a and b at p = 1/3
+
+  tree.access(1);
+  tree.access(2);  // weight(ab) -> 4; children fall to p = 1/4 < 0.3
+
+  const auto after = enumerator.enumerate(tree, ab, limits);
+  EXPECT_TRUE(after.empty());
+  EXPECT_EQ(enumerator.cache_stats().rescale_hits, 0u);
+  EXPECT_EQ(enumerator.cache_stats().full_walks, 3u);
+  expect_same(after, enumerate_candidates(tree, ab, limits));
+}
+
+TEST(EnumeratorCache, SubtreeMutationForcesFullWalk) {
+  // A new node below the enumeration root stamps its children_epoch, so
+  // even a fully materialized list is not reusable.
+  PrefetchTree tree = figure1_tree();
+  CandidateEnumerator enumerator;
+  (void)enumerator.enumerate(tree, tree.root(), loose());
+  (void)enumerator.enumerate(tree, tree.root(), loose());  // promote
+
+  tree.access(3);  // new node c under the root; parse resets
+  const auto after = enumerator.enumerate(tree, tree.root(), loose());
+  EXPECT_EQ(enumerator.cache_stats().verbatim_hits, 0u);
+  EXPECT_EQ(enumerator.cache_stats().rescale_hits, 0u);
+  EXPECT_EQ(enumerator.cache_stats().full_walks, 3u);
+  expect_same(after, enumerate_candidates(tree, tree.root(), loose()));
+}
+
+TEST(EnumeratorCache, ParseBelowFillIsNotReusedAfterDeepMutation) {
+  // Fill the root's slot while the parse sits strictly below the root: a
+  // later access can then mutate the subtree without ever crossing (and
+  // stamping) the root.  The parse-order argument does not apply to such
+  // fills — only the frozen-serial rule may serve them, and it dies with
+  // the very next access.
+  PrefetchTree tree = figure1_tree();
+  tree.access(1);  // parse descends root -> a
+  ASSERT_NE(tree.current(), tree.root());
+
+  CandidateEnumerator enumerator;
+  (void)enumerator.enumerate(tree, tree.root(), loose());
+  (void)enumerator.enumerate(tree, tree.root(), loose());  // promote
+  const auto frozen = enumerator.enumerate(tree, tree.root(), loose());
+  EXPECT_EQ(enumerator.cache_stats().verbatim_hits, 1u);
+  expect_same(frozen, enumerate_candidates(tree, tree.root(), loose()));
+
+  const std::uint64_t root_epoch = tree.node(tree.root()).children_epoch;
+  const std::uint64_t root_weight = tree.node(tree.root()).weight;
+  tree.access(2);  // parse a -> ab: grows ab's weight below the root
+  ASSERT_EQ(tree.node(tree.root()).children_epoch, root_epoch)
+      << "the deep mutation must not have stamped the root";
+  ASSERT_EQ(tree.node(tree.root()).weight, root_weight);
+
+  const auto after = enumerator.enumerate(tree, tree.root(), loose());
+  EXPECT_EQ(enumerator.cache_stats().verbatim_hits, 1u);
+  EXPECT_EQ(enumerator.cache_stats().rescale_hits, 0u);
+  EXPECT_EQ(enumerator.cache_stats().full_walks, 3u);
+  expect_same(after, enumerate_candidates(tree, tree.root(), loose()));
+}
+
+TEST(EnumeratorCache, ChangedLimitsForceFullWalk) {
+  PrefetchTree tree = figure1_tree();
+  CandidateEnumerator enumerator;
+  (void)enumerator.enumerate(tree, tree.root(), loose());
+
+  EnumeratorLimits narrower = loose();
+  narrower.max_depth = 1;
+  const auto after = enumerator.enumerate(tree, tree.root(), narrower);
+  EXPECT_EQ(enumerator.cache_stats().verbatim_hits, 0u);
+  EXPECT_EQ(enumerator.cache_stats().full_walks, 2u);
+  expect_same(after, enumerate_candidates(tree, tree.root(), narrower));
+}
+
+TEST(EnumeratorCache, EmptyTreeBypassesCache) {
+  PrefetchTree tree;
+  CandidateEnumerator enumerator;
+  EXPECT_TRUE(enumerator.enumerate(tree, tree.root(), loose()).empty());
+  EXPECT_EQ(enumerator.cache_stats().verbatim_hits, 0u);
+  EXPECT_EQ(enumerator.cache_stats().rescale_hits, 0u);
+  EXPECT_EQ(enumerator.cache_stats().full_walks, 0u);
+}
+
+TEST(EnumeratorCache, DistinctTreesNeverShareSlots) {
+  // Two structurally identical trees have identical NodeIds (same slot
+  // index) but distinct uids, so the second lookup must re-walk.
+  PrefetchTree one = figure1_tree();
+  PrefetchTree two = figure1_tree();
+  ASSERT_NE(one.uid(), two.uid());
+
+  CandidateEnumerator enumerator;
+  (void)enumerator.enumerate(one, one.root(), loose());
+  const auto from_two = enumerator.enumerate(two, two.root(), loose());
+  EXPECT_EQ(enumerator.cache_stats().verbatim_hits, 0u);
+  EXPECT_EQ(enumerator.cache_stats().full_walks, 2u);
+  expect_same(from_two, enumerate_candidates(two, two.root(), loose()));
+}
+
+TEST(EnumeratorCache, CopiedTreeGetsFreshUid) {
+  PrefetchTree tree = figure1_tree();
+  CandidateEnumerator enumerator;
+  (void)enumerator.enumerate(tree, tree.root(), loose());
+
+  PrefetchTree copy = tree;
+  EXPECT_NE(copy.uid(), tree.uid());
+  const auto from_copy = enumerator.enumerate(copy, copy.root(), loose());
+  EXPECT_EQ(enumerator.cache_stats().verbatim_hits, 0u);
+  EXPECT_EQ(enumerator.cache_stats().full_walks, 2u);
+  expect_same(from_copy, enumerate_candidates(copy, copy.root(), loose()));
+}
+
+TEST(EnumeratorCache, MovedTreeKeepsUidAndCacheEntries) {
+  // A move transfers the exact structure the cache entries describe, so
+  // the moved-to tree keeps the uid and cached lists stay valid; the
+  // moved-from husk is re-uided and can never alias them.
+  PrefetchTree tree = figure1_tree();
+  const std::uint64_t uid = tree.uid();
+  CandidateEnumerator enumerator;
+  (void)enumerator.enumerate(tree, tree.root(), loose());
+  const auto first = copy_of(enumerator.enumerate(tree, tree.root(), loose()));
+  ASSERT_EQ(enumerator.cache_stats().full_walks, 2u);  // miss then promote
+
+  PrefetchTree moved = std::move(tree);
+  EXPECT_EQ(moved.uid(), uid);
+  EXPECT_NE(tree.uid(), uid);  // NOLINT(bugprone-use-after-move)
+
+  const auto second = enumerator.enumerate(moved, moved.root(), loose());
+  EXPECT_EQ(enumerator.cache_stats().verbatim_hits, 1u);
+  EXPECT_EQ(enumerator.cache_stats().full_walks, 2u);
+  expect_same(second, first);
+}
+
+TEST(EnumeratorCache, ClearCacheDropsEntriesButKeepsStats) {
+  PrefetchTree tree = figure1_tree();
+  CandidateEnumerator enumerator;
+  (void)enumerator.enumerate(tree, tree.root(), loose());
+  (void)enumerator.enumerate(tree, tree.root(), loose());  // promote
+  (void)enumerator.enumerate(tree, tree.root(), loose());
+  ASSERT_EQ(enumerator.cache_stats().verbatim_hits, 1u);
+
+  enumerator.clear_cache();
+  const auto after = enumerator.enumerate(tree, tree.root(), loose());
+  EXPECT_EQ(enumerator.cache_stats().verbatim_hits, 1u);
+  EXPECT_EQ(enumerator.cache_stats().full_walks, 3u);
+  expect_same(after, enumerate_candidates(tree, tree.root(), loose()));
+}
+
+TEST(EnumeratorCache, LeafLruChurnNeverServesStaleLists) {
+  // A node-capped tree constantly evicts leaves and recycles pool slots;
+  // every enumeration through the shared (caching) enumerator must equal
+  // a fresh one-shot enumeration of the live tree.
+  TreeConfig config;
+  config.max_nodes = 16;
+  PrefetchTree tree(config);
+  CandidateEnumerator enumerator;
+  EnumeratorLimits limits = loose();
+  util::Xoshiro256 rng(17);
+  for (int i = 0; i < 3'000; ++i) {
+    tree.access(rng.below(24));
+    const auto cached = enumerator.enumerate(tree, tree.current(), limits);
+    const auto fresh = enumerate_candidates(tree, tree.current(), limits);
+    ASSERT_NO_FATAL_FAILURE(expect_same(cached, fresh)) << "access " << i;
+  }
+  EXPECT_EQ(tree.node_count(), config.max_nodes)
+      << "churn test never saturated the pool; eviction was not exercised";
+}
+
+// --- SIM_AUDIT detection -------------------------------------------------
+
+void throwing_handler(const char* component, const char* what, const char*,
+                      int) {
+  throw std::runtime_error(std::string(component) + ": " + what);
+}
+
+class EnumeratorAuditDetection : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!PFP_AUDIT_ENABLED) {
+      GTEST_SKIP() << "built without SIM_AUDIT; sweeps are no-ops";
+    }
+    previous_ = util::set_audit_handler(&throwing_handler);
+  }
+  void TearDown() override {
+    if (PFP_AUDIT_ENABLED) {
+      util::set_audit_handler(previous_);
+    }
+  }
+
+ private:
+  util::AuditHandler previous_ = nullptr;
+};
+
+TEST_F(EnumeratorAuditDetection, CleanCacheAuditsPass) {
+  PrefetchTree tree = figure1_tree();
+  CandidateEnumerator enumerator;
+  (void)enumerator.enumerate(tree, tree.root(), loose());
+  (void)enumerator.enumerate(tree, tree.root(), loose());
+  EXPECT_NO_THROW(enumerator.audit(tree));
+}
+
+TEST_F(EnumeratorAuditDetection, CorruptedVerbatimSlotFires) {
+  PrefetchTree tree = figure1_tree();
+  CandidateEnumerator enumerator;
+  (void)enumerator.enumerate(tree, tree.root(), loose());
+  (void)enumerator.enumerate(tree, tree.root(), loose());  // materialize
+
+  bool corrupted = false;
+  for (auto& slot : EnumeratorTestAccess::slots(enumerator)) {
+    if (slot.from == tree.root() && slot.tree_uid == tree.uid()) {
+      ASSERT_TRUE(slot.items_valid);
+      ASSERT_FALSE(slot.items.empty());
+      slot.items[0].probability += 0.125;
+      corrupted = true;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  EXPECT_THROW(enumerator.audit(tree), std::runtime_error);
+}
+
+TEST_F(EnumeratorAuditDetection, CorruptedRescalableSlotFires) {
+  // Leave the slot in the rescale-eligible state (own weight grew,
+  // children_epoch unchanged) and corrupt a cached block id: the audit
+  // must rescale the copy and catch the mismatch against a fresh walk.
+  PrefetchTree tree = figure1_tree();
+  const NodeId a = tree.find_child(tree.root(), 1);
+  const NodeId ab = tree.find_child(a, 2);
+  ASSERT_NE(ab, kNoNode);
+  CandidateEnumerator enumerator;
+  (void)enumerator.enumerate(tree, ab, loose());
+  (void)enumerator.enumerate(tree, ab, loose());  // materialize
+  tree.access(1);
+  tree.access(2);  // grow ab's own weight; subtree untouched
+
+  bool corrupted = false;
+  for (auto& slot : EnumeratorTestAccess::slots(enumerator)) {
+    if (slot.from == ab && slot.tree_uid == tree.uid()) {
+      ASSERT_TRUE(slot.items_valid);
+      ASSERT_FALSE(slot.items.empty());
+      slot.items[0].block += 100;
+      corrupted = true;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  EXPECT_THROW(enumerator.audit(tree), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pfp::core::tree

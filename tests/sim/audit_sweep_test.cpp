@@ -8,6 +8,7 @@
 #include <cstddef>
 
 #include "core/policy/factory.hpp"
+#include "core/policy/tree_policy.hpp"
 #include "sim/simulator.hpp"
 #include "trace/workloads.hpp"
 #include "util/audit.hpp"
@@ -40,9 +41,17 @@ TEST_P(SimulatorAuditSweep, InvariantsHoldThroughoutRun) {
         // The default abort handler is active: a violated invariant kills
         // the test with the audit message rather than failing an EXPECT.
         simulator.buffer_cache().audit();
+        if (const auto* tp = dynamic_cast<const core::policy::TreeCostBenefit*>(
+                &simulator.prefetcher())) {
+          tp->audit_enumeration_cache();
+        }
       }
     }
     simulator.buffer_cache().audit();
+    if (const auto* tp = dynamic_cast<const core::policy::TreeCostBenefit*>(
+            &simulator.prefetcher())) {
+      tp->audit_enumeration_cache();
+    }
   }
 }
 
