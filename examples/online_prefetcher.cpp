@@ -2,18 +2,18 @@
 //
 // Most of this repository replays recorded traces; real systems discover
 // their reference stream one access at a time.  This example drives
-// sim::OnlineSession exactly like a host block layer would — push one
+// engine::PrefetchEngine exactly like a host block layer would — push one
 // access, get the outcome and its modeled latency — and shows the
-// predictor warming up live.  It then demonstrates persisting a trained
-// prefetch tree and reloading it for a prediction service.
+// predictor warming up live.  It then demonstrates persisting the whole
+// trained engine (predictor tree + cache residency + metrics) with
+// snapshot()/restore() and resuming it, the way a prediction service
+// would survive a restart.
 //
 //   $ ./online_prefetcher [--refs N] [--cache N]
 #include <iostream>
 #include <sstream>
 
-#include "core/tree/enumerator.hpp"
-#include "core/tree/prefetch_tree.hpp"
-#include "sim/online_session.hpp"
+#include "engine/prefetch_engine.hpp"
 #include "trace/gen_cad.hpp"
 #include "util/options.hpp"
 #include "util/string_utils.hpp"
@@ -22,7 +22,7 @@ using namespace pfp;
 
 int main(int argc, char** argv) {
   util::Options options;
-  options.add("refs", "60000", "accesses to push through the session");
+  options.add("refs", "60000", "accesses to push through the engine");
   options.add("cache", "1024", "cache size in blocks");
   if (!options.parse(argc, argv)) {
     return 0;
@@ -32,14 +32,14 @@ int main(int argc, char** argv) {
   gen.references = options.u64("refs");
   const auto workload = trace::CadGenerator(gen).generate();
 
-  sim::SimConfig config;
+  engine::EngineConfig config;
   config.cache_blocks = static_cast<std::size_t>(options.u64("cache"));
   config.policy.kind = core::policy::PolicyKind::kTreeNextLimit;
-  sim::OnlineSession session(config);
+  engine::PrefetchEngine eng(config);
 
   std::cout << "Pushing " << util::format_count(workload.size())
-            << " live accesses through an online tree-next-limit "
-               "session...\n\n";
+            << " live accesses through an embedded tree-next-limit "
+               "engine...\n\n";
   std::cout << "window       miss rate   mean latency (ms)\n";
   std::cout << "------------------------------------------\n";
   const std::size_t window = workload.size() / 8;
@@ -48,9 +48,9 @@ int main(int argc, char** argv) {
   std::size_t window_count = 0;
   std::size_t window_index = 0;
   for (const auto& record : workload) {
-    const auto result = session.access(record.block);
+    const auto result = eng.access(record.block);
     window_latency += result.latency_ms;
-    if (result.outcome == sim::OnlineSession::Outcome::kMiss) {
+    if (result.outcome == engine::Outcome::kMiss) {
       ++window_misses;
     }
     if (++window_count == window) {
@@ -68,28 +68,34 @@ int main(int argc, char** argv) {
       window_count = 0;
     }
   }
-  std::cout << "\nfinal session metrics:\n"
-            << session.metrics().summary() << "\n";
+  std::cout << "\nfinal engine metrics:\n" << eng.metrics().summary() << "\n";
 
-  // --- persistence: train a tree, save it, reload it, predict ----------
-  core::tree::PrefetchTree tree;
-  for (const auto& record : workload) {
-    tree.access(record.block);
-  }
+  // --- persistence: snapshot the trained engine, restore, resume -------
   std::stringstream blob;
-  tree.serialize(blob);
-  std::cout << "serialized trained tree: " << blob.str().size()
-            << " bytes for " << util::format_count(tree.node_count())
-            << " nodes\n";
-  const auto reloaded = core::tree::PrefetchTree::deserialize(blob);
-  core::tree::EnumeratorLimits limits;
-  limits.max_candidates = 3;
-  const auto predictions = core::tree::enumerate_candidates(
-      reloaded, reloaded.root(), limits);
-  std::cout << "top session entry points predicted by the reloaded tree:\n";
-  for (const auto& c : predictions) {
-    std::cout << "  object " << c.block << "  p="
-              << util::format_double(c.probability, 3) << "\n";
+  eng.snapshot(blob);
+  std::cout << "engine snapshot: " << blob.str().size() << " bytes ("
+            << util::format_count(eng.metrics().policy.tree_nodes)
+            << " predictor nodes + cache residency + metrics)\n";
+
+  engine::PrefetchEngine resumed(config);
+  resumed.restore(blob);
+  std::cout << "restored engine resumes at access #"
+            << util::format_count(resumed.metrics().accesses) << " with "
+            << util::format_count(resumed.buffer_cache().resident())
+            << " blocks already resident\n";
+
+  // The restored predictor keeps the original's knowledge: replaying a
+  // recent hot sequence hits immediately instead of re-warming.
+  std::uint64_t hits = 0;
+  const std::size_t tail = std::min<std::size_t>(workload.size(), 500);
+  for (std::size_t i = workload.size() - tail; i < workload.size(); ++i) {
+    const auto r = resumed.access(workload[i].block);
+    hits += r.outcome != engine::Outcome::kMiss ? 1 : 0;
   }
+  std::cout << "replaying the last " << tail
+            << " accesses against the restored engine: "
+            << util::format_percent(static_cast<double>(hits) /
+                                    static_cast<double>(tail))
+            << " served from cache\n";
   return 0;
 }

@@ -25,6 +25,11 @@ docs/static-analysis.md for the rationale behind each):
   include-guard     every header under src/ uses #pragma once (repo
                     convention; mixing guard styles breaks the amalgamated
                     include checks).
+  layering          src/engine/ may not include sim/ headers.  The engine
+                    extraction put the per-access state machine below the
+                    trace-replay drivers (util -> {trace, cache} -> core ->
+                    engine -> sim); an engine->sim include would recreate
+                    the cycle the refactor removed.
 
 Waivers: append `lint: allow(<rule>)` in a comment on the offending line, or
 put `lint: allow-file(<rule>)` in a comment anywhere in the file to waive a
@@ -43,7 +48,11 @@ from typing import Iterable, List, NamedTuple
 
 HOT_DIRS = ("src/core", "src/cache")
 COSTBEN_DIR = "src/core/costben"
+ENGINE_DIR = "src/engine"
 SOURCE_SUFFIXES = {".hpp", ".cpp"}
+
+# Layer boundaries: directory -> include prefixes it may not reach up to.
+LAYERING = {ENGINE_DIR: ("sim/",)}
 
 ALLOW_LINE_RE = re.compile(r"lint:\s*allow\(([a-z-]+)\)")
 ALLOW_FILE_RE = re.compile(r"lint:\s*allow-file\(([a-z-]+)\)")
@@ -55,6 +64,7 @@ ALLOC_RE = re.compile(r"(?:\bnew\b(?!\s*\()|\bnew\s*\[|std\s*::\s*make_(?:unique
 NAKED_NEW_RE = re.compile(r"\bnew\b")
 STD_RAND_RE = re.compile(r"(?:std\s*::\s*rand\b|\bsrand\s*\(|\brand\s*\(\s*\))")
 FLOAT_RE = re.compile(r"\bfloat\b")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*[<"]([^">]+)[">]')
 
 
 class Violation(NamedTuple):
@@ -156,6 +166,21 @@ def check_file(root: pathlib.Path, path: pathlib.Path) -> List[Violation]:
     if path.suffix == ".hpp" and "#pragma once" not in text:
         report(0, "include-guard",
                "header lacks '#pragma once' (repo guard convention)")
+
+    # Layering runs on raw lines: code_lines() blanks string literals, and
+    # the include path is one.
+    banned_prefixes = tuple(
+        prefix for d, prefixes in LAYERING.items() if in_dir(rel, d)
+        for prefix in prefixes
+    )
+    if banned_prefixes:
+        for i, raw in enumerate(raw_lines, start=1):
+            match = INCLUDE_RE.match(raw)
+            if match and match.group(1).startswith(banned_prefixes):
+                report(i, "layering",
+                       f"'{match.group(1)}' reaches up the layer stack "
+                       "(engine must not depend on sim; see "
+                       "docs/architecture.md)")
 
     for i, line in enumerate(code, start=1):
         if not line.strip():

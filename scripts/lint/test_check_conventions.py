@@ -201,6 +201,53 @@ class CommentAndLiteralStripping(LintHarness):
         self.assertIn("hot-alloc", self.rules(found))
 
 
+class LayeringRule(LintHarness):
+    def test_engine_including_sim_fires(self) -> None:
+        found = self.lint_file(
+            "src/engine/bad.hpp",
+            '#pragma once\n#include "sim/simulator.hpp"\n')
+        self.assertIn("layering", self.rules(found))
+        self.assertEqual(found[0].line, 2)
+
+    def test_engine_including_sim_cpp_fires(self) -> None:
+        found = self.lint_file(
+            "src/engine/bad.cpp", '#include "sim/metrics.hpp"\n')
+        self.assertIn("layering", self.rules(found))
+
+    def test_engine_including_core_is_fine(self) -> None:
+        found = self.lint_file(
+            "src/engine/good.cpp",
+            '#include "core/policy/factory.hpp"\n'
+            '#include "cache/buffer_cache.hpp"\n'
+            '#include "util/assert.hpp"\n')
+        self.assertEqual(self.rules(found), set())
+
+    def test_sim_including_engine_is_fine(self) -> None:
+        # Downward includes are the point of the layering.
+        found = self.lint_file(
+            "src/sim/good.cpp", '#include "engine/prefetch_engine.hpp"\n')
+        self.assertEqual(self.rules(found), set())
+
+    def test_sim_like_name_elsewhere_is_fine(self) -> None:
+        # Only the sim/ prefix is banned, not paths merely containing it.
+        found = self.lint_file(
+            "src/engine/good2.cpp", '#include "core/simplex/sim.hpp"\n')
+        self.assertEqual(self.rules(found), set())
+
+    def test_mention_in_comment_is_fine(self) -> None:
+        found = self.lint_file(
+            "src/engine/good3.cpp",
+            '// do NOT #include "sim/simulator.hpp" here\n')
+        self.assertEqual(self.rules(found), set())
+
+    def test_file_waiver_silences(self) -> None:
+        found = self.lint_file(
+            "src/engine/waived.cpp",
+            '// lint: allow-file(layering)\n'
+            '#include "sim/simulator.hpp"\n')
+        self.assertEqual(self.rules(found), set())
+
+
 class Driver(LintHarness):
     def test_run_reports_all_violations_and_exits_one(self) -> None:
         self.write("src/core/bad.cpp", "int* p = new int[4];\n")

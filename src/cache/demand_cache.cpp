@@ -106,6 +106,16 @@ BlockId DemandCache::evict_lru() {
   return block;
 }
 
+std::vector<BlockId> DemandCache::blocks_lru_to_mru() const {
+  std::vector<BlockId> blocks;
+  blocks.reserve(lru_.size());
+  for (auto slot = lru_.back(); slot != util::LruList::npos;
+       slot = lru_.prev(slot)) {
+    blocks.push_back(slot_block_[slot]);
+  }
+  return blocks;
+}
+
 std::optional<BlockId> DemandCache::lru_block() const {
   const auto slot = lru_.back();
   if (slot == util::LruList::npos) {

@@ -55,6 +55,10 @@ class DemandCache {
   [[nodiscard]] bool empty() const noexcept { return map_.empty(); }
   [[nodiscard]] std::size_t max_blocks() const noexcept { return max_blocks_; }
 
+  /// Resident blocks in LRU -> MRU order (engine snapshots re-insert them
+  /// in this order to reproduce the recency stack; O(n), const).
+  [[nodiscard]] std::vector<BlockId> blocks_lru_to_mru() const;
+
   /// SIM_AUDIT sweep: slot accounting, LRU <-> map agreement, Fenwick
   /// mark count (docs/static-analysis.md).  No-op unless compiled with
   /// SIM_AUDIT >= 1.

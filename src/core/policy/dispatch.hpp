@@ -1,0 +1,58 @@
+// Static dispatch over the factory's kind -> concrete-class mapping.
+//
+// The factory constructs exactly one dynamic type per PolicyKind; callers
+// that want devirtualized per-policy loops (the engine's batch path) need
+// that mapping at compile time.  Keeping it here, next to the factory,
+// means adding a policy kind touches one place instead of every driver.
+#pragma once
+
+#include "core/policy/factory.hpp"
+#include "core/policy/next_limit.hpp"
+#include "core/policy/no_prefetch.hpp"
+#include "core/policy/perfect_selector.hpp"
+#include "core/policy/tree_children.hpp"
+#include "core/policy/tree_lvc.hpp"
+#include "core/policy/tree_next_limit.hpp"
+#include "core/policy/tree_threshold.hpp"
+
+namespace pfp::core::policy {
+
+/// Value-less type tag handed to dispatch_kind visitors.
+template <typename T>
+struct KindTag {
+  using type = T;
+};
+
+/// Invokes f with KindTag<Concrete> for the dynamic type make_prefetcher
+/// builds for `kind` (kTree maps to TreeCostBenefit even though
+/// subclasses exist — the factory guarantees the exact type).  Unknown
+/// kinds fall back to KindTag<Prefetcher>, which visitors should treat as
+/// "use the vtable".
+template <typename F>
+decltype(auto) dispatch_kind(PolicyKind kind, F&& f) {
+  switch (kind) {
+    case PolicyKind::kNoPrefetch:
+      return f(KindTag<NoPrefetch>{});
+    case PolicyKind::kNextLimit:
+      return f(KindTag<NextLimit>{});
+    case PolicyKind::kTree:
+      return f(KindTag<TreeCostBenefit>{});
+    case PolicyKind::kTreeNextLimit:
+      return f(KindTag<TreeNextLimit>{});
+    case PolicyKind::kTreeLvc:
+      return f(KindTag<TreeLvc>{});
+    case PolicyKind::kPerfectSelector:
+      return f(KindTag<PerfectSelector>{});
+    case PolicyKind::kTreeThreshold:
+      return f(KindTag<TreeThreshold>{});
+    case PolicyKind::kTreeChildren:
+      return f(KindTag<TreeChildren>{});
+    case PolicyKind::kProbGraph:
+      return f(KindTag<ProbGraph>{});
+    case PolicyKind::kTreeAdaptive:
+      return f(KindTag<TreeAdaptive>{});
+  }
+  return f(KindTag<Prefetcher>{});  // unknown kind: vtable fallback
+}
+
+}  // namespace pfp::core::policy

@@ -61,6 +61,33 @@ PolicyKind kind_from_name(const std::string& name) {
   throw std::invalid_argument("unknown policy '" + name + "'");
 }
 
+namespace {
+
+// !(value in range) instead of direct comparison so NaN is rejected too.
+void require_fraction(double value, const char* field) {
+  if (!(value >= 0.0 && value <= 1.0)) {
+    throw std::invalid_argument(std::string("PolicySpec: ") + field +
+                                " must be in [0, 1] (got " +
+                                std::to_string(value) + ")");
+  }
+}
+
+}  // namespace
+
+void validate_spec(const PolicySpec& spec) {
+  require_fraction(spec.obl_quota, "obl_quota");
+  require_fraction(spec.threshold, "threshold");
+  require_fraction(spec.graph.min_probability, "graph.min_probability");
+  if (spec.children == 0) {
+    throw std::invalid_argument(
+        "PolicySpec: children must be at least 1");
+  }
+  if (spec.tree.max_prefetches_per_period == 0) {
+    throw std::invalid_argument(
+        "PolicySpec: tree.max_prefetches_per_period must be at least 1");
+  }
+}
+
 // Construction happens once per simulation, never per access, so the
 // hot-path allocation ban does not apply here.  lint: allow-file(hot-alloc)
 std::unique_ptr<Prefetcher> make_prefetcher(const PolicySpec& spec) {

@@ -49,6 +49,13 @@ std::string kind_name(PolicyKind kind);
 /// Inverse of kind_name; throws std::invalid_argument on junk.
 PolicyKind kind_from_name(const std::string& name);
 
+/// Engine-construction path: rejects parameter values no policy can run
+/// with (quota/threshold outside [0, 1], zero children, NaNs) with a
+/// std::invalid_argument naming the field.  engine::validate() calls this
+/// before any policy is built, so misconfiguration fails loudly at
+/// construction instead of as UB mid-run.
+void validate_spec(const PolicySpec& spec);
+
 std::unique_ptr<Prefetcher> make_prefetcher(const PolicySpec& spec);
 
 }  // namespace pfp::core::policy

@@ -1,10 +1,20 @@
 #include "core/policy/prefetcher.hpp"
 
+#include "core/tree/prefetch_tree.hpp"
+
 namespace pfp::core::policy {
 
 void Prefetcher::on_prefetch_consumed(const cache::PrefetchEntry& entry,
                                       Context& ctx) {
   ctx.estimators.prefetch_outcome(/*accessed=*/true, entry.obl);
+}
+
+const tree::PrefetchTree* Prefetcher::predictor_tree() const {
+  return nullptr;
+}
+
+bool Prefetcher::restore_predictor_tree(tree::PrefetchTree /*tree*/) {
+  return false;
 }
 
 }  // namespace pfp::core::policy

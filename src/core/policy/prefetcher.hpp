@@ -12,6 +12,10 @@
 
 #include "core/policy/context.hpp"
 
+namespace pfp::core::tree {
+class PrefetchTree;
+}  // namespace pfp::core::tree
+
 namespace pfp::core::policy {
 
 enum class AccessOutcome {
@@ -41,6 +45,14 @@ class Prefetcher {
   /// Default: records the hit with the h estimators.
   virtual void on_prefetch_consumed(const cache::PrefetchEntry& entry,
                                     Context& ctx);
+
+  /// The policy's persistent predictor state (the LZ prefetch tree), or
+  /// nullptr for policies without one.  Engine snapshots serialize it.
+  [[nodiscard]] virtual const tree::PrefetchTree* predictor_tree() const;
+
+  /// Replaces the predictor tree (engine snapshot restore).  Returns
+  /// false when the policy has no tree to restore into.
+  virtual bool restore_predictor_tree(tree::PrefetchTree tree);
 };
 
 }  // namespace pfp::core::policy

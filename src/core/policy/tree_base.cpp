@@ -1,10 +1,26 @@
 #include "core/policy/tree_base.hpp"
 
+#include <utility>
+
 namespace pfp::core::policy {
 
 TreeInstrumentedPrefetcher::TreeInstrumentedPrefetcher(
     tree::TreeConfig config)
     : tree_(config) {}
+
+const tree::PrefetchTree* TreeInstrumentedPrefetcher::predictor_tree()
+    const {
+  return &tree_;
+}
+
+bool TreeInstrumentedPrefetcher::restore_predictor_tree(
+    tree::PrefetchTree tree) {
+  // Move-assignment keeps the incoming tree's uid, so epoch-keyed
+  // enumerator caches can never confuse the restored structure with the
+  // one it replaces (see PrefetchTree's uid semantics).
+  tree_ = std::move(tree);
+  return true;
+}
 
 tree::AccessInfo TreeInstrumentedPrefetcher::observe_access(
     BlockId block, AccessOutcome outcome, Context& ctx) {

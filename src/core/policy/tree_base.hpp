@@ -17,6 +17,10 @@ class TreeInstrumentedPrefetcher : public Prefetcher {
 
   [[nodiscard]] const tree::PrefetchTree& prefetch_tree() const noexcept { return tree_; }
 
+  /// Engine snapshot hooks: the tree is the persistent predictor state.
+  [[nodiscard]] const tree::PrefetchTree* predictor_tree() const override;
+  bool restore_predictor_tree(tree::PrefetchTree tree) override;
+
  protected:
   /// Feeds the reference through the parse and updates the shared tree
   /// metrics.  Call exactly once per on_access.

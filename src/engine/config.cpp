@@ -1,0 +1,33 @@
+#include "engine/config.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace pfp::engine {
+
+namespace {
+
+// !(value > 0) instead of value <= 0 so NaN is rejected too.
+void require_positive(double value, const char* field) {
+  if (!(value > 0.0)) {
+    throw std::invalid_argument(std::string("EngineConfig: ") + field +
+                                " must be positive (got " +
+                                std::to_string(value) + ")");
+  }
+}
+
+}  // namespace
+
+void validate(const EngineConfig& config) {
+  if (config.cache_blocks == 0) {
+    throw std::invalid_argument(
+        "EngineConfig: cache_blocks must be at least 1");
+  }
+  require_positive(config.timing.t_hit, "timing.t_hit");
+  require_positive(config.timing.t_driver, "timing.t_driver");
+  require_positive(config.timing.t_disk, "timing.t_disk");
+  require_positive(config.timing.t_cpu, "timing.t_cpu");
+  core::policy::validate_spec(config.policy);
+}
+
+}  // namespace pfp::engine

@@ -1,10 +1,10 @@
-#include "sim/metrics.hpp"
+#include "engine/metrics.hpp"
 
 #include <sstream>
 
 #include "util/string_utils.hpp"
 
-namespace pfp::sim {
+namespace pfp::engine {
 
 namespace {
 
@@ -76,4 +76,43 @@ std::string Metrics::summary() const {
   return os.str();
 }
 
-}  // namespace pfp::sim
+
+Metrics merge_metrics(std::span<const Metrics> shards) {
+  Metrics merged;
+  // Plain index-order fold: double addition is not associative, so a
+  // completion-order fold would make the merged doubles depend on thread
+  // scheduling.  Folding by shard index makes the merge a pure function
+  // of the per-shard values.
+  for (const Metrics& m : shards) {
+    merged.accesses += m.accesses;
+    merged.demand_hits += m.demand_hits;
+    merged.prefetch_hits += m.prefetch_hits;
+    merged.misses += m.misses;
+    merged.elapsed_ms += m.elapsed_ms;
+    merged.stall_ms += m.stall_ms;
+    merged.disk_queue_delay_ms += m.disk_queue_delay_ms;
+    merged.disk_requests += m.disk_requests;
+
+    merged.policy.prefetches_issued += m.policy.prefetches_issued;
+    merged.policy.obl_prefetches_issued += m.policy.obl_prefetches_issued;
+    merged.policy.tree_prefetches_issued += m.policy.tree_prefetches_issued;
+    merged.policy.sum_prefetch_probability +=
+        m.policy.sum_prefetch_probability;
+    merged.policy.candidates_chosen += m.policy.candidates_chosen;
+    merged.policy.candidates_already_cached +=
+        m.policy.candidates_already_cached;
+    merged.policy.prefetch_ejections += m.policy.prefetch_ejections;
+    merged.policy.demand_ejections += m.policy.demand_ejections;
+    merged.policy.predictable += m.policy.predictable;
+    merged.policy.predictable_uncached += m.policy.predictable_uncached;
+    merged.policy.lvc_opportunities += m.policy.lvc_opportunities;
+    merged.policy.lvc_followed += m.policy.lvc_followed;
+    merged.policy.lvc_checks += m.policy.lvc_checks;
+    merged.policy.lvc_cached += m.policy.lvc_cached;
+    merged.policy.tree_nodes += m.policy.tree_nodes;
+    merged.policy.tree_bytes += m.policy.tree_bytes;
+  }
+  return merged;
+}
+
+}  // namespace pfp::engine

@@ -1,0 +1,409 @@
+#include "engine/prefetch_engine.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <typeinfo>
+
+#include "core/policy/dispatch.hpp"
+#include "core/tree/prefetch_tree.hpp"
+#include "util/assert.hpp"
+
+namespace pfp::engine {
+
+using core::policy::AccessOutcome;
+using core::policy::Context;
+
+namespace {
+
+// Qualified-call proxy for the devirtualized run_trace() loops: `P` is
+// the exact dynamic type (asserted at dispatch), so P::member calls skip
+// the vtable and can inline.  Works for non-final policies too — kTree
+// maps to a TreeCostBenefit object even though subclasses of it exist.
+template <typename P>
+struct Direct {
+  P& p;
+  void on_access(trace::BlockId block, AccessOutcome outcome, Context& ctx) {
+    p.P::on_access(block, outcome, ctx);
+  }
+  void reclaim_for_demand(Context& ctx) { p.P::reclaim_for_demand(ctx); }
+  void on_prefetch_consumed(const cache::PrefetchEntry& entry, Context& ctx) {
+    p.P::on_prefetch_consumed(entry, ctx);
+  }
+};
+
+// Vtable proxy: the push/step paths and the fallback for policy kinds
+// without a dedicated loop.
+struct Virtual {
+  core::policy::Prefetcher& p;
+  void on_access(trace::BlockId block, AccessOutcome outcome, Context& ctx) {
+    p.on_access(block, outcome, ctx);
+  }
+  void reclaim_for_demand(Context& ctx) { p.reclaim_for_demand(ctx); }
+  void on_prefetch_consumed(const cache::PrefetchEntry& entry, Context& ctx) {
+    p.on_prefetch_consumed(entry, ctx);
+  }
+};
+
+// --- snapshot stream helpers (little-endian, like core/tree/serialize) --
+
+constexpr std::array<char, 4> kMagic = {'P', 'F', 'E', 'G'};
+constexpr std::uint16_t kVersion = 1;
+
+void write_u16(std::ostream& out, std::uint16_t v) {
+  out.put(static_cast<char>(v & 0xff));
+  out.put(static_cast<char>((v >> 8) & 0xff));
+}
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.put(static_cast<char>(v & 0xff));
+    v >>= 8;
+  }
+}
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.put(static_cast<char>(v & 0xff));
+    v >>= 8;
+  }
+}
+
+void write_f64(std::ostream& out, double v) {
+  write_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint16_t read_u16(std::istream& in) {
+  std::array<unsigned char, 2> b{};
+  in.read(reinterpret_cast<char*>(b.data()), b.size());
+  return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  std::array<unsigned char, 4> b{};
+  in.read(reinterpret_cast<char*>(b.data()), b.size());
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | b[static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  std::array<unsigned char, 8> b{};
+  in.read(reinterpret_cast<char*>(b.data()), b.size());
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | b[static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+double read_f64(std::istream& in) {
+  return std::bit_cast<double>(read_u64(in));
+}
+
+[[noreturn]] void corrupt(const char* what) {
+  throw std::runtime_error(std::string("engine snapshot stream: ") + what);
+}
+
+}  // namespace
+
+PrefetchEngine::PrefetchEngine(EngineConfig config)
+    : config_((validate(config), config)),
+      cache_(config.cache_blocks),
+      disks_(cache::DiskConfig{config.disks, config.timing.t_disk}),
+      policy_(core::policy::make_prefetcher(config.policy)) {}
+
+Context PrefetchEngine::make_context() {
+  return Context{cache_,      disks_, config_.timing, estimators_,
+                 stack_,      metrics_.policy};
+}
+
+template <typename PolicyRef>
+AccessOutcome PrefetchEngine::step_one(
+    PolicyRef policy, trace::BlockId block, std::uint64_t period,
+    std::span<const trace::TraceRecord> upcoming, Context& ctx) {
+  const double period_start = metrics_.elapsed_ms;
+  ctx.period = period;
+  ctx.now_ms = period_start;
+  ctx.upcoming = upcoming;
+
+  const auto result = cache_.access(block);
+  ++metrics_.accesses;
+
+  // Every access period: read the block from the cache and compute.
+  metrics_.elapsed_ms += config_.timing.t_hit + config_.timing.t_cpu;
+
+  AccessOutcome outcome;
+  if (const auto* hit = std::get_if<cache::DemandHit>(&result)) {
+    outcome = AccessOutcome::kDemandHit;
+    ++metrics_.demand_hits;
+    stack_.record(/*hit=*/true, hit->stack_depth);
+  } else if (const auto* pf = std::get_if<cache::PrefetchHit>(&result)) {
+    outcome = AccessOutcome::kPrefetchHit;
+    ++metrics_.prefetch_hits;
+    stack_.record(/*hit=*/false);
+    // Residual stall: the prefetch's disk read may not have completed by
+    // the time its block is referenced (Figure 5's partial overlap).
+    const double stall =
+        std::max(pf->entry.completion_ms - period_start, 0.0);
+    metrics_.elapsed_ms += stall;
+    metrics_.stall_ms += stall;
+    policy.on_prefetch_consumed(pf->entry, ctx);
+  } else {
+    outcome = AccessOutcome::kMiss;
+    ++metrics_.misses;
+    stack_.record(/*hit=*/false);
+    metrics_.elapsed_ms += config_.timing.t_driver;
+    const double completion = disks_.submit(block, metrics_.elapsed_ms);
+    const double stall = completion - metrics_.elapsed_ms;
+    metrics_.elapsed_ms = completion;
+    metrics_.stall_ms += stall;
+    if (cache_.free_buffers() == 0) {
+      policy.reclaim_for_demand(ctx);
+      PFP_REQUIRE(cache_.free_buffers() >= 1);
+    }
+    cache_.admit_demand(block);
+  }
+
+  // Policy turn: learn from the access, then issue this period's
+  // prefetches; each costs T_driver of CPU time (Figure 3b).
+  const std::uint64_t issued_before = metrics_.policy.prefetches_issued;
+  policy.on_access(block, outcome, ctx);
+  const std::uint64_t issued =
+      metrics_.policy.prefetches_issued - issued_before;
+  metrics_.elapsed_ms +=
+      static_cast<double>(issued) * config_.timing.t_driver;
+
+  // Keep the disk aggregates current so push-style users see fresh
+  // metrics without a run epilogue.
+  metrics_.disk_queue_delay_ms = disks_.queue_delay_ms();
+  metrics_.disk_requests = disks_.requests();
+
+  PFP_DASSERT(cache_.resident() <= cache_.total_blocks());
+  return outcome;
+}
+
+AccessResult PrefetchEngine::access(trace::BlockId block) {
+  Context ctx = make_context();
+  const double elapsed_before = metrics_.elapsed_ms;
+  const AccessOutcome outcome =
+      step_one(Virtual{*policy_}, block, metrics_.accesses, {}, ctx);
+
+  AccessResult result;
+  switch (outcome) {
+    case AccessOutcome::kDemandHit:
+      result.outcome = Outcome::kDemandHit;
+      break;
+    case AccessOutcome::kPrefetchHit:
+      result.outcome = Outcome::kPrefetchHit;
+      break;
+    case AccessOutcome::kMiss:
+      result.outcome = Outcome::kMiss;
+      break;
+  }
+  // Everything the period charged except the caller's own compute.
+  result.latency_ms =
+      metrics_.elapsed_ms - elapsed_before - config_.timing.t_cpu;
+  return result;
+}
+
+void PrefetchEngine::step(const trace::Trace& trace, std::size_t index) {
+  Context ctx = make_context();
+  step_one(Virtual{*policy_}, trace[index].block, index,
+           trace.records().subspan(index + 1), ctx);
+}
+
+template <typename PolicyRef>
+void PrefetchEngine::run_loop(PolicyRef policy, const trace::Trace& trace) {
+  // One Context for the whole run; step_one refreshes the per-period
+  // fields (period, now_ms, upcoming) instead of rebuilding the struct
+  // of references every access.
+  Context ctx = make_context();
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    step_one(policy, trace[i].block, i, trace.records().subspan(i + 1),
+             ctx);
+  }
+}
+
+template <typename PolicyT>
+void PrefetchEngine::run_as(const trace::Trace& trace) {
+  PFP_DASSERT(typeid(*policy_) == typeid(PolicyT));
+  run_loop(Direct<PolicyT>{static_cast<PolicyT&>(*policy_)}, trace);
+}
+
+void PrefetchEngine::run_trace(const trace::Trace& trace) {
+  core::policy::dispatch_kind(config_.policy.kind, [&](auto tag) {
+    using PolicyT = typename decltype(tag)::type;
+    if constexpr (std::is_same_v<PolicyT, core::policy::Prefetcher>) {
+      run_loop(Virtual{*policy_}, trace);  // unknown kind: vtable fallback
+    } else {
+      run_as<PolicyT>(trace);
+    }
+  });
+}
+
+void PrefetchEngine::snapshot(std::ostream& out) const {
+  out.write(kMagic.data(), kMagic.size());
+  write_u16(out, kVersion);
+  write_u64(out, config_.cache_blocks);
+
+  write_u64(out, metrics_.accesses);
+  write_u64(out, metrics_.demand_hits);
+  write_u64(out, metrics_.prefetch_hits);
+  write_u64(out, metrics_.misses);
+  write_f64(out, metrics_.elapsed_ms);
+  write_f64(out, metrics_.stall_ms);
+  write_f64(out, metrics_.disk_queue_delay_ms);
+  write_u64(out, metrics_.disk_requests);
+
+  const auto& p = metrics_.policy;
+  write_u64(out, p.prefetches_issued);
+  write_u64(out, p.obl_prefetches_issued);
+  write_u64(out, p.tree_prefetches_issued);
+  write_f64(out, p.sum_prefetch_probability);
+  write_u64(out, p.candidates_chosen);
+  write_u64(out, p.candidates_already_cached);
+  write_u64(out, p.prefetch_ejections);
+  write_u64(out, p.demand_ejections);
+  write_u64(out, p.predictable);
+  write_u64(out, p.predictable_uncached);
+  write_u64(out, p.lvc_opportunities);
+  write_u64(out, p.lvc_followed);
+  write_u64(out, p.lvc_checks);
+  write_u64(out, p.lvc_cached);
+  write_u64(out, p.tree_nodes);
+  write_u64(out, p.tree_bytes);
+
+  const auto demand_blocks = cache_.demand().blocks_lru_to_mru();
+  write_u64(out, demand_blocks.size());
+  for (const trace::BlockId block : demand_blocks) {
+    write_u64(out, block);
+  }
+
+  const auto prefetch_entries = cache_.prefetch().entries();
+  write_u64(out, prefetch_entries.size());
+  for (const cache::PrefetchEntry& entry : prefetch_entries) {
+    write_u64(out, entry.block);
+    write_f64(out, entry.probability);
+    write_u32(out, entry.depth);
+    write_f64(out, entry.eject_cost);
+    out.put(entry.obl ? '\1' : '\0');
+    write_u64(out, entry.issued_period);
+    write_f64(out, entry.completion_ms);
+  }
+
+  const core::tree::PrefetchTree* tree = policy_->predictor_tree();
+  out.put(tree != nullptr ? '\1' : '\0');
+  if (tree != nullptr) {
+    tree->serialize(out);
+  }
+}
+
+void PrefetchEngine::restore(std::istream& in) {
+  if (metrics_.accesses != 0 || cache_.resident() != 0) {
+    throw std::runtime_error(
+        "engine snapshot restore requires a freshly constructed engine");
+  }
+
+  std::array<char, 4> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) {
+    corrupt("bad magic");
+  }
+  if (read_u16(in) != kVersion) {
+    corrupt("unsupported version");
+  }
+  if (read_u64(in) != config_.cache_blocks) {
+    corrupt("cache_blocks mismatch with the configured engine");
+  }
+
+  Metrics restored;
+  restored.accesses = read_u64(in);
+  restored.demand_hits = read_u64(in);
+  restored.prefetch_hits = read_u64(in);
+  restored.misses = read_u64(in);
+  restored.elapsed_ms = read_f64(in);
+  restored.stall_ms = read_f64(in);
+  restored.disk_queue_delay_ms = read_f64(in);
+  restored.disk_requests = read_u64(in);
+
+  auto& p = restored.policy;
+  p.prefetches_issued = read_u64(in);
+  p.obl_prefetches_issued = read_u64(in);
+  p.tree_prefetches_issued = read_u64(in);
+  p.sum_prefetch_probability = read_f64(in);
+  p.candidates_chosen = read_u64(in);
+  p.candidates_already_cached = read_u64(in);
+  p.prefetch_ejections = read_u64(in);
+  p.demand_ejections = read_u64(in);
+  p.predictable = read_u64(in);
+  p.predictable_uncached = read_u64(in);
+  p.lvc_opportunities = read_u64(in);
+  p.lvc_followed = read_u64(in);
+  p.lvc_checks = read_u64(in);
+  p.lvc_cached = read_u64(in);
+  p.tree_nodes = read_u64(in);
+  p.tree_bytes = read_u64(in);
+
+  const std::uint64_t demand_count = read_u64(in);
+  if (!in || demand_count > config_.cache_blocks) {
+    corrupt("demand residency exceeds the buffer pool");
+  }
+  for (std::uint64_t i = 0; i < demand_count; ++i) {
+    const trace::BlockId block = read_u64(in);
+    if (!in) {
+      corrupt("truncated demand residency list");
+    }
+    if (cache_.contains(block)) {
+      corrupt("duplicate block in demand residency list");
+    }
+    cache_.admit_demand(block);
+  }
+
+  const std::uint64_t prefetch_count = read_u64(in);
+  if (!in || demand_count + prefetch_count > config_.cache_blocks) {
+    corrupt("residency exceeds the buffer pool");
+  }
+  for (std::uint64_t i = 0; i < prefetch_count; ++i) {
+    cache::PrefetchEntry entry;
+    entry.block = read_u64(in);
+    entry.probability = read_f64(in);
+    entry.depth = read_u32(in);
+    entry.eject_cost = read_f64(in);
+    entry.obl = in.get() == '\1';
+    entry.issued_period = read_u64(in);
+    entry.completion_ms = read_f64(in);
+    if (!in) {
+      corrupt("truncated prefetch residency list");
+    }
+    if (cache_.contains(entry.block)) {
+      corrupt("duplicate block in prefetch residency list");
+    }
+    cache_.admit_prefetch(entry);
+  }
+
+  const int tree_flag = in.get();
+  if (tree_flag != '\0' && tree_flag != '\1') {
+    corrupt("truncated predictor-tree flag");
+  }
+  if (tree_flag == '\1') {
+    const core::tree::PrefetchTree* live = policy_->predictor_tree();
+    if (live == nullptr) {
+      corrupt("snapshot carries a predictor tree but the configured "
+              "policy has none");
+    }
+    // Growth bound comes from the live policy's configuration, not the
+    // snapshot: the tree stream stores structure only.
+    auto tree = core::tree::PrefetchTree::deserialize(in, live->config());
+    policy_->restore_predictor_tree(std::move(tree));
+  }
+
+  metrics_ = restored;
+}
+
+}  // namespace pfp::engine

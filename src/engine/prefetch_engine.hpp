@@ -1,0 +1,117 @@
+// The per-access prefetching state machine (cache lookup -> predictor
+// update -> candidate enumeration -> cost-benefit decision -> prefetch
+// issue -> eviction), extracted from the trace-replay harness so hosts
+// can embed it.
+//
+// One engine owns one partitioned buffer cache, one policy instance and
+// one set of cost-benefit estimators, and is driven push-style:
+//
+//   engine::PrefetchEngine eng(config);
+//   for (;;) {
+//     const auto r = eng.access(next_block());
+//     if (r.outcome == engine::Outcome::kMiss) { ... }
+//   }
+//
+// The trace drivers (sim::Simulator, sim::OnlineSession) are thin shells
+// over this class; the devirtualized per-policy batch loops live here so
+// replay throughput and embedded behaviour can never drift apart.
+// Layering: engine/ sits between core/ and sim/ and must not include
+// sim/ (enforced by scripts/lint/check_conventions.py).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <span>
+
+#include "cache/buffer_cache.hpp"
+#include "cache/disk_model.hpp"
+#include "cache/stack_distance.hpp"
+#include "core/costben/estimator.hpp"
+#include "core/policy/factory.hpp"
+#include "engine/config.hpp"
+#include "engine/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace pfp::engine {
+
+enum class Outcome { kDemandHit, kPrefetchHit, kMiss };
+
+struct AccessResult {
+  Outcome outcome = Outcome::kMiss;
+  /// Modeled latency of this access under the timing model (ms): T_hit
+  /// for hits, plus residual prefetch stall or the full driver+disk
+  /// penalty for misses, plus the driver time of prefetches issued this
+  /// period.  Excludes T_cpu (the caller's compute is theirs).
+  double latency_ms = 0.0;
+};
+
+class PrefetchEngine {
+ public:
+  /// Validates the configuration (see engine::validate) and builds the
+  /// policy; throws std::invalid_argument on a bad config.
+  explicit PrefetchEngine(EngineConfig config);
+
+  /// Push-style entry point: feeds one block reference through the state
+  /// machine — cache access, timing charges, predictor learning,
+  /// prefetch issue — and reports what happened.
+  AccessResult access(trace::BlockId block);
+
+  /// Replay entry point for one trace position; identical to access()
+  /// except oracle policies can see the rest of the trace.
+  void step(const trace::Trace& trace, std::size_t index);
+
+  /// Replay entry point for a whole trace: dispatches to a devirtualized
+  /// per-policy loop (qualified calls on the exact dynamic type the
+  /// factory guarantees), falling back to the vtable for unknown kinds.
+  /// Bit-identical to calling step() for each index in order.
+  void run_trace(const trace::Trace& trace);
+
+  [[nodiscard]] const cache::BufferCache& buffer_cache() const noexcept {
+    return cache_;
+  }
+  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] const core::policy::Prefetcher& prefetcher() const noexcept {
+    return *policy_;
+  }
+  [[nodiscard]] const EngineConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Persists the engine's durable state as a compact binary stream: the
+  /// trained predictor tree (via core/tree/serialize), both cache
+  /// residency sets, and the accumulated metrics.  Estimator EWMAs and
+  /// in-flight disk state are transient and re-warm after restore.
+  void snapshot(std::ostream& out) const;
+
+  /// Rebuilds snapshot() state into this engine.  The engine must be
+  /// freshly constructed with a matching cache size and policy shape;
+  /// throws std::runtime_error on malformed input or mismatch.
+  void restore(std::istream& in);
+
+ private:
+  // The per-access pipeline is shared verbatim between the push/step
+  // paths (virtual dispatch) and the devirtualized per-policy loops
+  // run_trace() dispatches to, so the two can never drift apart.
+  // `PolicyRef` is a dispatch proxy: Virtual goes through the vtable,
+  // Direct<P> makes qualified calls on the exact dynamic type.
+  template <typename PolicyRef>
+  core::policy::AccessOutcome step_one(
+      PolicyRef policy, trace::BlockId block, std::uint64_t period,
+      std::span<const trace::TraceRecord> upcoming,
+      core::policy::Context& ctx);
+  template <typename PolicyRef>
+  void run_loop(PolicyRef policy, const trace::Trace& trace);
+  template <typename PolicyT>
+  void run_as(const trace::Trace& trace);
+  [[nodiscard]] core::policy::Context make_context();
+
+  EngineConfig config_;
+  cache::BufferCache cache_;
+  cache::DiskArray disks_;
+  cache::StackDistanceEstimator stack_;
+  core::costben::Estimators estimators_;
+  std::unique_ptr<core::policy::Prefetcher> policy_;
+  Metrics metrics_;
+};
+
+}  // namespace pfp::engine

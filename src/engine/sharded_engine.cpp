@@ -1,0 +1,115 @@
+#include "engine/sharded_engine.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+namespace pfp::engine {
+
+namespace {
+
+// SplitMix64 finalizer: cheap, stable, and mixes low-entropy block ids
+// (sequential file offsets) evenly across shards.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Runs before the thread pool spins up (member-init order), so a bad
+// shard count can never spawn a runaway number of workers first.
+ShardedConfig validated(ShardedConfig config) {
+  if (config.shards == 0) {
+    throw std::invalid_argument("ShardedConfig: shards must be at least 1");
+  }
+  if (config.shards > 1024) {
+    throw std::invalid_argument(
+        "ShardedConfig: shards must be at most 1024");
+  }
+  validate(config.engine);
+  return config;
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(ShardedConfig config)
+    : config_(validated(config)), pool_(config_.shards) {
+  shards_.reserve(config_.shards);
+  for (std::uint32_t i = 0; i < config_.shards; ++i) {
+    shards_.push_back(
+        std::make_unique<Shard>(config_.engine, config_.queue_capacity));
+  }
+  // Thread-per-shard: each worker occupies one pool thread for the
+  // engine's whole lifetime, which is why the pool is sized to shards.
+  workers_.reserve(config.shards);
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    workers_.push_back(pool_.submit([this, s] { worker(*s); }));
+  }
+}
+
+ShardedEngine::~ShardedEngine() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& future : workers_) {
+    try {
+      future.get();
+    } catch (...) {
+      // Worker exceptions (none expected: access() doesn't throw after
+      // construction) must not escape a destructor.
+    }
+  }
+}
+
+std::uint32_t ShardedEngine::shard_of(trace::BlockId block) const noexcept {
+  return static_cast<std::uint32_t>(mix64(block) %
+                                    shards_.size());
+}
+
+void ShardedEngine::push(trace::BlockId block) {
+  Shard& shard = *shards_[shard_of(block)];
+  while (!shard.queue.try_push(block)) {
+    std::this_thread::yield();  // backpressure: consumer is behind
+  }
+  ++shard.pushed;
+}
+
+void ShardedEngine::flush() {
+  for (auto& shard : shards_) {
+    while (shard->processed.load(std::memory_order_acquire) <
+           shard->pushed) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+Metrics ShardedEngine::merged_metrics() {
+  flush();
+  std::vector<Metrics> per_shard;
+  per_shard.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    per_shard.push_back(shard->engine.metrics());
+  }
+  return merge_metrics(per_shard);
+}
+
+void ShardedEngine::worker(Shard& shard) {
+  trace::BlockId block = 0;
+  for (;;) {
+    if (shard.queue.try_pop(block)) {
+      shard.engine.access(block);
+      shard.processed.fetch_add(1, std::memory_order_release);
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) {
+      // Drain anything that raced in before stop was observed.
+      while (shard.queue.try_pop(block)) {
+        shard.engine.access(block);
+        shard.processed.fetch_add(1, std::memory_order_release);
+      }
+      return;
+    }
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace pfp::engine

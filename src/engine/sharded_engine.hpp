@@ -1,0 +1,108 @@
+// Hash-sharded prefetch engine: N independent PrefetchEngine shards, one
+// worker thread each, fed through per-shard SPSC request queues.
+//
+// The block space is hash-partitioned, so each shard sees a disjoint
+// reference sub-stream and runs the full per-access state machine on its
+// private cache + predictor + estimators with no cross-shard
+// synchronization at all — the only shared state is the queue indices
+// and a per-shard processed counter.  Consequence (proven by test): for
+// a block-partitioned workload, every shard reproduces bit-identically
+// the metrics of a single PrefetchEngine fed that shard's sub-stream,
+// and the merged metrics are a deterministic, completion-order-
+// independent fold of the per-shard metrics.
+//
+//   engine::ShardedEngine eng(config);       // spawns the shard workers
+//   for (...) eng.push(next_block());        // routes to shard queues
+//   eng.flush();                             // waits for queues to drain
+//   const auto merged = eng.merged_metrics();
+//
+// push(), flush() and the metrics accessors must be called from one
+// producer thread; the shards consume concurrently.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "engine/config.hpp"
+#include "engine/metrics.hpp"
+#include "engine/prefetch_engine.hpp"
+#include "util/spsc_queue.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pfp::engine {
+
+struct ShardedConfig {
+  /// Per-shard engine configuration; cache_blocks is PER SHARD, so total
+  /// buffer memory is shards * cache_blocks.
+  EngineConfig engine;
+  std::uint32_t shards = 4;
+  /// Per-shard request ring capacity (rounded up to a power of two).
+  std::size_t queue_capacity = 4096;
+};
+
+class ShardedEngine {
+ public:
+  /// Validates the config and spawns one worker per shard on an internal
+  /// thread pool; throws std::invalid_argument on a bad config.
+  explicit ShardedEngine(ShardedConfig config);
+
+  /// Stops the workers after draining already-queued requests.
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  [[nodiscard]] std::uint32_t shards() const noexcept {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  [[nodiscard]] const ShardedConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Which shard owns a block (stable hash partition).
+  [[nodiscard]] std::uint32_t shard_of(trace::BlockId block) const noexcept;
+
+  /// Routes one reference to its shard's queue; spins briefly when the
+  /// queue is full (backpressure).  Producer thread only.
+  void push(trace::BlockId block);
+
+  /// Blocks until every pushed reference has been processed.  After
+  /// flush() returns, shard state reads are race-free (the workers are
+  /// parked on empty queues).
+  void flush();
+
+  /// One shard's engine, for introspection; call flush() first.
+  [[nodiscard]] const PrefetchEngine& shard(std::uint32_t index) const {
+    return shards_[index]->engine;
+  }
+
+  /// Flushes, then folds per-shard metrics in shard-index order (see
+  /// merge_metrics for why that makes the result deterministic).
+  [[nodiscard]] Metrics merged_metrics();
+
+ private:
+  struct Shard {
+    Shard(const EngineConfig& config, std::size_t queue_capacity)
+        : engine(config), queue(queue_capacity) {}
+    PrefetchEngine engine;
+    util::SpscQueue<trace::BlockId> queue;
+    /// Accesses completed by the worker; release-published so flush()'s
+    /// acquire load orders subsequent shard-state reads.
+    std::atomic<std::uint64_t> processed{0};
+    /// Accesses routed here; producer-thread-only, no atomics needed.
+    std::uint64_t pushed = 0;
+  };
+
+  void worker(Shard& shard);
+
+  ShardedConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> stop_{false};
+  util::ThreadPool pool_;  ///< exactly one thread per shard
+  std::vector<std::future<void>> workers_;
+};
+
+}  // namespace pfp::engine

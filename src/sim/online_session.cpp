@@ -1,53 +1,39 @@
 #include "sim/online_session.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace pfp::sim {
 
-OnlineSession::OnlineSession(SimConfig config)
-    : config_(config), window_("online") {
+OnlineSession::OnlineSession(SimConfig config) : config_(config) {
   if (config.policy.kind == core::policy::PolicyKind::kPerfectSelector) {
     throw std::invalid_argument(
         "perfect-selector needs future knowledge and cannot run online");
   }
-  simulator_ = std::make_unique<Simulator>(config);
-  window_.reserve(1);
+  engine_ = std::make_unique<engine::PrefetchEngine>(config);
 }
 
 OnlineSession::~OnlineSession() = default;
 OnlineSession::OnlineSession(OnlineSession&&) noexcept = default;
-OnlineSession& OnlineSession::operator=(OnlineSession&&) noexcept = default;
+
+OnlineSession& OnlineSession::operator=(OnlineSession&& other) noexcept {
+  // Self-move must leave the session valid (the defaulted operator would
+  // null out engine_ through unique_ptr's self-move).
+  if (this != &other) {
+    config_ = other.config_;
+    engine_ = std::move(other.engine_);
+  }
+  return *this;
+}
 
 OnlineSession::AccessResult OnlineSession::access(trace::BlockId block) {
-  const Metrics& m = simulator_->metrics();
-  const double elapsed_before = m.elapsed_ms;
-  const std::uint64_t demand_before = m.demand_hits;
-  const std::uint64_t prefetch_before = m.prefetch_hits;
-
-  window_.clear();
-  window_.append(block);
-  simulator_->step(window_, 0);
-
-  AccessResult result;
-  if (m.demand_hits > demand_before) {
-    result.outcome = Outcome::kDemandHit;
-  } else if (m.prefetch_hits > prefetch_before) {
-    result.outcome = Outcome::kPrefetchHit;
-  } else {
-    result.outcome = Outcome::kMiss;
-  }
-  // Everything the step charged except the caller's own compute.
-  result.latency_ms =
-      m.elapsed_ms - elapsed_before - config_.timing.t_cpu;
-  return result;
+  return engine_->access(block);
 }
 
-const Metrics& OnlineSession::metrics() const {
-  return simulator_->metrics();
-}
+const Metrics& OnlineSession::metrics() const { return engine_->metrics(); }
 
 const cache::BufferCache& OnlineSession::buffer_cache() const {
-  return simulator_->buffer_cache();
+  return engine_->buffer_cache();
 }
 
 }  // namespace pfp::sim

@@ -11,35 +11,31 @@
 //     if (r.outcome == sim::OnlineSession::Outcome::kMiss) { ... }
 //   }
 //
-// Oracle policies (perfect-selector) cannot run online — they need the
-// future — and are rejected at construction.
+// This is a thin shell over engine::PrefetchEngine::access(); it adds
+// only the online-suitability check.  Oracle policies (perfect-selector)
+// cannot run online — they need the future — and are rejected at
+// construction.
 #pragma once
 
 #include <memory>
 
+#include "engine/prefetch_engine.hpp"
+#include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace pfp::sim {
 
 class OnlineSession {
  public:
-  enum class Outcome { kDemandHit, kPrefetchHit, kMiss };
-
-  struct AccessResult {
-    Outcome outcome = Outcome::kMiss;
-    /// Simulated latency of this access under the timing model (ms):
-    /// T_hit for hits, plus residual prefetch stall or the full
-    /// driver+disk penalty for misses.  Excludes T_cpu (the caller's
-    /// compute is theirs).
-    double latency_ms = 0.0;
-  };
+  using Outcome = engine::Outcome;
+  using AccessResult = engine::AccessResult;
 
   /// Rejects PolicyKind::kPerfectSelector (requires future knowledge).
   explicit OnlineSession(SimConfig config);
   ~OnlineSession();
 
   OnlineSession(OnlineSession&&) noexcept;
-  OnlineSession& operator=(OnlineSession&&) noexcept;
+  OnlineSession& operator=(OnlineSession&& other) noexcept;
 
   /// Feeds one block reference; updates caches, predictor and prefetches.
   AccessResult access(trace::BlockId block);
@@ -54,8 +50,7 @@ class OnlineSession {
 
  private:
   SimConfig config_;
-  std::unique_ptr<Simulator> simulator_;
-  trace::Trace window_;  ///< single-record scratch trace fed to step()
+  std::unique_ptr<engine::PrefetchEngine> engine_;
 };
 
 }  // namespace pfp::sim

@@ -1,196 +1,14 @@
 #include "sim/simulator.hpp"
 
-#include <algorithm>
-#include <typeinfo>
-
-#include "core/policy/next_limit.hpp"
-#include "core/policy/no_prefetch.hpp"
-#include "core/policy/perfect_selector.hpp"
-#include "core/policy/tree_children.hpp"
-#include "core/policy/tree_lvc.hpp"
-#include "core/policy/tree_next_limit.hpp"
-#include "core/policy/tree_threshold.hpp"
-#include "util/assert.hpp"
-
 namespace pfp::sim {
 
-using core::policy::AccessOutcome;
-using core::policy::Context;
-
-namespace {
-
-// Qualified-call proxy for the devirtualized run() loops: `P` is the
-// exact dynamic type (asserted at dispatch), so P::member calls skip the
-// vtable and can inline.  Works for non-final policies too — kTree maps
-// to a TreeCostBenefit object even though subclasses of it exist.
-template <typename P>
-struct Direct {
-  P& p;
-  void on_access(trace::BlockId block, AccessOutcome outcome, Context& ctx) {
-    p.P::on_access(block, outcome, ctx);
-  }
-  void reclaim_for_demand(Context& ctx) { p.P::reclaim_for_demand(ctx); }
-  void on_prefetch_consumed(const cache::PrefetchEntry& entry, Context& ctx) {
-    p.P::on_prefetch_consumed(entry, ctx);
-  }
-};
-
-// Vtable proxy: the test-facing step() path and the fallback for policy
-// kinds without a dedicated loop.
-struct Virtual {
-  core::policy::Prefetcher& p;
-  void on_access(trace::BlockId block, AccessOutcome outcome, Context& ctx) {
-    p.on_access(block, outcome, ctx);
-  }
-  void reclaim_for_demand(Context& ctx) { p.reclaim_for_demand(ctx); }
-  void on_prefetch_consumed(const cache::PrefetchEntry& entry, Context& ctx) {
-    p.on_prefetch_consumed(entry, ctx);
-  }
-};
-
-}  // namespace
-
-Simulator::Simulator(SimConfig config)
-    : config_(config),
-      cache_(config.cache_blocks),
-      disks_(cache::DiskConfig{config.disks, config.timing.t_disk}),
-      policy_(core::policy::make_prefetcher(config.policy)) {}
-
-template <typename PolicyRef>
-void Simulator::step_impl(PolicyRef policy, const trace::Trace& trace,
-                          std::size_t index, Context& ctx) {
-  const trace::BlockId block = trace[index].block;
-  const double period_start = metrics_.elapsed_ms;
-  ctx.period = index;
-  ctx.now_ms = period_start;
-  ctx.upcoming = trace.records().subspan(index + 1);
-
-  const auto result = cache_.access(block);
-  ++metrics_.accesses;
-
-  // Every access period: read the block from the cache and compute.
-  metrics_.elapsed_ms += config_.timing.t_hit + config_.timing.t_cpu;
-
-  AccessOutcome outcome;
-  if (const auto* hit = std::get_if<cache::DemandHit>(&result)) {
-    outcome = AccessOutcome::kDemandHit;
-    ++metrics_.demand_hits;
-    stack_.record(/*hit=*/true, hit->stack_depth);
-  } else if (const auto* pf = std::get_if<cache::PrefetchHit>(&result)) {
-    outcome = AccessOutcome::kPrefetchHit;
-    ++metrics_.prefetch_hits;
-    stack_.record(/*hit=*/false);
-    // Residual stall: the prefetch's disk read may not have completed by
-    // the time its block is referenced (Figure 5's partial overlap).
-    const double stall =
-        std::max(pf->entry.completion_ms - period_start, 0.0);
-    metrics_.elapsed_ms += stall;
-    metrics_.stall_ms += stall;
-    policy.on_prefetch_consumed(pf->entry, ctx);
-  } else {
-    outcome = AccessOutcome::kMiss;
-    ++metrics_.misses;
-    stack_.record(/*hit=*/false);
-    metrics_.elapsed_ms += config_.timing.t_driver;
-    const double completion = disks_.submit(block, metrics_.elapsed_ms);
-    const double stall = completion - metrics_.elapsed_ms;
-    metrics_.elapsed_ms = completion;
-    metrics_.stall_ms += stall;
-    if (cache_.free_buffers() == 0) {
-      policy.reclaim_for_demand(ctx);
-      PFP_REQUIRE(cache_.free_buffers() >= 1);
-    }
-    cache_.admit_demand(block);
-  }
-
-  // Policy turn: learn from the access, then issue this period's
-  // prefetches; each costs T_driver of CPU time (Figure 3b).
-  const std::uint64_t issued_before = metrics_.policy.prefetches_issued;
-  policy.on_access(block, outcome, ctx);
-  const std::uint64_t issued =
-      metrics_.policy.prefetches_issued - issued_before;
-  metrics_.elapsed_ms +=
-      static_cast<double>(issued) * config_.timing.t_driver;
-
-  // Keep the disk aggregates current so online (push-style) users see
-  // fresh metrics without a run() epilogue.
-  metrics_.disk_queue_delay_ms = disks_.queue_delay_ms();
-  metrics_.disk_requests = disks_.requests();
-
-  PFP_DASSERT(cache_.resident() <= cache_.total_blocks());
-}
-
-void Simulator::step(const trace::Trace& trace, std::size_t index) {
-  Context ctx{cache_,      disks_, config_.timing, estimators_,
-              stack_,      metrics_.policy};
-  step_impl(Virtual{*policy_}, trace, index, ctx);
-}
-
-template <typename PolicyRef>
-void Simulator::run_loop(PolicyRef policy, const trace::Trace& trace) {
-  // One Context for the whole run; step_impl refreshes the per-period
-  // fields (period, now_ms, upcoming) instead of rebuilding the struct
-  // of references every access.
-  Context ctx{cache_,      disks_, config_.timing, estimators_,
-              stack_,      metrics_.policy};
-  for (std::size_t i = 0; i < trace.size(); ++i) {
-    step_impl(policy, trace, i, ctx);
-  }
-}
-
-template <typename PolicyT>
-void Simulator::run_as(const trace::Trace& trace) {
-  PFP_DASSERT(typeid(*policy_) == typeid(PolicyT));
-  run_loop(Direct<PolicyT>{static_cast<PolicyT&>(*policy_)}, trace);
-}
-
-void Simulator::dispatch_run(const trace::Trace& trace) {
-  using core::policy::PolicyKind;
-  // The factory maps each kind to exactly one concrete class (asserted in
-  // run_as under debug), which is what makes the qualified-call loops
-  // semantically identical to the virtual path.
-  switch (config_.policy.kind) {
-    case PolicyKind::kNoPrefetch:
-      run_as<core::policy::NoPrefetch>(trace);
-      return;
-    case PolicyKind::kNextLimit:
-      run_as<core::policy::NextLimit>(trace);
-      return;
-    case PolicyKind::kTree:
-      run_as<core::policy::TreeCostBenefit>(trace);
-      return;
-    case PolicyKind::kTreeNextLimit:
-      run_as<core::policy::TreeNextLimit>(trace);
-      return;
-    case PolicyKind::kTreeLvc:
-      run_as<core::policy::TreeLvc>(trace);
-      return;
-    case PolicyKind::kPerfectSelector:
-      run_as<core::policy::PerfectSelector>(trace);
-      return;
-    case PolicyKind::kTreeThreshold:
-      run_as<core::policy::TreeThreshold>(trace);
-      return;
-    case PolicyKind::kTreeChildren:
-      run_as<core::policy::TreeChildren>(trace);
-      return;
-    case PolicyKind::kProbGraph:
-      run_as<core::policy::ProbGraph>(trace);
-      return;
-    case PolicyKind::kTreeAdaptive:
-      run_as<core::policy::TreeAdaptive>(trace);
-      return;
-  }
-  run_loop(Virtual{*policy_}, trace);  // unknown kind: vtable fallback
-}
-
 Result Simulator::run(const trace::Trace& trace) {
-  dispatch_run(trace);
+  engine_.run_trace(trace);
   Result result;
-  result.config = config_;
-  result.policy_name = policy_->name();
+  result.config = engine_.config();
+  result.policy_name = engine_.prefetcher().name();
   result.trace_name = trace.name();
-  result.metrics = metrics_;
+  result.metrics = engine_.metrics();
   return result;
 }
 

@@ -1,33 +1,23 @@
 // The trace-driven simulator (Section 8).
 //
-// Drives a reference stream through the partitioned buffer cache under a
-// prefetching policy, charging the Section 3 timing model: every access
-// period costs T_hit + T_cpu plus T_driver per fetch initiated, and
-// stalls T_disk on a demand miss or the residual disk time on a prefetch
-// that had not finished by the time its block was referenced.
+// Thin replay driver over engine::PrefetchEngine: the per-access state
+// machine (cache lookup -> predictor update -> candidate enumeration ->
+// cost-benefit decision -> prefetch issue -> eviction) and the Section 3
+// timing charges live in the engine; this class just feeds it a recorded
+// trace and assembles a Result.
 #pragma once
 
-#include <memory>
+#include <string>
 
-#include "cache/buffer_cache.hpp"
-#include "cache/disk_model.hpp"
-#include "cache/stack_distance.hpp"
-#include "core/costben/estimator.hpp"
-#include "core/costben/timing_model.hpp"
-#include "core/policy/factory.hpp"
+#include "engine/prefetch_engine.hpp"
 #include "sim/metrics.hpp"
 #include "trace/trace.hpp"
 
 namespace pfp::sim {
 
-struct SimConfig {
-  std::size_t cache_blocks = 1024;  ///< combined demand+prefetch capacity
-  /// Number of disks in the array; 0 = the paper's infinite-disk
-  /// assumption (every request completes in exactly T_disk).
-  std::uint32_t disks = 0;
-  core::costben::TimingParams timing;
-  core::policy::PolicySpec policy;
-};
+/// The simulator's configuration is exactly the engine's; kept under the
+/// historical name so existing experiment/test code compiles unchanged.
+using SimConfig = engine::EngineConfig;
 
 struct Result {
   SimConfig config;
@@ -38,39 +28,31 @@ struct Result {
 
 class Simulator {
  public:
-  explicit Simulator(SimConfig config);
+  explicit Simulator(SimConfig config) : engine_(config) {}
 
   /// Runs the whole trace; the simulator is single-use.
   Result run(const trace::Trace& trace);
 
   /// Access to live state mid-run (tests drive step() directly).
-  void step(const trace::Trace& trace, std::size_t index);
-  [[nodiscard]] const cache::BufferCache& buffer_cache() const { return cache_; }
-  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
-  [[nodiscard]] const core::policy::Prefetcher& prefetcher() const { return *policy_; }
+  void step(const trace::Trace& trace, std::size_t index) {
+    engine_.step(trace, index);
+  }
+  [[nodiscard]] const cache::BufferCache& buffer_cache() const {
+    return engine_.buffer_cache();
+  }
+  [[nodiscard]] const Metrics& metrics() const { return engine_.metrics(); }
+  [[nodiscard]] const core::policy::Prefetcher& prefetcher() const {
+    return engine_.prefetcher();
+  }
+
+  /// The underlying engine, for hosts that outgrow the replay API.
+  [[nodiscard]] engine::PrefetchEngine& engine() noexcept { return engine_; }
+  [[nodiscard]] const engine::PrefetchEngine& engine() const noexcept {
+    return engine_;
+  }
 
  private:
-  // The per-access pipeline is shared verbatim between the test-facing
-  // virtual path (step()) and the devirtualized per-policy loops run()
-  // dispatches to, so the two can never drift apart.  `PolicyRef` is a
-  // dispatch proxy: Virtual goes through the vtable, Direct<P> makes
-  // qualified calls on the exact dynamic type the factory guarantees.
-  template <typename PolicyRef>
-  void step_impl(PolicyRef policy, const trace::Trace& trace,
-                 std::size_t index, core::policy::Context& ctx);
-  template <typename PolicyRef>
-  void run_loop(PolicyRef policy, const trace::Trace& trace);
-  template <typename PolicyT>
-  void run_as(const trace::Trace& trace);
-  void dispatch_run(const trace::Trace& trace);
-
-  SimConfig config_;
-  cache::BufferCache cache_;
-  cache::DiskArray disks_;
-  cache::StackDistanceEstimator stack_;
-  core::costben::Estimators estimators_;
-  std::unique_ptr<core::policy::Prefetcher> policy_;
-  Metrics metrics_;
+  engine::PrefetchEngine engine_;
 };
 
 /// Convenience: build and run in one call.

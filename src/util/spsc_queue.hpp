@@ -1,0 +1,89 @@
+// Bounded single-producer / single-consumer ring buffer.
+//
+// The sharded engine hands each shard worker its reference stream through
+// one of these: exactly one thread pushes and exactly one thread pops, so
+// the only synchronization needed is an acquire/release pair on the two
+// ring indices.  Both sides keep a cached copy of the opposite index so
+// the steady state touches a single shared cache line per operation
+// instead of two (the classic Rigtorp layout).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace pfp::util {
+
+/// Fixed-capacity SPSC FIFO over trivially copyable values.
+///
+/// Contract: try_push is called by one producer thread only and try_pop
+/// by one consumer thread only; neither blocks.  Capacity is rounded up
+/// to a power of two so index wrapping is a mask.
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity) {
+      PFP_REQUIRE(cap <= (std::size_t{1} << 62));
+      cap <<= 1;
+    }
+    buffer_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side.  Returns false when the ring is full.
+  bool try_push(const T& value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) {
+        return false;
+      }
+    }
+    buffer_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.  Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) {
+        return false;
+      }
+    }
+    out = buffer_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Approximate occupancy; exact only when called from the producer or
+  /// consumer thread while the other side is quiescent.
+  [[nodiscard]] std::size_t size() const noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(tail - head);
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+ private:
+  std::vector<T> buffer_;
+  std::uint64_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< next pop slot
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< next push slot
+  alignas(64) std::uint64_t head_cache_ = 0;  ///< producer's view of head_
+  alignas(64) std::uint64_t tail_cache_ = 0;  ///< consumer's view of tail_
+};
+
+}  // namespace pfp::util

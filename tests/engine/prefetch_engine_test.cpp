@@ -1,0 +1,189 @@
+#include "engine/prefetch_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/prng.hpp"
+
+namespace pfp::engine {
+namespace {
+
+using core::policy::PolicyKind;
+
+EngineConfig tree_config(std::size_t blocks = 64) {
+  EngineConfig c;
+  c.cache_blocks = blocks;
+  c.policy.kind = PolicyKind::kTreeNextLimit;
+  return c;
+}
+
+trace::Trace random_trace(std::uint64_t seed, int length, int universe) {
+  trace::Trace t("t");
+  util::Xoshiro256 rng(seed);
+  for (int i = 0; i < length; ++i) {
+    t.append(rng.below(static_cast<std::uint64_t>(universe)));
+  }
+  return t;
+}
+
+TEST(PrefetchEngine, FirstAccessMissesThenHits) {
+  PrefetchEngine eng(tree_config());
+  const auto miss = eng.access(42);
+  EXPECT_EQ(miss.outcome, Outcome::kMiss);
+  EXPECT_GT(miss.latency_ms, 15.0);  // miss pays driver + disk
+  const auto hit = eng.access(42);
+  EXPECT_EQ(hit.outcome, Outcome::kDemandHit);
+  EXPECT_LT(hit.latency_ms, 1.0);
+}
+
+TEST(PrefetchEngine, PushPathMatchesBatchReplayExactly) {
+  // access() one block at a time must be bit-identical to run_trace()
+  // over the same stream — same cache decisions, same timing charges.
+  const auto t = random_trace(5, 20'000, 500);
+
+  PrefetchEngine batch(tree_config());
+  batch.run_trace(t);
+
+  PrefetchEngine push(tree_config());
+  for (const auto& rec : t) {
+    push.access(rec.block);
+  }
+
+  EXPECT_EQ(push.metrics().accesses, batch.metrics().accesses);
+  EXPECT_EQ(push.metrics().misses, batch.metrics().misses);
+  EXPECT_EQ(push.metrics().demand_hits, batch.metrics().demand_hits);
+  EXPECT_EQ(push.metrics().prefetch_hits, batch.metrics().prefetch_hits);
+  EXPECT_EQ(push.metrics().elapsed_ms, batch.metrics().elapsed_ms);
+  EXPECT_EQ(push.metrics().stall_ms, batch.metrics().stall_ms);
+  EXPECT_EQ(push.metrics().policy.prefetches_issued,
+            batch.metrics().policy.prefetches_issued);
+  EXPECT_EQ(push.metrics().policy.sum_prefetch_probability,
+            batch.metrics().policy.sum_prefetch_probability);
+}
+
+TEST(PrefetchEngine, StepMatchesRunTrace) {
+  const auto t = random_trace(7, 10'000, 300);
+
+  PrefetchEngine batch(tree_config());
+  batch.run_trace(t);
+
+  PrefetchEngine stepped(tree_config());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    stepped.step(t, i);
+  }
+
+  EXPECT_EQ(stepped.metrics().misses, batch.metrics().misses);
+  EXPECT_EQ(stepped.metrics().prefetch_hits, batch.metrics().prefetch_hits);
+  EXPECT_EQ(stepped.metrics().elapsed_ms, batch.metrics().elapsed_ms);
+}
+
+TEST(PrefetchEngine, SnapshotRestoreRoundTripsDurableState) {
+  const auto t = random_trace(11, 30'000, 400);
+  PrefetchEngine trained(tree_config());
+  trained.run_trace(t);
+
+  std::stringstream stream;
+  trained.snapshot(stream);
+
+  PrefetchEngine restored(tree_config());
+  restored.restore(stream);
+
+  // Metrics round-trip bit-identically.
+  EXPECT_EQ(restored.metrics().accesses, trained.metrics().accesses);
+  EXPECT_EQ(restored.metrics().misses, trained.metrics().misses);
+  EXPECT_EQ(restored.metrics().prefetch_hits,
+            trained.metrics().prefetch_hits);
+  EXPECT_EQ(restored.metrics().elapsed_ms, trained.metrics().elapsed_ms);
+  EXPECT_EQ(restored.metrics().policy.prefetches_issued,
+            trained.metrics().policy.prefetches_issued);
+
+  // Cache residency round-trips: same resident set.
+  EXPECT_EQ(restored.buffer_cache().resident(),
+            trained.buffer_cache().resident());
+  for (const auto block : trained.buffer_cache().demand().blocks_lru_to_mru()) {
+    EXPECT_TRUE(restored.buffer_cache().contains(block));
+  }
+}
+
+TEST(PrefetchEngine, RestoredEngineContinuesLikeTheOriginal) {
+  // Warm an engine, snapshot, restore into a fresh one, then drive both
+  // with the same continuation stream: behaviour must stay identical for
+  // everything the snapshot covers (tree + caches + metrics).  The
+  // estimator EWMAs are transient, so cost-benefit decisions could drift
+  // in principle; a short deterministic continuation stays in agreement.
+  const auto warmup = random_trace(13, 20'000, 200);
+  PrefetchEngine original(tree_config());
+  original.run_trace(warmup);
+
+  std::stringstream stream;
+  original.snapshot(stream);
+  PrefetchEngine resumed(tree_config());
+  resumed.restore(stream);
+
+  for (trace::BlockId b = 0; b < 50; ++b) {
+    const auto a = original.access(b);
+    const auto r = resumed.access(b);
+    EXPECT_EQ(static_cast<int>(a.outcome), static_cast<int>(r.outcome))
+        << "diverged at block " << b;
+  }
+}
+
+TEST(PrefetchEngine, RestoreRequiresFreshEngine) {
+  PrefetchEngine trained(tree_config());
+  trained.access(1);
+
+  std::stringstream stream;
+  trained.snapshot(stream);
+
+  PrefetchEngine used(tree_config());
+  used.access(2);
+  EXPECT_THROW(used.restore(stream), std::runtime_error);
+}
+
+TEST(PrefetchEngine, RestoreRejectsCacheSizeMismatch) {
+  PrefetchEngine trained(tree_config(64));
+  trained.access(1);
+  std::stringstream stream;
+  trained.snapshot(stream);
+
+  PrefetchEngine other(tree_config(128));
+  EXPECT_THROW(other.restore(stream), std::runtime_error);
+}
+
+TEST(PrefetchEngine, RestoreRejectsGarbage) {
+  std::stringstream garbage("this is not a snapshot");
+  PrefetchEngine eng(tree_config());
+  EXPECT_THROW(eng.restore(garbage), std::runtime_error);
+}
+
+TEST(PrefetchEngine, RestoreRejectsTruncatedStream) {
+  PrefetchEngine trained(tree_config());
+  trained.run_trace(random_trace(17, 5'000, 100));
+  std::stringstream stream;
+  trained.snapshot(stream);
+
+  const std::string full = stream.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  PrefetchEngine eng(tree_config());
+  EXPECT_THROW(eng.restore(truncated), std::runtime_error);
+}
+
+TEST(PrefetchEngine, SnapshotWorksForTreelessPolicies) {
+  EngineConfig c = tree_config();
+  c.policy.kind = PolicyKind::kNextLimit;
+  PrefetchEngine eng(c);
+  eng.run_trace(random_trace(19, 5'000, 100));
+
+  std::stringstream stream;
+  eng.snapshot(stream);
+  PrefetchEngine restored(c);
+  restored.restore(stream);
+  EXPECT_EQ(restored.metrics().misses, eng.metrics().misses);
+  EXPECT_EQ(restored.buffer_cache().resident(),
+            eng.buffer_cache().resident());
+}
+
+}  // namespace
+}  // namespace pfp::engine

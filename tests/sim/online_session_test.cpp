@@ -96,5 +96,31 @@ TEST(OnlineSession, MoveTransfersState) {
   EXPECT_EQ(b.metrics().demand_hits, 1u);
 }
 
+TEST(OnlineSession, MoveAssignmentTransfersState) {
+  OnlineSession a(tree_config());
+  a.access(1);
+  a.access(1);
+  OnlineSession b(tree_config(32));
+  b = std::move(a);
+  EXPECT_EQ(b.metrics().accesses, 2u);
+  EXPECT_EQ(b.metrics().demand_hits, 1u);
+  EXPECT_EQ(b.config().cache_blocks, 64u);
+  b.access(1);
+  EXPECT_EQ(b.metrics().demand_hits, 2u);
+}
+
+TEST(OnlineSession, SelfMoveAssignmentIsSafe) {
+  OnlineSession a(tree_config());
+  a.access(7);
+  // Via a reference so the compiler can't flag (or elide) the self-move.
+  OnlineSession& alias = a;
+  a = std::move(alias);
+  // The session must survive with its state intact and stay usable.
+  EXPECT_EQ(a.metrics().accesses, 1u);
+  const auto r = a.access(7);
+  EXPECT_EQ(r.outcome, OnlineSession::Outcome::kDemandHit);
+  EXPECT_EQ(a.metrics().demand_hits, 1u);
+}
+
 }  // namespace
 }  // namespace pfp::sim

@@ -1,0 +1,98 @@
+#include "util/spsc_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace pfp::util {
+namespace {
+
+TEST(SpscQueue, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscQueue<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscQueue<int>(100).capacity(), 128u);
+  EXPECT_EQ(SpscQueue<int>(4096).capacity(), 4096u);
+}
+
+TEST(SpscQueue, PopOnEmptyFails) {
+  SpscQueue<int> q(4);
+  int v = -1;
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.try_pop(v));
+  EXPECT_EQ(v, -1);
+}
+
+TEST(SpscQueue, PushOnFullFails) {
+  SpscQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(q.try_push(i));
+  }
+  EXPECT_FALSE(q.try_push(99));
+  EXPECT_EQ(q.size(), 4u);
+}
+
+TEST(SpscQueue, FifoOrder) {
+  SpscQueue<int> q(8);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(q.try_push(i));
+  }
+  for (int i = 0; i < 8; ++i) {
+    int v = -1;
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SpscQueue, IndicesWrapAroundTheRing) {
+  SpscQueue<int> q(4);
+  // Many times the capacity, alternating push/pop, so head and tail wrap
+  // the ring repeatedly while staying partially full.
+  int next_in = 0;
+  int next_out = 0;
+  ASSERT_TRUE(q.try_push(next_in++));
+  ASSERT_TRUE(q.try_push(next_in++));
+  for (int round = 0; round < 1000; ++round) {
+    ASSERT_TRUE(q.try_push(next_in++));
+    int v = -1;
+    ASSERT_TRUE(q.try_pop(v));
+    ASSERT_EQ(v, next_out++);
+  }
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(SpscQueue, TwoThreadTransferDeliversEverythingInOrder) {
+  SpscQueue<std::uint64_t> q(64);
+  constexpr std::uint64_t kCount = 200'000;
+
+  std::vector<std::uint64_t> received;
+  received.reserve(kCount);
+  std::thread consumer([&] {
+    std::uint64_t v = 0;
+    while (received.size() < kCount) {
+      if (q.try_pop(v)) {
+        received.push_back(v);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    while (!q.try_push(i)) {
+      std::this_thread::yield();
+    }
+  }
+  consumer.join();
+
+  ASSERT_EQ(received.size(), kCount);
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(received[i], i) << "reordered at index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace pfp::util
