@@ -7,6 +7,7 @@
 #include "cache/lru_cache.hpp"
 #include "core/tree/enumerator.hpp"
 #include "core/tree/prefetch_tree.hpp"
+#include "engine/prefetch_engine.hpp"
 #include "engine/sharded_engine.hpp"
 #include "sim/simulator.hpp"
 #include "trace/gen_cad.hpp"
@@ -183,6 +184,39 @@ BENCHMARK(BM_SimulatorThroughput)
     ->Arg(static_cast<int>(core::policy::PolicyKind::kTreeThreshold))
     ->Arg(static_cast<int>(core::policy::PolicyKind::kTreeChildren))
     ->Arg(static_cast<int>(core::policy::PolicyKind::kTreeAdaptive))
+    ->Unit(benchmark::kMillisecond);
+
+// Single-engine access throughput at each observability level.  Arg(0)
+// is the baseline (counters only — the always-on cost of a PFP_OBS
+// build), Arg(1) adds the six phase timers (one steady_clock read per
+// stage boundary), Arg(2) adds a 4096-event trace ring on top.  The
+// items/s spread between the args IS the measured obs overhead quoted
+// in docs/observability.md; in a -DPFP_OBS=OFF build all three args
+// measure the same zero-instrumentation engine.
+void BM_EngineObsOverhead(benchmark::State& state) {
+  const auto& t = cad_trace();
+  const auto level = state.range(0);
+  for (auto _ : state) {
+    engine::EngineConfig config;
+    config.cache_blocks = 1024;
+    config.policy.kind = core::policy::PolicyKind::kTreeNextLimit;
+    config.obs.phase_timers = level >= 1;
+    config.obs.trace_capacity = level >= 2 ? 4096 : 0;
+    engine::PrefetchEngine eng(config);
+    eng.run_trace(t);
+    benchmark::DoNotOptimize(eng.metrics());
+    benchmark::DoNotOptimize(eng.stats());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.size()));
+  state.SetLabel(level == 0 ? "counters"
+                            : (level == 1 ? "counters+phases"
+                                          : "counters+phases+trace"));
+}
+BENCHMARK(BM_EngineObsOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
 // Aggregate push throughput of the hash-sharded engine: one producer

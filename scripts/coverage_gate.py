@@ -1,0 +1,264 @@
+#!/usr/bin/env python3
+"""Line/branch coverage gate over gcov's JSON intermediate format.
+
+Aggregates coverage of every ``src/`` file exercised by a ``--coverage``
+build (``.gcda`` note files under the build directory), prints a
+per-directory table, and compares the line percentage against the
+recorded baseline in ``scripts/coverage_baseline.json``:
+
+    cmake -B build-cov -DCMAKE_BUILD_TYPE=Debug \\
+          -DCMAKE_CXX_FLAGS=--coverage -DCMAKE_EXE_LINKER_FLAGS=--coverage
+    cmake --build build-cov -j && ctest --test-dir build-cov
+    python3 scripts/coverage_gate.py --build-dir build-cov
+
+The gate fails (exit 1) when line coverage drops more than ``tolerance``
+percentage points below the baseline.  The baseline is a *measured*
+number — re-record it with ``--write-baseline`` after a PR that
+legitimately moves it (the diff then shows the movement for review).
+
+Deliberately builds on plain ``gcov --json-format`` so the gate runs
+anywhere gcc does; the CI leg additionally renders a gcovr HTML report
+as an artifact, but the pass/fail decision never depends on gcovr.
+
+Exit status: 0 gate passed, 1 coverage regressed (or no data), 2 usage
+error.  ``--self-test`` exercises the aggregation and comparison logic
+on synthetic gcov documents.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+from collections import defaultdict
+from typing import Dict, Iterable, List, Tuple
+
+# line key -> hit?  Keyed per resolved source path; a header inlined into
+# many translation units is covered if ANY unit executed the line.
+FileLines = Dict[int, bool]
+FileBranches = Dict[Tuple[int, int], bool]
+
+
+class Coverage:
+    def __init__(self) -> None:
+        self.lines: Dict[str, FileLines] = defaultdict(dict)
+        self.branches: Dict[str, FileBranches] = defaultdict(dict)
+
+    def add_document(self, doc: dict, root: pathlib.Path) -> None:
+        """Folds one gcov JSON document (one .gcno's worth) in."""
+        cwd = pathlib.Path(doc.get("current_working_directory", "."))
+        for entry in doc.get("files", []):
+            path = pathlib.Path(entry["file"])
+            if not path.is_absolute():
+                path = cwd / path
+            try:
+                rel = path.resolve().relative_to(root).as_posix()
+            except ValueError:
+                continue  # system/third-party header
+            if not rel.startswith("src/"):
+                continue  # gate on the library, not tests/tools
+            lines = self.lines[rel]
+            branches = self.branches[rel]
+            for line in entry.get("lines", []):
+                number = line["line_number"]
+                lines[number] = lines.get(number, False) or line["count"] > 0
+                for i, branch in enumerate(line.get("branches", [])):
+                    key = (number, i)
+                    branches[key] = (branches.get(key, False)
+                                    or branch["count"] > 0)
+
+    def line_percent(self) -> float:
+        total = sum(len(f) for f in self.lines.values())
+        hit = sum(sum(1 for h in f.values() if h)
+                  for f in self.lines.values())
+        return 100.0 * hit / total if total else 0.0
+
+    def branch_percent(self) -> float:
+        total = sum(len(f) for f in self.branches.values())
+        hit = sum(sum(1 for h in f.values() if h)
+                  for f in self.branches.values())
+        return 100.0 * hit / total if total else 0.0
+
+    def by_directory(self) -> List[Tuple[str, float, int]]:
+        dirs: Dict[str, List[int]] = defaultdict(lambda: [0, 0])
+        for rel, lines in self.lines.items():
+            d = str(pathlib.PurePosixPath(rel).parent)
+            dirs[d][0] += sum(1 for h in lines.values() if h)
+            dirs[d][1] += len(lines)
+        return sorted(
+            (d, 100.0 * hit / total if total else 0.0, total)
+            for d, (hit, total) in dirs.items()
+        )
+
+
+def gcov_documents(build_dir: pathlib.Path) -> Iterable[dict]:
+    gcda = sorted(build_dir.rglob("*.gcda"))
+    if not gcda:
+        raise FileNotFoundError(
+            f"no .gcda files under {build_dir} — build with --coverage and "
+            "run the tests first")
+    # Batched invocations keep this fast; gcov emits one JSON document per
+    # input line on stdout with --stdout.
+    batch = 64
+    for i in range(0, len(gcda), batch):
+        chunk = gcda[i:i + batch]
+        result = subprocess.run(
+            ["gcov", "--json-format", "--stdout", "--branch-probabilities"]
+            + [str(p) for p in chunk],
+            capture_output=True, text=True, check=False)
+        for raw in result.stdout.splitlines():
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                yield json.loads(raw)
+            except json.JSONDecodeError:
+                continue
+
+
+def collect(build_dir: pathlib.Path, root: pathlib.Path) -> Coverage:
+    cov = Coverage()
+    for doc in gcov_documents(build_dir):
+        cov.add_document(doc, root)
+    return cov
+
+
+def report(cov: Coverage) -> None:
+    print(f"{'directory':<28} {'lines':>8} {'line %':>8}")
+    print("-" * 46)
+    for d, percent, total in cov.by_directory():
+        print(f"{d:<28} {total:>8} {percent:>7.1f}%")
+    print("-" * 46)
+    print(f"{'total line coverage':<28} {'':>8} {cov.line_percent():>7.1f}%")
+    print(f"{'total branch coverage':<28} {'':>8} "
+          f"{cov.branch_percent():>7.1f}%")
+
+
+def gate(cov: Coverage, baseline_path: pathlib.Path) -> int:
+    if not cov.lines:
+        print("coverage_gate: no src/ coverage data found", file=sys.stderr)
+        return 1
+    baseline = json.loads(baseline_path.read_text())
+    floor = baseline["line_percent"] - baseline["tolerance_points"]
+    current = cov.line_percent()
+    print(f"\nbaseline {baseline['line_percent']:.2f}% "
+          f"(tolerance {baseline['tolerance_points']:.2f} points, "
+          f"floor {floor:.2f}%) — current {current:.2f}%")
+    if current < floor:
+        print("coverage_gate: FAIL — line coverage regressed below the "
+              "recorded baseline", file=sys.stderr)
+        return 1
+    print("coverage_gate: OK")
+    return 0
+
+
+def write_baseline(cov: Coverage, baseline_path: pathlib.Path,
+                   tolerance: float) -> None:
+    baseline = {
+        # Recorded from a real run; floor = line_percent - tolerance.
+        "line_percent": round(cov.line_percent(), 2),
+        "branch_percent": round(cov.branch_percent(), 2),
+        "tolerance_points": tolerance,
+    }
+    baseline_path.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"baseline written to {baseline_path}: {baseline}")
+
+
+def self_test() -> int:
+    """Aggregation/decision checks on synthetic gcov documents."""
+    root = pathlib.Path("/repo")
+
+    def doc(file: str, counts: Dict[int, int]) -> dict:
+        return {
+            "current_working_directory": "/repo",
+            "files": [{
+                "file": file,
+                "lines": [
+                    {"line_number": n, "count": c,
+                     "branches": ([{"count": c}] if n % 2 else [])}
+                    for n, c in counts.items()
+                ],
+            }],
+        }
+
+    cov = Coverage()
+    cov.add_document(doc("src/util/a.cpp", {1: 1, 2: 0, 3: 5, 4: 0}), root)
+    assert abs(cov.line_percent() - 50.0) < 1e-9, cov.line_percent()
+
+    # The same header seen from two TUs: union of hits, not double count.
+    cov.add_document(doc("src/util/h.hpp", {10: 0, 11: 1}), root)
+    cov.add_document(doc("src/util/h.hpp", {10: 3, 11: 0}), root)
+    assert len(cov.lines["src/util/h.hpp"]) == 2
+    assert all(cov.lines["src/util/h.hpp"].values())
+
+    # Non-src and out-of-root files are excluded from the gate.
+    cov.add_document(doc("tests/x_test.cpp", {1: 0}), root)
+    cov.add_document(doc("/usr/include/vector", {1: 0}), root)
+    assert set(cov.lines) == {"src/util/a.cpp", "src/util/h.hpp"}
+
+    # Branch aggregation unions per (line, index) like lines do.
+    assert cov.branch_percent() > 0.0
+
+    # Gate decision: a synthetic drop below floor must fail.
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        baseline = pathlib.Path(tmp) / "baseline.json"
+        baseline.write_text(json.dumps(
+            {"line_percent": 90.0, "branch_percent": 50.0,
+             "tolerance_points": 0.25}))
+        assert gate(cov, baseline) == 1  # ~66% < 89.75% floor
+        baseline.write_text(json.dumps(
+            {"line_percent": 60.0, "branch_percent": 50.0,
+             "tolerance_points": 0.25}))
+        assert gate(cov, baseline) == 0
+        assert gate(Coverage(), baseline) == 1  # no data never passes
+
+    print("coverage_gate: self-test OK")
+    return 0
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="line-coverage regression gate (gcov JSON)")
+    parser.add_argument("--build-dir", type=pathlib.Path,
+                        default=pathlib.Path("build-cov"))
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parents[1])
+    parser.add_argument("--baseline", type=pathlib.Path, default=None,
+                        help="baseline JSON (default: scripts/"
+                             "coverage_baseline.json under --root)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="record the measured coverage as the new "
+                             "baseline instead of gating")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed drop in percentage points when "
+                             "recording a baseline (default 0.25)")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root.resolve()
+    baseline_path = args.baseline or root / "scripts" / \
+        "coverage_baseline.json"
+    try:
+        cov = collect(args.build_dir.resolve(), root)
+    except FileNotFoundError as err:
+        print(f"coverage_gate: error: {err}", file=sys.stderr)
+        return 2
+    report(cov)
+    if args.write_baseline:
+        write_baseline(cov, baseline_path, args.tolerance)
+        return 0
+    if not baseline_path.is_file():
+        print(f"coverage_gate: error: no baseline at {baseline_path} "
+              "(record one with --write-baseline)", file=sys.stderr)
+        return 2
+    return gate(cov, baseline_path)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

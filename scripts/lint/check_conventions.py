@@ -7,9 +7,11 @@ docs/static-analysis.md for the rationale behind each):
 
   hot-container     std::map / std::unordered_map / std::set /
                     std::unordered_set are banned in the hot-path dirs
-                    (src/core/, src/cache/).  The hot-path overhaul replaced
-                    them with util::FlatMap / util::SmallVector; a node-based
-                    container sneaking back in silently undoes that PR.
+                    (src/core/, src/cache/, src/obs/).  The hot-path overhaul
+                    replaced them with util::FlatMap / util::SmallVector; a
+                    node-based container sneaking back in silently undoes
+                    that PR.  src/obs/ counts as hot because the engine
+                    publishes into it once per access.
   hot-alloc         per-access heap allocation (naked new, make_unique,
                     make_shared) is banned in the hot-path dirs.  Setup-time
                     construction sites carry an explicit waiver.
@@ -25,11 +27,13 @@ docs/static-analysis.md for the rationale behind each):
   include-guard     every header under src/ uses #pragma once (repo
                     convention; mixing guard styles breaks the amalgamated
                     include checks).
-  layering          src/engine/ may not include sim/ headers.  The engine
+  layering          src/engine/ may not include sim/ headers, and src/obs/
+                    may include util/ (and obs/ itself) only.  The engine
                     extraction put the per-access state machine below the
                     trace-replay drivers (util -> {trace, cache} -> core ->
-                    engine -> sim); an engine->sim include would recreate
-                    the cycle the refactor removed.
+                    engine -> sim, with obs between util and engine); an
+                    upward include would recreate the cycles those refactors
+                    removed.
 
 Waivers: append `lint: allow(<rule>)` in a comment on the offending line, or
 put `lint: allow-file(<rule>)` in a comment anywhere in the file to waive a
@@ -46,13 +50,19 @@ import re
 import sys
 from typing import Iterable, List, NamedTuple
 
-HOT_DIRS = ("src/core", "src/cache")
+HOT_DIRS = ("src/core", "src/cache", "src/obs")
 COSTBEN_DIR = "src/core/costben"
 ENGINE_DIR = "src/engine"
+OBS_DIR = "src/obs"
 SOURCE_SUFFIXES = {".hpp", ".cpp"}
 
-# Layer boundaries: directory -> include prefixes it may not reach up to.
-LAYERING = {ENGINE_DIR: ("sim/",)}
+# Layer boundaries: directory -> include prefixes it may not reach.  The
+# obs entry lists every project layer except util/ and obs/ itself, which
+# is the allowlist "obs may include util only" phrased as a ban.
+LAYERING = {
+    ENGINE_DIR: ("sim/",),
+    OBS_DIR: ("trace/", "cache/", "core/", "engine/", "sim/"),
+}
 
 ALLOW_LINE_RE = re.compile(r"lint:\s*allow\(([a-z-]+)\)")
 ALLOW_FILE_RE = re.compile(r"lint:\s*allow-file\(([a-z-]+)\)")
@@ -169,17 +179,15 @@ def check_file(root: pathlib.Path, path: pathlib.Path) -> List[Violation]:
 
     # Layering runs on raw lines: code_lines() blanks string literals, and
     # the include path is one.
-    banned_prefixes = tuple(
-        prefix for d, prefixes in LAYERING.items() if in_dir(rel, d)
-        for prefix in prefixes
-    )
-    if banned_prefixes:
+    for layer_dir, banned_prefixes in LAYERING.items():
+        if not in_dir(rel, layer_dir):
+            continue
         for i, raw in enumerate(raw_lines, start=1):
             match = INCLUDE_RE.match(raw)
             if match and match.group(1).startswith(banned_prefixes):
                 report(i, "layering",
-                       f"'{match.group(1)}' reaches up the layer stack "
-                       "(engine must not depend on sim; see "
+                       f"'{match.group(1)}' reaches across the layer stack "
+                       f"({layer_dir}/ may not include it; see "
                        "docs/architecture.md)")
 
     for i, line in enumerate(code, start=1):

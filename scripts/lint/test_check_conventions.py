@@ -248,6 +248,59 @@ class LayeringRule(LintHarness):
         self.assertEqual(self.rules(found), set())
 
 
+class ObsLayeringRule(LintHarness):
+    def test_obs_including_engine_fires(self) -> None:
+        found = self.lint_file(
+            "src/obs/bad.hpp",
+            '#pragma once\n#include "engine/metrics.hpp"\n')
+        self.assertIn("layering", self.rules(found))
+        self.assertEqual(found[0].line, 2)
+
+    def test_obs_including_core_fires(self) -> None:
+        found = self.lint_file(
+            "src/obs/bad.cpp", '#include "core/policy/context.hpp"\n')
+        self.assertIn("layering", self.rules(found))
+
+    def test_obs_including_trace_or_cache_fires(self) -> None:
+        found = self.lint_file(
+            "src/obs/bad2.cpp",
+            '#include "trace/trace.hpp"\n#include "cache/lru_cache.hpp"\n')
+        self.assertEqual(
+            [v.line for v in found if v.rule == "layering"], [1, 2])
+
+    def test_obs_including_util_and_obs_is_fine(self) -> None:
+        found = self.lint_file(
+            "src/obs/good.cpp",
+            '#include "obs/counters.hpp"\n'
+            '#include "util/histogram.hpp"\n'
+            '#include <atomic>\n')
+        self.assertEqual(self.rules(found), set())
+
+    def test_engine_including_obs_is_fine(self) -> None:
+        # Downward: engine sits above obs.
+        found = self.lint_file(
+            "src/engine/good_obs.cpp", '#include "obs/engine_obs.hpp"\n')
+        self.assertEqual(self.rules(found), set())
+
+
+class ObsHotPathRules(LintHarness):
+    def test_hot_container_in_obs_fires(self) -> None:
+        found = self.lint_file(
+            "src/obs/bad_map.cpp", "std::map<int, int> samples;\n")
+        self.assertIn("hot-container", self.rules(found))
+
+    def test_hot_alloc_in_obs_fires(self) -> None:
+        found = self.lint_file(
+            "src/obs/bad_alloc.cpp", "auto c = std::make_unique<Cell>();\n")
+        self.assertIn("hot-alloc", self.rules(found))
+
+    def test_plain_obs_code_is_fine(self) -> None:
+        found = self.lint_file(
+            "src/obs/good2.cpp",
+            "std::vector<int> slots(32);\nslots.resize(64);\n")
+        self.assertEqual(self.rules(found), set())
+
+
 class Driver(LintHarness):
     def test_run_reports_all_violations_and_exits_one(self) -> None:
         self.write("src/core/bad.cpp", "int* p = new int[4];\n")

@@ -19,6 +19,9 @@ Comparisons print per-benchmark speedup of the fresh run over the named
 snapshot and exit non-zero if any benchmark regressed by more than
 --tolerance (default 10%), which makes the script usable as a local
 regression gate: scripts/run_bench.py --compare BENCH_01.json
+With --warn-only the comparison still prints every regression but always
+exits 0 on regressions (config errors still exit 2) — for shared-runner
+legs like the nightly, where timings inform but must not block.
 
 Benchmarks missing from the baseline are warned about and skipped (new
 benchmarks must be able to land without tripping the gate); a missing or
@@ -103,7 +106,8 @@ def cmake_build_type(binary: pathlib.Path) -> str:
     return "unknown"
 
 
-def compare(fresh: dict, baseline_path: pathlib.Path, tolerance: float) -> int:
+def compare(fresh: dict, baseline_path: pathlib.Path, tolerance: float,
+            warn_only: bool = False) -> int:
     if not baseline_path.exists():
         print(f"snapshot not found: {baseline_path}", file=sys.stderr)
         return 2
@@ -145,6 +149,9 @@ def compare(fresh: dict, baseline_path: pathlib.Path, tolerance: float) -> int:
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed more than "
               f"{tolerance:.0%}: {', '.join(regressions)}")
+        if warn_only:
+            print("(--warn-only: reporting, not failing)")
+            return 0
         return 1
     return 0
 
@@ -185,6 +192,12 @@ def self_test() -> int:
         check("regression beyond tolerance exits 1",
               compare(fresh, regressed, 0.10), 1)
 
+        check("warn-only reports the regression but exits 0",
+              compare(fresh, regressed, 0.10, warn_only=True), 0)
+
+        check("warn-only still exits 2 on a missing baseline",
+              compare(fresh, tmpdir / "absent.json", 0.10, warn_only=True), 2)
+
         within = tmpdir / "within.json"
         within.write_text(json.dumps({"items_per_second": {"BM_A": 105.0}}))
         check("slowdown within tolerance exits 0",
@@ -214,6 +227,10 @@ def main() -> int:
     parser.add_argument("--tolerance", type=float, default=0.10,
                         help="allowed fractional slowdown before --compare "
                              "fails (default: %(default)s)")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="with --compare: report regressions but exit 0 "
+                             "(shared-runner legs where timings inform, "
+                             "not block)")
     parser.add_argument("--self-test", action="store_true",
                         help="run the script's own compare-logic checks "
                              "and exit")
@@ -235,7 +252,7 @@ def main() -> int:
         return 2
 
     if args.compare is not None:
-        return compare(fresh, args.compare, args.tolerance)
+        return compare(fresh, args.compare, args.tolerance, args.warn_only)
 
     payload = {
         "context": {

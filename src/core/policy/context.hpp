@@ -16,6 +16,7 @@
 #include "core/costben/estimator.hpp"
 #include "core/costben/timing_model.hpp"
 #include "trace/record.hpp"
+#include "util/phase.hpp"
 
 namespace pfp::core::policy {
 
@@ -61,6 +62,10 @@ struct Context {
   double now_ms = 0.0;
   /// Trace records after the one being processed (oracle policies only).
   std::span<const trace::TraceRecord> upcoming{};
+  /// Phase-latency stopwatch (docs/observability.md); policies stamp
+  /// stage boundaries via util::phase_mark.  Null when the driver is not
+  /// instrumented; never influences any decision.
+  util::PhaseStopwatch* phases = nullptr;
 };
 
 }  // namespace pfp::core::policy

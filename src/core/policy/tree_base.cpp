@@ -56,6 +56,7 @@ tree::AccessInfo TreeInstrumentedPrefetcher::observe_access(
 
   ctx.metrics.tree_nodes = tree_.node_count();
   ctx.metrics.tree_bytes = tree_.approx_memory_bytes();
+  util::phase_mark(ctx.phases, util::EnginePhase::kPredictorUpdate);
   return info;
 }
 

@@ -76,6 +76,7 @@ void TreeCostBenefit::admit_tree_prefetch(Context& ctx,
 std::uint32_t TreeCostBenefit::run_cost_benefit(Context& ctx) {
   const auto candidates =
       enumerator_.enumerate(tree_, tree_.current(), config_.limits);
+  util::phase_mark(ctx.phases, util::EnginePhase::kEnumeration);
   if (candidates.empty()) {
     return 0;
   }
@@ -99,6 +100,7 @@ std::uint32_t TreeCostBenefit::run_cost_benefit(Context& ctx) {
   }
   std::sort(order_.begin(), order_.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
+  util::phase_mark(ctx.phases, util::EnginePhase::kCostBenefit);
 
   std::uint32_t issued = 0;
   for (const auto& [benefit_value, index] : order_) {

@@ -28,6 +28,12 @@ void validate(const EngineConfig& config) {
   require_positive(config.timing.t_disk, "timing.t_disk");
   require_positive(config.timing.t_cpu, "timing.t_cpu");
   core::policy::validate_spec(config.policy);
+  // A runaway ring would dwarf the buffer cache itself; 2^24 events is
+  // ~640 MiB and already far past any sensible bound.
+  if (config.obs.trace_capacity > (std::size_t{1} << 24)) {
+    throw std::invalid_argument(
+        "EngineConfig: obs.trace_capacity must be at most 2^24 events");
+  }
 }
 
 }  // namespace pfp::engine

@@ -11,6 +11,7 @@
 
 #include "core/costben/timing_model.hpp"
 #include "core/policy/factory.hpp"
+#include "obs/engine_obs.hpp"
 
 namespace pfp::engine {
 
@@ -21,6 +22,10 @@ struct EngineConfig {
   std::uint32_t disks = 0;
   core::costben::TimingParams timing;
   core::policy::PolicySpec policy;
+  /// Observability knobs (docs/observability.md).  Counters are always
+  /// live when PFP_OBS is compiled in; phase timers and the event ring
+  /// are opt-in here.  Never affects prefetch decisions.
+  obs::ObsOptions obs;
 };
 
 /// Checks the configuration invariants the per-access state machine

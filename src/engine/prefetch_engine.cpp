@@ -116,11 +116,42 @@ PrefetchEngine::PrefetchEngine(EngineConfig config)
     : config_((validate(config), config)),
       cache_(config.cache_blocks),
       disks_(cache::DiskConfig{config.disks, config.timing.t_disk}),
-      policy_(core::policy::make_prefetcher(config.policy)) {}
+      policy_(core::policy::make_prefetcher(config.policy)),
+      obs_(config.obs) {
+  phase_clock_.arm(obs_.phase_cells());
+}
 
 Context PrefetchEngine::make_context() {
-  return Context{cache_,      disks_, config_.timing, estimators_,
-                 stack_,      metrics_.policy};
+  Context ctx{cache_,      disks_, config_.timing, estimators_,
+              stack_,      metrics_.policy};
+  ctx.phases = phase_clock_.armed() ? &phase_clock_ : nullptr;
+  return ctx;
+}
+
+void PrefetchEngine::publish_observability() {
+#ifdef PFP_OBS
+  auto& counters = obs_.counters();
+  obs_.gate().begin_write();
+  counters.accesses.set(metrics_.accesses);
+  counters.demand_hits.set(metrics_.demand_hits);
+  counters.prefetch_hits.set(metrics_.prefetch_hits);
+  counters.misses.set(metrics_.misses);
+  counters.prefetches_issued.set(metrics_.policy.prefetches_issued);
+  counters.prefetch_ejections.set(metrics_.policy.prefetch_ejections);
+  counters.demand_ejections.set(metrics_.policy.demand_ejections);
+  counters.disk_requests.set(metrics_.disk_requests);
+  counters.resident_blocks.set(cache_.resident());
+  counters.free_buffers.set(cache_.free_buffers());
+  counters.tree_nodes.set(metrics_.policy.tree_nodes);
+  counters.elapsed_virtual_us.set(
+      static_cast<std::uint64_t>(metrics_.elapsed_ms * 1000.0));
+  obs_.gate().end_write();
+#endif
+}
+
+void PrefetchEngine::write_chrome_trace(std::ostream& out) const {
+  const obs::TraceRing* rings[] = {&obs_.ring()};
+  obs::write_chrome_trace(out, rings);
 }
 
 template <typename PolicyRef>
@@ -131,6 +162,14 @@ AccessOutcome PrefetchEngine::step_one(
   ctx.period = period;
   ctx.now_ms = period_start;
   ctx.upcoming = upcoming;
+  phase_clock_.start();
+#ifdef PFP_OBS
+  const bool tracing = obs_.ring().enabled();
+  const std::uint64_t ejections_before =
+      tracing ? metrics_.policy.prefetch_ejections +
+                    metrics_.policy.demand_ejections
+              : 0;
+#endif
 
   const auto result = cache_.access(block);
   ++metrics_.accesses;
@@ -143,6 +182,7 @@ AccessOutcome PrefetchEngine::step_one(
     outcome = AccessOutcome::kDemandHit;
     ++metrics_.demand_hits;
     stack_.record(/*hit=*/true, hit->stack_depth);
+    phase_clock_.mark(util::EnginePhase::kLookup);
   } else if (const auto* pf = std::get_if<cache::PrefetchHit>(&result)) {
     outcome = AccessOutcome::kPrefetchHit;
     ++metrics_.prefetch_hits;
@@ -153,6 +193,9 @@ AccessOutcome PrefetchEngine::step_one(
         std::max(pf->entry.completion_ms - period_start, 0.0);
     metrics_.elapsed_ms += stall;
     metrics_.stall_ms += stall;
+    phase_clock_.mark(util::EnginePhase::kLookup);
+    // Consumption feeds the estimator EWMAs, so its time is charged to
+    // the predictor-update phase (closed by the policy's own mark).
     policy.on_prefetch_consumed(pf->entry, ctx);
   } else {
     outcome = AccessOutcome::kMiss;
@@ -163,11 +206,13 @@ AccessOutcome PrefetchEngine::step_one(
     const double stall = completion - metrics_.elapsed_ms;
     metrics_.elapsed_ms = completion;
     metrics_.stall_ms += stall;
+    phase_clock_.mark(util::EnginePhase::kLookup);
     if (cache_.free_buffers() == 0) {
       policy.reclaim_for_demand(ctx);
       PFP_REQUIRE(cache_.free_buffers() >= 1);
     }
     cache_.admit_demand(block);
+    phase_clock_.mark(util::EnginePhase::kEviction);
   }
 
   // Policy turn: learn from the access, then issue this period's
@@ -183,6 +228,40 @@ AccessOutcome PrefetchEngine::step_one(
   // metrics without a run epilogue.
   metrics_.disk_queue_delay_ms = disks_.queue_delay_ms();
   metrics_.disk_requests = disks_.requests();
+  // Closes the policy turn: for tree policies this spans the issue loop
+  // and end_period; policies without internal marks land whole here.
+  phase_clock_.mark(util::EnginePhase::kIssue);
+
+#ifdef PFP_OBS
+  publish_observability();
+  if (tracing) {
+    obs::TraceEvent event;
+    event.block = block;
+    event.ts_ms = period_start;
+    event.dur_ms = metrics_.elapsed_ms - period_start;
+    event.kind = obs::EventKind::kAccess;
+    event.arg = static_cast<std::uint32_t>(
+        outcome == AccessOutcome::kDemandHit
+            ? obs::EventOutcome::kDemandHit
+            : (outcome == AccessOutcome::kPrefetchHit
+                   ? obs::EventOutcome::kPrefetchHit
+                   : obs::EventOutcome::kMiss));
+    obs_.ring().emit(event);
+    if (issued > 0) {
+      event.kind = obs::EventKind::kPrefetchIssue;
+      event.arg = static_cast<std::uint32_t>(issued);
+      obs_.ring().emit(event);
+    }
+    const std::uint64_t ejected = metrics_.policy.prefetch_ejections +
+                                  metrics_.policy.demand_ejections -
+                                  ejections_before;
+    if (ejected > 0) {
+      event.kind = obs::EventKind::kEviction;
+      event.arg = static_cast<std::uint32_t>(ejected);
+      obs_.ring().emit(event);
+    }
+  }
+#endif
 
   PFP_DASSERT(cache_.resident() <= cache_.total_blocks());
   return outcome;
@@ -404,6 +483,7 @@ void PrefetchEngine::restore(std::istream& in) {
   }
 
   metrics_ = restored;
+  publish_observability();
 }
 
 }  // namespace pfp::engine

@@ -30,7 +30,9 @@
 #include "core/policy/factory.hpp"
 #include "engine/config.hpp"
 #include "engine/metrics.hpp"
+#include "obs/engine_obs.hpp"
 #include "trace/trace.hpp"
+#include "util/phase.hpp"
 
 namespace pfp::engine {
 
@@ -88,6 +90,23 @@ class PrefetchEngine {
   /// throws std::runtime_error on malformed input or mismatch.
   void restore(std::istream& in);
 
+  /// Live observability snapshot: lock-free counters/gauges, per-phase
+  /// latency histograms and trace-ring occupancy.  Safe to call from any
+  /// thread while another thread drives access() — the read retries a
+  /// seqlock for a consistent cut (docs/observability.md).  All zeros
+  /// when PFP_OBS is compiled out.
+  [[nodiscard]] obs::EngineStats stats() const { return obs_.stats(); }
+
+  /// The live observability backend (trace-ring access for dump tools).
+  [[nodiscard]] const obs::EngineObs& observability() const noexcept {
+    return obs_;
+  }
+
+  /// Writes this engine's event ring as Chrome trace_event JSON
+  /// (chrome://tracing / Perfetto).  Quiescent-read contract: call from
+  /// the driving thread, or after the driver has provably stopped.
+  void write_chrome_trace(std::ostream& out) const;
+
  private:
   // The per-access pipeline is shared verbatim between the push/step
   // paths (virtual dispatch) and the devirtualized per-policy loops
@@ -104,6 +123,9 @@ class PrefetchEngine {
   template <typename PolicyT>
   void run_as(const trace::Trace& trace);
   [[nodiscard]] core::policy::Context make_context();
+  /// Publishes the deterministic metrics into the lock-free obs cells
+  /// (one SnapshotGate write section); no-op when PFP_OBS is off.
+  void publish_observability();
 
   EngineConfig config_;
   cache::BufferCache cache_;
@@ -112,6 +134,8 @@ class PrefetchEngine {
   core::costben::Estimators estimators_;
   std::unique_ptr<core::policy::Prefetcher> policy_;
   Metrics metrics_;
+  obs::EngineObs obs_;
+  util::PhaseStopwatch phase_clock_;
 };
 
 }  // namespace pfp::engine

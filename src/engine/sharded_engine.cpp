@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/trace_ring.hpp"
+
 namespace pfp::engine {
 
 namespace {
@@ -68,6 +70,7 @@ std::uint32_t ShardedEngine::shard_of(trace::BlockId block) const noexcept {
 void ShardedEngine::push(trace::BlockId block) {
   Shard& shard = *shards_[shard_of(block)];
   while (!shard.queue.try_push(block)) {
+    shard.push_waits.inc();  // off the steady-state path: full queue only
     std::this_thread::yield();  // backpressure: consumer is behind
   }
   ++shard.pushed;
@@ -90,6 +93,35 @@ Metrics ShardedEngine::merged_metrics() {
     per_shard.push_back(shard->engine.metrics());
   }
   return merge_metrics(per_shard);
+}
+
+obs::EngineStats ShardedEngine::shard_stats(std::uint32_t index) const {
+  const Shard& shard = *shards_[index];
+  obs::EngineStats stats = shard.engine.stats();
+  stats.queue_occupancy = shard.queue.size();
+  stats.queue_capacity = shard.queue.capacity();
+  stats.queue_backpressure_waits = shard.push_waits.get();
+  return stats;
+}
+
+obs::EngineStats ShardedEngine::stats() const {
+  obs::EngineStats merged = shard_stats(0);
+  for (std::uint32_t i = 1; i < shards(); ++i) {
+    merged.merge(shard_stats(i));
+  }
+  return merged;
+}
+
+void ShardedEngine::write_chrome_trace(std::ostream& out) {
+  // flush()'s acquire on each processed counter orders the workers' ring
+  // slot writes before our reads (the quiescent-dump contract).
+  flush();
+  std::vector<const obs::TraceRing*> rings;
+  rings.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    rings.push_back(&shard->engine.observability().ring());
+  }
+  obs::write_chrome_trace(out, rings);
 }
 
 void ShardedEngine::worker(Shard& shard) {

@@ -23,12 +23,15 @@
 #include <atomic>
 #include <cstdint>
 #include <future>
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
 #include "engine/config.hpp"
 #include "engine/metrics.hpp"
 #include "engine/prefetch_engine.hpp"
+#include "obs/counters.hpp"
+#include "obs/engine_obs.hpp"
 #include "util/spsc_queue.hpp"
 #include "util/thread_pool.hpp"
 
@@ -83,6 +86,21 @@ class ShardedEngine {
   /// merge_metrics for why that makes the result deterministic).
   [[nodiscard]] Metrics merged_metrics();
 
+  /// One shard's live observability view, decorated with that shard's
+  /// queue occupancy/capacity gauges and backpressure-wait count.  Unlike
+  /// shard(), this needs no flush — any thread, any time.
+  [[nodiscard]] obs::EngineStats shard_stats(std::uint32_t index) const;
+
+  /// Live merged view: shard_stats folded in shard-index order.  Counter
+  /// sums are exact per shard but the cut across shards is not atomic —
+  /// after flush() it equals the deterministic merged_metrics fold.
+  [[nodiscard]] obs::EngineStats stats() const;
+
+  /// Flushes, then renders every shard's event ring as one Chrome
+  /// trace_event JSON document (pid = shard index).  Producer thread
+  /// only, like flush().
+  void write_chrome_trace(std::ostream& out);
+
  private:
   struct Shard {
     Shard(const EngineConfig& config, std::size_t queue_capacity)
@@ -94,6 +112,9 @@ class ShardedEngine {
     std::atomic<std::uint64_t> processed{0};
     /// Accesses routed here; producer-thread-only, no atomics needed.
     std::uint64_t pushed = 0;
+    /// Spin iterations push() burned waiting on a full queue; producer-
+    /// written, scraper-read (single-writer Counter contract).
+    obs::Counter push_waits;
   };
 
   void worker(Shard& shard);

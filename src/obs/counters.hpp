@@ -1,0 +1,91 @@
+// Lock-free per-engine counters and gauges.
+//
+// One engine thread writes, any number of scraper threads read: every
+// cell is a cache-line-aligned relaxed atomic, so readers never fault a
+// writer's line mid-increment and writers never pay a fetch_add (a
+// single-writer relaxed load+store pair is enough).  Cross-counter
+// snapshot consistency — e.g. demand_hits + prefetch_hits + misses ==
+// accesses even when read mid-run — comes from SnapshotGate, a
+// seqlock-style version gate the engine wraps each access period's
+// updates in.
+//
+// Layering: obs sits between util and engine and may include util only
+// (enforced by scripts/lint/check_conventions.py).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace pfp::obs {
+
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Monotonic event count.  Single-writer increments, any-thread reads.
+struct alignas(kCacheLineSize) Counter {
+  void inc(std::uint64_t delta = 1) noexcept {
+    value_.store(value_.load(std::memory_order_relaxed) + delta,
+                 std::memory_order_relaxed);
+  }
+  /// Publishes an externally accumulated total (the engine mirrors its
+  /// deterministic Metrics counters through these cells).
+  void set(std::uint64_t value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t get() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time level (ring occupancy, resident blocks).  Single-writer
+/// set, any-thread reads.
+struct alignas(kCacheLineSize) Gauge {
+  void set(std::uint64_t value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t get() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Seqlock-style write gate: the writer brackets a batch of relaxed cell
+/// updates with begin_write()/end_write(); readers retry read_begin()/
+/// read_retry() until they observe a quiescent, unchanged version.  All
+/// guarded data are themselves atomics, so a lost race is only ever a
+/// torn *cut*, never undefined behaviour; readers that exhaust their
+/// retry budget fall back to a possibly inconsistent (but well-defined)
+/// snapshot.
+class SnapshotGate {
+ public:
+  void begin_write() noexcept {
+    version_.store(version_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+  void end_write() noexcept {
+    version_.store(version_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_release);
+  }
+
+  /// Returns the pre-read version (even = quiescent; odd = mid-write).
+  [[nodiscard]] std::uint64_t read_begin() const noexcept {
+    return version_.load(std::memory_order_acquire);
+  }
+  /// True when the snapshot raced a write and must be retried.
+  [[nodiscard]] bool read_retry(std::uint64_t begin_version) const noexcept {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return (begin_version & 1) != 0 ||
+           version_.load(std::memory_order_relaxed) != begin_version;
+  }
+
+ private:
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> version_{0};
+};
+
+}  // namespace pfp::obs

@@ -1,0 +1,70 @@
+#include "obs/engine_obs.hpp"
+
+#include <algorithm>
+
+namespace pfp::obs {
+
+void EngineStats::merge(const EngineStats& other) {
+  accesses += other.accesses;
+  demand_hits += other.demand_hits;
+  prefetch_hits += other.prefetch_hits;
+  misses += other.misses;
+  prefetches_issued += other.prefetches_issued;
+  prefetch_ejections += other.prefetch_ejections;
+  demand_ejections += other.demand_ejections;
+  disk_requests += other.disk_requests;
+
+  resident_blocks += other.resident_blocks;
+  free_buffers += other.free_buffers;
+  tree_nodes += other.tree_nodes;
+  elapsed_virtual_us = std::max(elapsed_virtual_us, other.elapsed_virtual_us);
+
+  phases.merge(other.phases);
+
+  trace_recorded += other.trace_recorded;
+  trace_dropped += other.trace_dropped;
+  trace_capacity += other.trace_capacity;
+  trace_occupancy += other.trace_occupancy;
+
+  queue_occupancy += other.queue_occupancy;
+  queue_capacity += other.queue_capacity;
+  queue_backpressure_waits += other.queue_backpressure_waits;
+
+  shards += other.shards;
+  consistent = consistent && other.consistent;
+}
+
+EngineStats EngineObs::stats() const {
+  EngineStats out;
+  // Bounded seqlock retry: a busy engine publishes once per access, so a
+  // handful of retries is plenty; if the scraper still keeps losing the
+  // race it takes the torn-but-well-defined cut and says so.
+  constexpr int kMaxAttempts = 64;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    const std::uint64_t version = gate_.read_begin();
+    out.accesses = counters_.accesses.get();
+    out.demand_hits = counters_.demand_hits.get();
+    out.prefetch_hits = counters_.prefetch_hits.get();
+    out.misses = counters_.misses.get();
+    out.prefetches_issued = counters_.prefetches_issued.get();
+    out.prefetch_ejections = counters_.prefetch_ejections.get();
+    out.demand_ejections = counters_.demand_ejections.get();
+    out.disk_requests = counters_.disk_requests.get();
+    out.resident_blocks = counters_.resident_blocks.get();
+    out.free_buffers = counters_.free_buffers.get();
+    out.tree_nodes = counters_.tree_nodes.get();
+    out.elapsed_virtual_us = counters_.elapsed_virtual_us.get();
+    out.phases = PhaseTiming::sample(phase_cells_);
+    out.trace_recorded = ring_.recorded();
+    out.trace_dropped = ring_.dropped();
+    out.trace_capacity = ring_.capacity();
+    out.trace_occupancy = ring_.occupancy();
+    if (!gate_.read_retry(version)) {
+      return out;
+    }
+  }
+  out.consistent = false;
+  return out;
+}
+
+}  // namespace pfp::obs

@@ -1,0 +1,93 @@
+#include "obs/phase_timing.hpp"
+
+#include <sstream>
+
+namespace pfp::obs {
+
+PhaseTiming PhaseTiming::sample(const util::PhaseCells& cells) {
+  PhaseTiming out;
+  for (std::size_t p = 0; p < util::kEnginePhaseCount; ++p) {
+    out.count[p] = cells.count(p);
+    out.total_ns[p] = cells.total_ns(p);
+    for (std::size_t b = 0; b < util::kPhaseBucketCount; ++b) {
+      out.buckets[p][b] = cells.bucket(p, b);
+    }
+  }
+  return out;
+}
+
+void PhaseTiming::merge(const PhaseTiming& other) {
+  for (std::size_t p = 0; p < util::kEnginePhaseCount; ++p) {
+    count[p] += other.count[p];
+    total_ns[p] += other.total_ns[p];
+    for (std::size_t b = 0; b < util::kPhaseBucketCount; ++b) {
+      buckets[p][b] += other.buckets[p][b];
+    }
+  }
+}
+
+std::uint64_t PhaseTiming::total_count() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : count) {
+    total += c;
+  }
+  return total;
+}
+
+double PhaseTiming::mean_ns(util::EnginePhase phase) const {
+  const auto p = static_cast<std::size_t>(phase);
+  return count[p] == 0 ? 0.0
+                       : static_cast<double>(total_ns[p]) /
+                             static_cast<double>(count[p]);
+}
+
+util::Log2Histogram PhaseTiming::histogram(util::EnginePhase phase) const {
+  const auto p = static_cast<std::size_t>(phase);
+  util::Log2Histogram h;
+  for (std::size_t b = 0; b < util::kPhaseBucketCount; ++b) {
+    if (buckets[p][b] != 0) {
+      // bucket_lo(b) has bit_width b, so the sample re-lands in bucket b.
+      h.add(util::Log2Histogram::bucket_lo(b), buckets[p][b]);
+    }
+  }
+  return h;
+}
+
+namespace {
+
+// Upper bound (ns) of the bucket where the cumulative count crosses q.
+std::uint64_t approx_quantile_ns(
+    const std::uint64_t (&buckets)[util::kPhaseBucketCount],
+    std::uint64_t total, double q) {
+  if (total == 0) {
+    return 0;
+  }
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < util::kPhaseBucketCount; ++b) {
+    cumulative += buckets[b];
+    if (static_cast<double>(cumulative) >= target) {
+      return util::Log2Histogram::bucket_hi(b);
+    }
+  }
+  return util::Log2Histogram::bucket_hi(util::kPhaseBucketCount - 1);
+}
+
+}  // namespace
+
+std::string PhaseTiming::summary() const {
+  std::ostringstream os;
+  for (std::size_t p = 0; p < util::kEnginePhaseCount; ++p) {
+    if (count[p] == 0) {
+      continue;
+    }
+    os << util::kEnginePhaseNames[p] << ": n=" << count[p] << " mean="
+       << static_cast<std::uint64_t>(
+              mean_ns(static_cast<util::EnginePhase>(p)))
+       << "ns p99<=" << approx_quantile_ns(buckets[p], count[p], 0.99)
+       << "ns\n";
+  }
+  return os.str();
+}
+
+}  // namespace pfp::obs

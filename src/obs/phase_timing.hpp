@@ -1,0 +1,44 @@
+// Plain-value snapshot of the per-phase latency cells.
+//
+// util::PhaseCells is the live, atomically written accumulation target;
+// this is the frozen copy that stats snapshots carry around: per phase a
+// sample count, total nanoseconds and the fixed log2 latency buckets.
+// Being a plain struct it merges, copies and renders without touching
+// the engine again.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/histogram.hpp"
+#include "util/phase.hpp"
+
+namespace pfp::obs {
+
+struct PhaseTiming {
+  std::uint64_t count[util::kEnginePhaseCount] = {};
+  std::uint64_t total_ns[util::kEnginePhaseCount] = {};
+  std::uint64_t buckets[util::kEnginePhaseCount][util::kPhaseBucketCount] =
+      {};
+
+  /// Copies the live cells (relaxed reads; wrap in a SnapshotGate when a
+  /// consistent cut matters).
+  static PhaseTiming sample(const util::PhaseCells& cells);
+
+  /// Folds another snapshot in (per-shard aggregation).
+  void merge(const PhaseTiming& other);
+
+  [[nodiscard]] std::uint64_t total_count() const;
+
+  /// Mean latency of one phase in nanoseconds (0 when unsampled).
+  [[nodiscard]] double mean_ns(util::EnginePhase phase) const;
+
+  /// The phase's buckets as a util::Log2Histogram, for quantiles and
+  /// report rendering.
+  [[nodiscard]] util::Log2Histogram histogram(util::EnginePhase phase) const;
+
+  /// Multi-line "phase count mean p99" table for logs/examples.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace pfp::obs

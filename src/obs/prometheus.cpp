@@ -1,0 +1,209 @@
+#include "obs/prometheus.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "util/phase.hpp"
+
+namespace pfp::obs {
+
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Pre-rendered `name="value"` pairs, comma-joined, without braces.
+std::string render_labels(std::span<const Label> labels) {
+  std::string out;
+  for (const Label& label : labels) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += label.name;
+    out += "=\"";
+    out += escape_label_value(label.value);
+    out += '"';
+  }
+  return out;
+}
+
+class Writer {
+ public:
+  Writer(std::ostream& out, std::string base_labels)
+      : out_(out), base_(std::move(base_labels)) {}
+
+  void family(const char* name, const char* type, const char* help) {
+    out_ << "# HELP " << name << " " << help << "\n# TYPE " << name << " "
+         << type << "\n";
+    name_ = name;
+  }
+
+  void sample(std::uint64_t value, const std::string& extra_labels = {}) {
+    out_ << name_;
+    write_label_set(extra_labels);
+    out_ << " " << value << "\n";
+  }
+
+  void sample(double value, const std::string& extra_labels = {}) {
+    out_ << name_;
+    write_label_set(extra_labels);
+    out_ << " " << value << "\n";
+  }
+
+  /// For _bucket/_sum/_count rows of a histogram family.
+  void suffixed(const char* suffix, const std::string& extra_labels,
+                double value) {
+    out_ << name_ << suffix;
+    write_label_set(extra_labels);
+    out_ << " " << value << "\n";
+  }
+
+ private:
+  void write_label_set(const std::string& extra) {
+    if (base_.empty() && extra.empty()) {
+      return;
+    }
+    out_ << "{" << base_;
+    if (!base_.empty() && !extra.empty()) {
+      out_ << ",";
+    }
+    out_ << extra << "}";
+  }
+
+  std::ostream& out_;
+  std::string base_;
+  const char* name_ = "";
+};
+
+// `le` bounds are powers-of-two nanoseconds rendered in seconds, so
+// fixed-point formatting (std::to_string) would collapse every
+// sub-microsecond bound to "0.000000"; %.9g keeps them distinct and
+// strictly increasing, as the exposition format requires.
+std::string format_le(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", seconds);
+  return buf;
+}
+
+}  // namespace
+
+void render_prometheus(std::ostream& out, const EngineStats& stats,
+                       std::span<const Label> labels) {
+  Writer w(out, render_labels(labels));
+
+  struct CounterRow {
+    const char* name;
+    const char* help;
+    std::uint64_t value;
+  };
+  const CounterRow counters[] = {
+      {"pfp_accesses_total", "Block references processed.", stats.accesses},
+      {"pfp_demand_hits_total", "References served by the demand cache.",
+       stats.demand_hits},
+      {"pfp_prefetch_hits_total",
+       "References served by the prefetch cache.", stats.prefetch_hits},
+      {"pfp_misses_total", "References that required a demand fetch.",
+       stats.misses},
+      {"pfp_prefetches_issued_total", "Prefetch reads submitted to disk.",
+       stats.prefetches_issued},
+      {"pfp_prefetch_ejections_total",
+       "Prefetched buffers ejected before being referenced.",
+       stats.prefetch_ejections},
+      {"pfp_demand_ejections_total", "Demand buffers ejected.",
+       stats.demand_ejections},
+      {"pfp_disk_requests_total",
+       "Disk reads issued (demand fetches plus prefetches).",
+       stats.disk_requests},
+      {"pfp_trace_events_recorded_total",
+       "Events emitted into the trace ring.", stats.trace_recorded},
+      {"pfp_trace_events_dropped_total",
+       "Trace events lost to ring overwrite.", stats.trace_dropped},
+      {"pfp_queue_backpressure_waits_total",
+       "Producer spins on a full shard queue.",
+       stats.queue_backpressure_waits},
+  };
+  for (const CounterRow& row : counters) {
+    w.family(row.name, "counter", row.help);
+    w.sample(row.value);
+  }
+
+  const CounterRow gauges[] = {
+      {"pfp_resident_blocks", "Buffers currently resident in the caches.",
+       stats.resident_blocks},
+      {"pfp_free_buffers", "Unused buffers in the pool.",
+       stats.free_buffers},
+      {"pfp_tree_nodes", "Live predictor-tree nodes.", stats.tree_nodes},
+      {"pfp_trace_ring_occupancy", "Events currently held in the ring.",
+       stats.trace_occupancy},
+      {"pfp_trace_ring_capacity", "Trace ring capacity in events.",
+       stats.trace_capacity},
+      {"pfp_queue_occupancy", "Requests queued to shard workers.",
+       stats.queue_occupancy},
+      {"pfp_queue_capacity", "Total shard queue capacity.",
+       stats.queue_capacity},
+      {"pfp_shards", "Engines folded into this view.", stats.shards},
+      {"pfp_stats_consistent",
+       "1 when this snapshot is a clean seqlock cut.",
+       stats.consistent ? 1u : 0u},
+  };
+  for (const CounterRow& row : gauges) {
+    w.family(row.name, "gauge", row.help);
+    w.sample(row.value);
+  }
+
+  w.family("pfp_elapsed_virtual_seconds", "gauge",
+           "Modeled elapsed time under the Section 3 timing model.");
+  w.sample(static_cast<double>(stats.elapsed_virtual_us) / 1e6);
+
+  // Phase latencies: one native histogram per phase, le in seconds.
+  // Trailing all-zero buckets are elided (the +Inf row carries the rest).
+  w.family("pfp_phase_latency_seconds", "histogram",
+           "Per-phase latency of the access state machine.");
+  std::size_t top = 0;
+  for (std::size_t p = 0; p < util::kEnginePhaseCount; ++p) {
+    for (std::size_t b = 0; b < util::kPhaseBucketCount; ++b) {
+      if (stats.phases.buckets[p][b] != 0 && b + 1 > top) {
+        top = b + 1;
+      }
+    }
+  }
+  for (std::size_t p = 0; p < util::kEnginePhaseCount; ++p) {
+    const std::string phase_label =
+        std::string("phase=\"") + util::kEnginePhaseNames[p] + "\"";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < top; ++b) {
+      cumulative += stats.phases.buckets[p][b];
+      const double le_seconds =
+          static_cast<double>(util::Log2Histogram::bucket_hi(b)) / 1e9;
+      w.suffixed("_bucket",
+                 phase_label + ",le=\"" + format_le(le_seconds) + "\"",
+                 static_cast<double>(cumulative));
+    }
+    w.suffixed("_bucket", phase_label + ",le=\"+Inf\"",
+               static_cast<double>(stats.phases.count[p]));
+    w.suffixed("_sum", phase_label,
+               static_cast<double>(stats.phases.total_ns[p]) / 1e9);
+    w.suffixed("_count", phase_label,
+               static_cast<double>(stats.phases.count[p]));
+  }
+}
+
+}  // namespace pfp::obs

@@ -1,0 +1,31 @@
+// Prometheus text exposition (version 0.0.4) for EngineStats snapshots.
+//
+// render_prometheus() writes one engine view — a single engine, one
+// shard, or a merged ShardedEngine view — as `# HELP`/`# TYPE` annotated
+// families.  Callers distinguish views with labels, e.g.
+// {{"shard", "3"}} or {{"view", "merged"}}; label values are escaped per
+// the exposition format.  Phase latencies render as native Prometheus
+// histograms (cumulative `le` buckets in seconds) with a `phase` label.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "obs/engine_obs.hpp"
+
+namespace pfp::obs {
+
+struct Label {
+  std::string name;
+  std::string value;
+};
+
+void render_prometheus(std::ostream& out, const EngineStats& stats,
+                       std::span<const Label> labels = {});
+
+/// Escapes a label value (backslash, double quote, newline).
+[[nodiscard]] std::string escape_label_value(std::string_view value);
+
+}  // namespace pfp::obs

@@ -1,0 +1,115 @@
+#include "obs/trace_ring.hpp"
+
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace pfp::obs {
+
+TraceRing::TraceRing(std::size_t capacity) {
+  if (capacity == 0) {
+    return;
+  }
+  std::size_t cap = 2;
+  while (cap < capacity) {
+    PFP_REQUIRE(cap <= (std::size_t{1} << 30));
+    cap <<= 1;
+  }
+  slots_.resize(cap);
+  mask_ = cap - 1;
+}
+
+void TraceRing::emit(TraceEvent event) noexcept {
+  if (slots_.empty()) {
+    return;
+  }
+  const std::uint64_t serial = next_.load(std::memory_order_relaxed);
+  event.serial = serial;
+  slots_[serial & mask_] = event;
+  next_.store(serial + 1, std::memory_order_relaxed);
+}
+
+std::uint64_t TraceRing::dropped() const noexcept {
+  const std::uint64_t n = next_.load(std::memory_order_relaxed);
+  return n > slots_.size() ? n - slots_.size() : 0;
+}
+
+std::size_t TraceRing::occupancy() const noexcept {
+  const std::uint64_t n = next_.load(std::memory_order_relaxed);
+  return n < slots_.size() ? static_cast<std::size_t>(n) : slots_.size();
+}
+
+std::vector<TraceEvent> TraceRing::events() const {
+  const std::uint64_t n = next_.load(std::memory_order_relaxed);
+  const std::uint64_t held =
+      n < slots_.size() ? n : static_cast<std::uint64_t>(slots_.size());
+  std::vector<TraceEvent> out;
+  out.reserve(static_cast<std::size_t>(held));
+  for (std::uint64_t serial = n - held; serial < n; ++serial) {
+    out.push_back(slots_[serial & mask_]);
+  }
+  return out;
+}
+
+void TraceRing::clear() noexcept {
+  next_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+const char* event_name(const TraceEvent& event) {
+  switch (event.kind) {
+    case EventKind::kAccess:
+      switch (static_cast<EventOutcome>(event.arg)) {
+        case EventOutcome::kDemandHit:
+          return "access:demand-hit";
+        case EventOutcome::kPrefetchHit:
+          return "access:prefetch-hit";
+        case EventOutcome::kMiss:
+          return "access:miss";
+      }
+      return "access";
+    case EventKind::kPrefetchIssue:
+      return "prefetch-issue";
+    case EventKind::kEviction:
+      return "eviction";
+  }
+  return "event";
+}
+
+void write_event(std::ostream& out, const TraceEvent& event,
+                 std::size_t pid) {
+  // Chrome's ts/dur are microseconds; engine virtual time is ms.
+  out << R"({"name":")" << event_name(event) << R"(","cat":"engine","pid":)"
+      << pid << R"(,"tid":0,"ts":)" << event.ts_ms * 1000.0;
+  if (event.kind == EventKind::kAccess) {
+    out << R"(,"ph":"X","dur":)" << event.dur_ms * 1000.0;
+  } else {
+    out << R"(,"ph":"i","s":"t")";
+  }
+  out << R"(,"args":{"serial":)" << event.serial << R"(,"block":)"
+      << event.block << R"(,"arg":)" << event.arg << "}}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out,
+                        std::span<const TraceRing* const> rings) {
+  out << R"({"displayTimeUnit":"ms","traceEvents":[)";
+  bool first = true;
+  for (std::size_t pid = 0; pid < rings.size(); ++pid) {
+    if (rings[pid] == nullptr) {
+      continue;
+    }
+    for (const TraceEvent& event : rings[pid]->events()) {
+      if (!first) {
+        out << ",\n";
+      }
+      first = false;
+      write_event(out, event, pid);
+    }
+  }
+  out << "]}\n";
+}
+
+}  // namespace pfp::obs

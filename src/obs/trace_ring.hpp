@@ -1,0 +1,96 @@
+// Bounded event-trace ring buffer.
+//
+// Each engine (one per shard under ShardedEngine) records its own stream
+// of access / prefetch-issue / eviction events into a fixed power-of-two
+// ring: exactly one writer (the engine thread), overwrite-oldest when
+// full, every event stamped with a monotonically increasing serial so a
+// dump can tell how much history survived.  The single-writer index
+// discipline follows util::SpscQueue; the difference is that the "reader"
+// here is a whole-ring dump taken under quiescence (single-threaded
+// engines dump from their own thread; ShardedEngine::write_chrome_trace
+// flushes first, and flush()'s acquire on the processed counters orders
+// the slot writes), so the slots themselves stay plain structs and only
+// the write index is atomic — stats scrapers read it live for the
+// occupancy gauge.
+//
+// Dumps render as Chrome trace_event JSON (chrome://tracing, Perfetto):
+// complete ("X") events for accesses with their modeled latency as the
+// duration, instant ("i") events for prefetch issues and evictions.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+namespace pfp::obs {
+
+enum class EventKind : std::uint8_t {
+  kAccess = 0,        ///< one per access period; arg = outcome
+  kPrefetchIssue,     ///< arg = blocks prefetched this period
+  kEviction,          ///< arg = buffers ejected this period
+};
+
+/// Access outcome codes for TraceEvent::arg (mirrors engine::Outcome
+/// without reaching up the layer stack).
+enum class EventOutcome : std::uint8_t {
+  kDemandHit = 0,
+  kPrefetchHit,
+  kMiss,
+};
+
+struct TraceEvent {
+  std::uint64_t serial = 0;   ///< ring-wide event number, from 0
+  std::uint64_t block = 0;    ///< block id driving the period
+  double ts_ms = 0.0;         ///< engine virtual time at period start
+  double dur_ms = 0.0;        ///< modeled period latency (kAccess only)
+  EventKind kind = EventKind::kAccess;
+  std::uint32_t arg = 0;      ///< outcome / issue count / ejection count
+};
+
+class TraceRing {
+ public:
+  /// Capacity 0 disables recording entirely (emit becomes a no-op);
+  /// otherwise rounds up to a power of two.
+  explicit TraceRing(std::size_t capacity);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Writer side.  Stamps the serial; overwrites the oldest event when
+  /// the ring is full.
+  void emit(TraceEvent event) noexcept;
+
+  [[nodiscard]] bool enabled() const noexcept { return !slots_.empty(); }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return slots_.size();
+  }
+  /// Total events ever emitted (any thread; relaxed).
+  [[nodiscard]] std::uint64_t recorded() const noexcept {
+    return next_.load(std::memory_order_relaxed);
+  }
+  /// Events lost to overwrite (any thread; relaxed).
+  [[nodiscard]] std::uint64_t dropped() const noexcept;
+  /// Events currently held (any thread; relaxed).
+  [[nodiscard]] std::size_t occupancy() const noexcept;
+
+  /// Copies the surviving events oldest-first.  Quiescent-read contract:
+  /// call from the writer thread, or after the writer has been observed
+  /// parked through an acquire (ShardedEngine::flush).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  void clear() noexcept;
+
+ private:
+  std::vector<TraceEvent> slots_;
+  std::uint64_t mask_ = 0;
+  std::atomic<std::uint64_t> next_{0};  ///< next serial == events emitted
+};
+
+/// Renders rings as one Chrome trace_event JSON document; ring i becomes
+/// pid i (one process lane per shard).  Null entries are skipped.
+void write_chrome_trace(std::ostream& out,
+                        std::span<const TraceRing* const> rings);
+
+}  // namespace pfp::obs

@@ -63,6 +63,17 @@ double LinearHistogram::quantile(double q) const {
   return hi_;
 }
 
+void LinearHistogram::merge(const LinearHistogram& other) {
+  PFP_REQUIRE(lo_ == other.lo_ && hi_ == other.hi_ &&
+              counts_.size() == other.counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
 void LinearHistogram::reset() {
   std::fill(counts_.begin(), counts_.end(), 0);
   underflow_ = overflow_ = total_ = 0;
@@ -99,6 +110,16 @@ std::string Log2Histogram::to_string() const {
     os << bucket_lo(i) << "-" << bucket_hi(i) << ": " << counts_[i] << "\n";
   }
   return os.str();
+}
+
+void Log2Histogram::merge(const Log2Histogram& other) {
+  if (other.counts_.size() > counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
 }
 
 void Log2Histogram::reset() {

@@ -28,6 +28,10 @@ class LinearHistogram {
   /// to the range edges.
   [[nodiscard]] double quantile(double q) const;
 
+  /// Folds another histogram in (per-shard aggregation).  Both sides must
+  /// have identical range and binning.
+  void merge(const LinearHistogram& other);
+
   void reset();
 
  private:
@@ -57,6 +61,10 @@ class Log2Histogram {
 
   /// Render as "lo-hi: count" lines for reports.
   [[nodiscard]] std::string to_string() const;
+
+  /// Folds another histogram in (per-shard aggregation); grows to the
+  /// wider of the two bucket sets.
+  void merge(const Log2Histogram& other);
 
   void reset();
 

@@ -1,9 +1,12 @@
 // Thread-safety stress for the sharded engine; run under TSan in CI (the
 // sanitize workflow leg selects it by the "Sharded" test-name pattern).
+// The nightly leg sets PFP_STRESS_SCALE=10 to multiply every workload
+// and iteration count without a separate test binary.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <thread>
 
 #include "engine/sharded_engine.hpp"
@@ -13,6 +16,19 @@ namespace pfp::engine {
 namespace {
 
 using core::policy::PolicyKind;
+
+std::uint64_t stress_scale() {
+  static const std::uint64_t scale = [] {
+    const char* env = std::getenv("PFP_STRESS_SCALE");
+    if (env == nullptr) {
+      return std::uint64_t{1};
+    }
+    const long parsed = std::atol(env);
+    return parsed >= 1 ? static_cast<std::uint64_t>(parsed)
+                       : std::uint64_t{1};
+  }();
+  return scale;
+}
 
 ShardedConfig stress_config(std::uint32_t shards) {
   ShardedConfig c;
@@ -30,7 +46,7 @@ trace::Trace cad_trace(std::uint64_t references) {
 }
 
 TEST(ShardedStress, FourShardCadTraceWithInterleavedFlushes) {
-  const auto t = cad_trace(100'000);
+  const auto t = cad_trace(100'000 * stress_scale());
   ShardedEngine eng(stress_config(4));
   for (std::size_t i = 0; i < t.size(); ++i) {
     eng.push(t[i].block);
@@ -47,8 +63,8 @@ TEST(ShardedStress, FourShardCadTraceWithInterleavedFlushes) {
 TEST(ShardedStress, DestructionDrainsQueuedWork) {
   // Destroy the engine with requests still queued; the workers must
   // drain them (no lost accesses, no use-after-free on the queues).
-  const auto t = cad_trace(30'000);
-  for (int round = 0; round < 5; ++round) {
+  const auto t = cad_trace(30'000 * stress_scale());
+  for (std::uint64_t round = 0; round < 5 * stress_scale(); ++round) {
     ShardedEngine eng(stress_config(4));
     for (const auto& rec : t) {
       eng.push(rec.block);
@@ -60,8 +76,8 @@ TEST(ShardedStress, DestructionDrainsQueuedWork) {
 
 TEST(ShardedStress, RepeatedConstructionTeardown) {
   // Thread-pool spin-up/tear-down churn with tiny work batches.
-  const auto t = cad_trace(2'000);
-  for (int round = 0; round < 20; ++round) {
+  const auto t = cad_trace(2'000 * stress_scale());
+  for (std::uint64_t round = 0; round < 20 * stress_scale(); ++round) {
     ShardedEngine eng(stress_config(static_cast<std::uint32_t>(1 + round % 4)));
     for (const auto& rec : t) {
       eng.push(rec.block);
@@ -72,7 +88,7 @@ TEST(ShardedStress, RepeatedConstructionTeardown) {
 }
 
 TEST(ShardedStress, MetricsReadsAfterFlushAreStable) {
-  const auto t = cad_trace(50'000);
+  const auto t = cad_trace(50'000 * stress_scale());
   ShardedEngine eng(stress_config(4));
   std::size_t i = 0;
   for (const auto& rec : t) {

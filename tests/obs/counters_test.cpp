@@ -1,0 +1,102 @@
+#include "obs/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace pfp::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.get(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.get(), 42u);
+}
+
+TEST(Counter, SetPublishesExternalTotal) {
+  Counter c;
+  c.inc(7);
+  c.set(1000);
+  EXPECT_EQ(c.get(), 1000u);
+}
+
+TEST(Gauge, SetOverwrites) {
+  Gauge g;
+  EXPECT_EQ(g.get(), 0u);
+  g.set(5);
+  g.set(3);
+  EXPECT_EQ(g.get(), 3u);
+}
+
+TEST(Counter, CellsAreCacheLinePadded) {
+  // The whole point of the padding is that adjacent cells in a struct
+  // never share a line (no false sharing between writer and scraper).
+  EXPECT_EQ(alignof(Counter), kCacheLineSize);
+  EXPECT_EQ(sizeof(Counter) % kCacheLineSize, 0u);
+  EXPECT_EQ(alignof(Gauge), kCacheLineSize);
+}
+
+TEST(SnapshotGate, QuiescentReadDoesNotRetry) {
+  SnapshotGate gate;
+  const auto v = gate.read_begin();
+  EXPECT_EQ(v & 1, 0u);
+  EXPECT_FALSE(gate.read_retry(v));
+}
+
+TEST(SnapshotGate, MidWriteReadRetries) {
+  SnapshotGate gate;
+  gate.begin_write();
+  const auto v = gate.read_begin();
+  EXPECT_EQ(v & 1, 1u);  // odd = writer inside the section
+  EXPECT_TRUE(gate.read_retry(v));
+  gate.end_write();
+  const auto v2 = gate.read_begin();
+  EXPECT_EQ(v2 & 1, 0u);
+  EXPECT_FALSE(gate.read_retry(v2));
+}
+
+TEST(SnapshotGate, WriteBetweenBeginAndRetryIsDetected) {
+  SnapshotGate gate;
+  const auto v = gate.read_begin();
+  gate.begin_write();
+  gate.end_write();
+  EXPECT_TRUE(gate.read_retry(v));
+}
+
+// One writer keeps a pair of cells in lockstep under the gate; a reader
+// using the retry protocol must never observe them out of step.
+TEST(SnapshotGate, ReaderNeverSeesTornPair) {
+  SnapshotGate gate;
+  Counter a;
+  Counter b;
+  std::atomic<bool> stop{false};
+
+  std::thread writer([&] {
+    for (std::uint64_t i = 1; !stop.load(std::memory_order_relaxed); ++i) {
+      gate.begin_write();
+      a.set(i);
+      b.set(2 * i);
+      gate.end_write();
+    }
+  });
+
+  int clean_reads = 0;
+  for (int i = 0; i < 200000 && clean_reads < 1000; ++i) {
+    const auto v = gate.read_begin();
+    const std::uint64_t sa = a.get();
+    const std::uint64_t sb = b.get();
+    if (!gate.read_retry(v)) {
+      EXPECT_EQ(sb, 2 * sa) << "torn snapshot passed the gate";
+      ++clean_reads;
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  EXPECT_GT(clean_reads, 0);
+}
+
+}  // namespace
+}  // namespace pfp::obs

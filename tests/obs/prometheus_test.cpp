@@ -1,0 +1,139 @@
+#include "obs/prometheus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "obs/engine_obs.hpp"
+#include "util/phase.hpp"
+
+namespace pfp::obs {
+namespace {
+
+EngineStats sample_stats() {
+  EngineStats s;
+  s.accesses = 100;
+  s.demand_hits = 60;
+  s.prefetch_hits = 25;
+  s.misses = 15;
+  s.prefetches_issued = 40;
+  s.resident_blocks = 512;
+  s.elapsed_virtual_us = 2'500'000;  // 2.5 virtual seconds
+  return s;
+}
+
+TEST(Prometheus, RendersHelpTypeAndValueLines) {
+  std::ostringstream out;
+  render_prometheus(out, sample_stats());
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# HELP pfp_accesses_total"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pfp_accesses_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("pfp_accesses_total 100\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pfp_resident_blocks gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("pfp_resident_blocks 512\n"), std::string::npos);
+  EXPECT_NE(text.find("pfp_elapsed_virtual_seconds 2.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("pfp_stats_consistent 1\n"), std::string::npos);
+}
+
+TEST(Prometheus, BaseLabelsAttachToEverySample) {
+  std::ostringstream out;
+  const Label labels[] = {{"workload", "cello"}, {"shard", "3"}};
+  render_prometheus(out, sample_stats(), labels);
+  EXPECT_NE(out.str().find(
+                "pfp_accesses_total{workload=\"cello\",shard=\"3\"} 100"),
+            std::string::npos);
+}
+
+TEST(Prometheus, LabelValuesAreEscaped) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape_label_value("a\nb"), "a\\nb");
+
+  std::ostringstream out;
+  const Label labels[] = {{"trace", "we\"ird\\path"}};
+  render_prometheus(out, sample_stats(), labels);
+  EXPECT_NE(out.str().find("trace=\"we\\\"ird\\\\path\""),
+            std::string::npos);
+}
+
+TEST(Prometheus, HistogramBucketsAreCumulativeWithUniqueBounds) {
+  EngineStats s = sample_stats();
+  const auto p = static_cast<std::size_t>(util::EnginePhase::kLookup);
+  s.phases.count[p] = 6;
+  s.phases.total_ns[p] = 1000;
+  s.phases.buckets[p][0] = 1;
+  s.phases.buckets[p][5] = 2;
+  s.phases.buckets[p][9] = 3;
+
+  std::ostringstream out;
+  render_prometheus(out, s);
+  const std::string text = out.str();
+
+  // Every lookup _bucket row: le must be unique (regression: fixed-point
+  // formatting once collapsed all sub-microsecond bounds to "0.000000")
+  // and the counts cumulative, ending at the +Inf row == _count.
+  std::set<std::string> les;
+  std::uint64_t last_cumulative = 0;
+  std::size_t rows = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find("pfp_phase_latency_seconds_bucket{phase=\"lookup\"") ==
+        std::string::npos) {
+      continue;
+    }
+    ++rows;
+    const auto le_start = line.find("le=\"") + 4;
+    const auto le_end = line.find('"', le_start);
+    EXPECT_TRUE(les.insert(line.substr(le_start, le_end - le_start)).second)
+        << "duplicate le bound: " << line;
+    const auto value =
+        static_cast<std::uint64_t>(std::stoull(line.substr(le_end + 2)));
+    EXPECT_GE(value, last_cumulative) << line;
+    last_cumulative = value;
+  }
+  EXPECT_GT(rows, 2u);
+  EXPECT_EQ(last_cumulative, 6u);  // +Inf row carries the full count
+  EXPECT_NE(
+      text.find("pfp_phase_latency_seconds_count{phase=\"lookup\"} 6"),
+      std::string::npos);
+}
+
+TEST(Prometheus, MergedViewReportsShardsAndConsistency) {
+  EngineStats a = sample_stats();
+  EngineStats b = sample_stats();
+  b.consistent = false;
+  a.merge(b);
+  EXPECT_EQ(a.shards, 2u);
+  EXPECT_EQ(a.accesses, 200u);
+  EXPECT_FALSE(a.consistent);
+
+  std::ostringstream out;
+  render_prometheus(out, a);
+  EXPECT_NE(out.str().find("pfp_shards 2\n"), std::string::npos);
+  EXPECT_NE(out.str().find("pfp_stats_consistent 0\n"), std::string::npos);
+}
+
+TEST(EngineStatsMerge, ElapsedTakesMaxCountersSum) {
+  EngineStats a;
+  a.elapsed_virtual_us = 10;
+  a.misses = 1;
+  a.queue_backpressure_waits = 5;
+  EngineStats b;
+  b.elapsed_virtual_us = 30;
+  b.misses = 2;
+  b.queue_backpressure_waits = 7;
+  a.merge(b);
+  EXPECT_EQ(a.elapsed_virtual_us, 30u);
+  EXPECT_EQ(a.misses, 3u);
+  EXPECT_EQ(a.queue_backpressure_waits, 12u);
+}
+
+}  // namespace
+}  // namespace pfp::obs

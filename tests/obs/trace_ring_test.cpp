@@ -1,0 +1,122 @@
+#include "obs/trace_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pfp::obs {
+namespace {
+
+TraceEvent access_event(std::uint64_t block, double ts_ms) {
+  TraceEvent e;
+  e.block = block;
+  e.ts_ms = ts_ms;
+  e.dur_ms = 1.5;
+  e.kind = EventKind::kAccess;
+  e.arg = static_cast<std::uint32_t>(EventOutcome::kMiss);
+  return e;
+}
+
+TEST(TraceRing, ZeroCapacityDisablesRecording) {
+  TraceRing ring(0);
+  EXPECT_FALSE(ring.enabled());
+  EXPECT_EQ(ring.capacity(), 0u);
+  ring.emit(access_event(1, 0.0));
+  EXPECT_EQ(ring.recorded(), 0u);
+  EXPECT_EQ(ring.occupancy(), 0u);
+  EXPECT_TRUE(ring.events().empty());
+}
+
+TEST(TraceRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(TraceRing(1).capacity(), 2u);
+  EXPECT_EQ(TraceRing(5).capacity(), 8u);
+  EXPECT_EQ(TraceRing(8).capacity(), 8u);
+}
+
+TEST(TraceRing, StampsMonotonicSerials) {
+  TraceRing ring(4);
+  for (int i = 0; i < 3; ++i) {
+    ring.emit(access_event(static_cast<std::uint64_t>(i), i * 1.0));
+  }
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), 3u);
+  for (std::uint64_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].serial, i);
+    EXPECT_EQ(events[i].block, i);
+  }
+  EXPECT_EQ(ring.recorded(), 3u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(TraceRing, OverwritesOldestWhenFull) {
+  TraceRing ring(4);
+  for (int i = 0; i < 10; ++i) {
+    ring.emit(access_event(static_cast<std::uint64_t>(i), i * 1.0));
+  }
+  EXPECT_EQ(ring.recorded(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  EXPECT_EQ(ring.occupancy(), 4u);
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first: serials 6..9 survive.
+  EXPECT_EQ(events.front().serial, 6u);
+  EXPECT_EQ(events.back().serial, 9u);
+  EXPECT_EQ(events.back().block, 9u);
+}
+
+TEST(TraceRing, ClearRestartsSerials) {
+  TraceRing ring(4);
+  ring.emit(access_event(1, 0.0));
+  ring.clear();
+  EXPECT_EQ(ring.recorded(), 0u);
+  EXPECT_TRUE(ring.events().empty());
+  ring.emit(access_event(2, 0.0));
+  EXPECT_EQ(ring.events().front().serial, 0u);
+}
+
+TEST(ChromeTrace, RendersAccessesAsCompleteEvents) {
+  TraceRing ring(4);
+  ring.emit(access_event(7, 2.0));
+  TraceEvent issue;
+  issue.block = 8;
+  issue.ts_ms = 3.0;
+  issue.kind = EventKind::kPrefetchIssue;
+  issue.arg = 2;
+  ring.emit(issue);
+
+  std::ostringstream out;
+  const TraceRing* rings[] = {&ring};
+  write_chrome_trace(out, rings);
+  const std::string json = out.str();
+
+  EXPECT_NE(json.find(R"("displayTimeUnit":"ms")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"access:miss")"), std::string::npos);
+  EXPECT_NE(json.find(R"("ph":"X")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"prefetch-issue")"), std::string::npos);
+  EXPECT_NE(json.find(R"("ph":"i")"), std::string::npos);
+  // ms -> us conversion: ts 2.0 ms renders as 2000 us.
+  EXPECT_NE(json.find(R"("ts":2000)"), std::string::npos);
+}
+
+TEST(ChromeTrace, MultipleRingsBecomeSeparatePids) {
+  TraceRing a(2);
+  TraceRing b(2);
+  a.emit(access_event(1, 0.0));
+  b.emit(access_event(2, 0.0));
+  std::ostringstream out;
+  const TraceRing* rings[] = {&a, &b};
+  write_chrome_trace(out, rings);
+  EXPECT_NE(out.str().find(R"("pid":0)"), std::string::npos);
+  EXPECT_NE(out.str().find(R"("pid":1)"), std::string::npos);
+}
+
+TEST(ChromeTrace, NullAndEmptyRingsProduceValidEmptyDocument) {
+  TraceRing empty(2);
+  std::ostringstream out;
+  const TraceRing* rings[] = {nullptr, &empty};
+  write_chrome_trace(out, rings);
+  EXPECT_EQ(out.str(), "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n");
+}
+
+}  // namespace
+}  // namespace pfp::obs

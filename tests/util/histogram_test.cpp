@@ -109,5 +109,84 @@ TEST(Log2Histogram, ResetClears) {
   EXPECT_EQ(h.buckets(), 0u);
 }
 
+TEST(LinearHistogram, MergeSumsBinsAndOverflow) {
+  LinearHistogram a(0.0, 10.0, 5);
+  LinearHistogram b(0.0, 10.0, 5);
+  a.add(1.0);
+  a.add(-5.0);
+  b.add(1.5);
+  b.add(3.0);
+  b.add(100.0);
+  a.merge(b);
+  EXPECT_EQ(a.bin_count(0), 2u);
+  EXPECT_EQ(a.bin_count(1), 1u);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+  EXPECT_EQ(a.total(), 5u);
+}
+
+TEST(LinearHistogram, MergeWithEmptyIsIdentity) {
+  LinearHistogram a(0.0, 10.0, 5);
+  a.add(4.0);
+  LinearHistogram empty(0.0, 10.0, 5);
+  a.merge(empty);
+  EXPECT_EQ(a.total(), 1u);
+  EXPECT_EQ(a.bin_count(2), 1u);
+}
+
+TEST(LinearHistogram, MergeRejectsMismatchedBinning) {
+  LinearHistogram a(0.0, 10.0, 5);
+  LinearHistogram b(0.0, 10.0, 4);
+  EXPECT_DEATH(a.merge(b), "precondition");
+}
+
+TEST(Log2Histogram, SingleSampleQuantileBehaviour) {
+  Log2Histogram h;
+  h.add(37);  // [32, 63] -> bucket 6
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.bucket_count(6), 1u);
+  EXPECT_EQ(h.buckets(), 7u);  // grows lazily to the covering bucket
+}
+
+TEST(Log2Histogram, MergeGrowsToWiderBucketSet) {
+  Log2Histogram narrow;
+  narrow.add(1);
+  Log2Histogram wide;
+  wide.add(1 << 20);
+  narrow.merge(wide);
+  EXPECT_EQ(narrow.total(), 2u);
+  EXPECT_EQ(narrow.bucket_count(1), 1u);
+  EXPECT_EQ(narrow.bucket_count(21), 1u);
+
+  // And the mirror direction: merging a narrow set into a wide one must
+  // leave the wide tail untouched.
+  Log2Histogram wide2;
+  wide2.add(1 << 20);
+  Log2Histogram narrow2;
+  narrow2.add(1);
+  wide2.merge(narrow2);
+  EXPECT_EQ(wide2.total(), 2u);
+  EXPECT_EQ(wide2.bucket_count(21), 1u);
+}
+
+TEST(Log2Histogram, MergeWithEmptyIsIdentity) {
+  Log2Histogram h;
+  h.add(12, 4);
+  Log2Histogram empty;
+  h.merge(empty);
+  empty.merge(h);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(empty.total(), 4u);
+  EXPECT_EQ(empty.bucket_count(4), 4u);
+}
+
+TEST(Log2Histogram, HugeValuesLandInHighBuckets) {
+  Log2Histogram h;
+  h.add(std::uint64_t{1} << 62);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.bucket_count(63), 1u);
+  EXPECT_EQ(Log2Histogram::bucket_lo(63), std::uint64_t{1} << 62);
+}
+
 }  // namespace
 }  // namespace pfp::util

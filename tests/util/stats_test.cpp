@@ -68,6 +68,45 @@ TEST(RunningStats, MergeWithEmptySides) {
   EXPECT_EQ(a.count(), 1u);
 }
 
+TEST(RunningStats, MergeOfTwoEmptiesStaysEmpty) {
+  RunningStats a;
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(RunningStats, ConstantStreamHasZeroVariance) {
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) {
+    s.add(3.25);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 3.25);
+  // Welford must not accumulate rounding noise on a constant stream.
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, NegativeValuesTrackMinMax) {
+  RunningStats s;
+  s.add(-7.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.min(), -7.0);
+  EXPECT_DOUBLE_EQ(s.max(), 2.0);
+  EXPECT_DOUBLE_EQ(s.sum(), -5.0);
+}
+
+TEST(RunningStats, ResetThenReuse) {
+  RunningStats s;
+  s.add(100.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 1.0);
+}
+
 TEST(RunningStats, SummaryMentionsFields) {
   RunningStats s;
   s.add(1.0);
