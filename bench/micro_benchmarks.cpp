@@ -3,6 +3,9 @@
 // simulator throughput per policy.
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+#include <string>
+
 #include "cache/buffer_cache.hpp"
 #include "cache/lru_cache.hpp"
 #include "core/tree/enumerator.hpp"
@@ -136,6 +139,39 @@ void BM_EnumerateCandidatesCached(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_EnumerateCandidatesCached);
+
+void BM_SnapshotRestore(benchmark::State& state) {
+  // Full engine snapshot -> restore round trip over a trained tree: the
+  // preorder serialization walk streams child runs straight out of the
+  // arena, and restore rebuilds the SoA planes node by node.  items/s is
+  // round trips; the label carries the snapshot size so regressions in
+  // the wire format show up alongside throughput ones.
+  const auto& t = cad_trace();
+  engine::EngineConfig config;
+  config.cache_blocks = 1024;
+  config.policy.kind = core::policy::PolicyKind::kTreeNextLimit;
+  engine::PrefetchEngine trained(config);
+  trained.run_trace(t);
+  std::string bytes;
+  {
+    std::ostringstream out;
+    trained.snapshot(out);
+    bytes = std::move(out).str();
+  }
+  for (auto _ : state) {
+    std::ostringstream out;
+    trained.snapshot(out);
+    std::istringstream in(std::move(out).str());
+    engine::PrefetchEngine fresh(config);
+    fresh.restore(in);
+    benchmark::DoNotOptimize(fresh.stats());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+  state.SetLabel("snapshot_bytes=" + std::to_string(bytes.size()));
+}
+BENCHMARK(BM_SnapshotRestore)->Unit(benchmark::kMillisecond);
 
 void BM_LruCacheAccess(benchmark::State& state) {
   cache::LruCache cache(static_cast<std::size_t>(state.range(0)));

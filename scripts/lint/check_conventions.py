@@ -24,6 +24,14 @@ docs/static-analysis.md for the rationale behind each):
   no-float-costben  the cost-benefit arithmetic (paper Eq. 1-14, in
                     src/core/costben/) must stay double; float intermediates
                     change eviction decisions between builds.
+  node-heap-member  heap-owning containers (std::vector, util::SmallVector,
+                    std::string, deque/list/map/...) are banned as members
+                    of node records (structs/classes whose name ends in
+                    "Node") in src/core/tree/.  The SoA overhaul moved
+                    child storage into the pool's shared arena so node
+                    records stay fixed-size POD planes; a per-node
+                    container member reintroduces pointer-chasing into the
+                    walks the arena layout exists to avoid.
   include-guard     every header under src/ uses #pragma once (repo
                     convention; mixing guard styles breaks the amalgamated
                     include checks).
@@ -52,6 +60,7 @@ from typing import Iterable, List, NamedTuple
 
 HOT_DIRS = ("src/core", "src/cache", "src/obs")
 COSTBEN_DIR = "src/core/costben"
+TREE_DIR = "src/core/tree"
 ENGINE_DIR = "src/engine"
 OBS_DIR = "src/obs"
 SOURCE_SUFFIXES = {".hpp", ".cpp"}
@@ -75,6 +84,16 @@ NAKED_NEW_RE = re.compile(r"\bnew\b")
 STD_RAND_RE = re.compile(r"(?:std\s*::\s*rand\b|\bsrand\s*\(|\brand\s*\(\s*\))")
 FLOAT_RE = re.compile(r"\bfloat\b")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*[<"]([^">]+)[">]')
+# A node-record definition: struct/class whose name ends in "Node" with a
+# body (forward declarations don't own members).  Matches HotNode/ColdNode
+# but not NodePool or NodeView.
+NODE_STRUCT_RE = re.compile(r"\b(?:struct|class)\s+(\w*Node)\b(?!\s*;)")
+NODE_HEAP_MEMBER_RE = re.compile(
+    r"\b(?:util\s*::\s*SmallVector\s*<"
+    r"|std\s*::\s*(?:vector|deque|list|forward_list|map|multimap|set|"
+    r"multiset|unordered_map|unordered_set|basic_string)\s*<"
+    r"|std\s*::\s*string\b)"
+)
 
 
 class Violation(NamedTuple):
@@ -162,6 +181,7 @@ def check_file(root: pathlib.Path, path: pathlib.Path) -> List[Violation]:
     file_waivers = set(ALLOW_FILE_RE.findall(text))
     hot = any(in_dir(rel, d) for d in HOT_DIRS)
     costben = in_dir(rel, COSTBEN_DIR)
+    tree = in_dir(rel, TREE_DIR)
 
     violations: List[Violation] = []
 
@@ -190,7 +210,25 @@ def check_file(root: pathlib.Path, path: pathlib.Path) -> List[Violation]:
                        f"({layer_dir}/ may not include it; see "
                        "docs/architecture.md)")
 
+    # node-heap-member tracks struct bodies across lines: once a *Node
+    # definition opens, flag heap-container members until its braces
+    # balance again.  in_node is the running brace balance of the current
+    # node record's body, or None when outside one.
+    in_node: int | None = None
     for i, line in enumerate(code, start=1):
+        if tree:
+            if in_node is None and NODE_STRUCT_RE.search(line):
+                in_node = 0
+            if in_node is not None:
+                body_open = in_node > 0 or "{" in line
+                if body_open and NODE_HEAP_MEMBER_RE.search(line):
+                    report(i, "node-heap-member",
+                           "heap-owning container inside a node record; "
+                           "store indices into a pool-owned arena instead "
+                           "(or waive with 'lint: allow(node-heap-member)')")
+                in_node += line.count("{") - line.count("}")
+                if in_node == 0 and "}" in line:
+                    in_node = None
         if not line.strip():
             continue
         if STD_RAND_RE.search(line):

@@ -163,6 +163,82 @@ class FloatCostbenRule(LintHarness):
         self.assertEqual(self.rules(found), set())
 
 
+class NodeHeapMemberRule(LintHarness):
+    def test_vector_member_in_node_struct_fires(self) -> None:
+        found = self.lint_file(
+            "src/core/tree/bad.hpp",
+            "#pragma once\n"
+            "struct HotNode {\n"
+            "  std::uint64_t weight = 0;\n"
+            "  std::vector<int> children;\n"
+            "};\n")
+        self.assertIn("node-heap-member", self.rules(found))
+        self.assertEqual(
+            [v.line for v in found if v.rule == "node-heap-member"], [4])
+
+    def test_small_vector_member_fires(self) -> None:
+        found = self.lint_file(
+            "src/core/tree/bad2.hpp",
+            "#pragma once\n"
+            "struct ColdNode {\n"
+            "  util::SmallVector<int, 4> kids;\n"
+            "};\n")
+        self.assertIn("node-heap-member", self.rules(found))
+
+    def test_one_line_node_struct_fires(self) -> None:
+        found = self.lint_file(
+            "src/core/tree/bad3.cpp",
+            "struct TmpNode { std::string label; };\n")
+        self.assertIn("node-heap-member", self.rules(found))
+
+    def test_pod_node_struct_is_fine(self) -> None:
+        found = self.lint_file(
+            "src/core/tree/good.hpp",
+            "#pragma once\n"
+            "struct HotNode {\n"
+            "  std::uint64_t weight = 0;\n"
+            "  std::uint32_t child_begin = 0;\n"
+            "};\n")
+        self.assertEqual(self.rules(found), set())
+
+    def test_vector_outside_node_struct_is_fine(self) -> None:
+        # The pool's plane storage is exactly where vectors belong.
+        found = self.lint_file(
+            "src/core/tree/good2.hpp",
+            "#pragma once\n"
+            "struct HotNode {\n"
+            "  std::uint64_t weight = 0;\n"
+            "};\n"
+            "class NodePool {\n"
+            "  std::vector<HotNode> hot_;\n"
+            "  std::vector<int> arena_;\n"
+            "};\n")
+        self.assertEqual(self.rules(found), set())
+
+    def test_forward_declaration_does_not_open_tracking(self) -> None:
+        found = self.lint_file(
+            "src/core/tree/good3.hpp",
+            "#pragma once\n"
+            "struct HotNode;\n"
+            "std::vector<int> roots;\n")
+        self.assertEqual(self.rules(found), set())
+
+    def test_node_struct_outside_tree_dir_is_fine(self) -> None:
+        found = self.lint_file(
+            "src/sim/report.cpp",
+            "struct RowNode { std::vector<int> cells; };\n")
+        self.assertEqual(self.rules(found), set())
+
+    def test_line_waiver_silences(self) -> None:
+        found = self.lint_file(
+            "src/core/tree/waived.hpp",
+            "#pragma once\n"
+            "struct ScratchNode {\n"
+            "  std::vector<int> tmp;  // lint: allow(node-heap-member)\n"
+            "};\n")
+        self.assertEqual(self.rules(found), set())
+
+
 class IncludeGuardRule(LintHarness):
     def test_header_without_pragma_once_fires(self) -> None:
         found = self.lint_file(

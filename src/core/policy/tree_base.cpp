@@ -49,7 +49,7 @@ tree::AccessInfo TreeInstrumentedPrefetcher::observe_access(
   const tree::NodeId lvc = tree_.last_visited_child(tree_.current());
   if (lvc != tree::kNoNode) {
     ++ctx.metrics.lvc_checks;
-    if (ctx.cache.contains(tree_.node(lvc).block)) {
+    if (ctx.cache.contains(tree_.block(lvc))) {
       ++ctx.metrics.lvc_cached;
     }
   }

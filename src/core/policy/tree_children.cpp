@@ -32,7 +32,7 @@ void TreeChildren::on_access(BlockId block, AccessOutcome outcome,
 
   std::uint32_t issued = 0;
   for (const tree::NodeId child : ranked) {
-    const BlockId target = tree_.node(child).block;
+    const BlockId target = tree_.block(child);
     ++ctx.metrics.candidates_chosen;
     if (ctx.cache.contains(target)) {
       ++ctx.metrics.candidates_already_cached;

@@ -18,7 +18,7 @@ void TreeLvc::on_access(BlockId block, AccessOutcome outcome, Context& ctx) {
   const tree::NodeId current = tree_.current();
   const tree::NodeId lvc = tree_.last_visited_child(current);
   if (lvc != tree::kNoNode) {
-    const BlockId target = tree_.node(lvc).block;
+    const BlockId target = tree_.block(lvc);
     if (!ctx.cache.contains(target)) {
       if (ctx.cache.free_buffers() == 0) {
         evict_cheapest(ctx);

@@ -26,7 +26,7 @@ void TreeThreshold::on_access(BlockId block, AccessOutcome outcome,
     if (p < threshold_) {
       break;  // children sorted by descending weight: the rest also fail
     }
-    const BlockId target = tree_.node(child).block;
+    const BlockId target = tree_.block(child);
     ++ctx.metrics.candidates_chosen;
     if (ctx.cache.contains(target)) {
       ++ctx.metrics.candidates_already_cached;

@@ -4,6 +4,7 @@
 #include <array>
 
 #include "util/assert.hpp"
+#include "util/prefetch.hpp"
 
 namespace pfp::core::tree {
 
@@ -55,31 +56,52 @@ void CandidateEnumerator::full_walk(const PrefetchTree& tree, NodeId from,
   out.reserve(limits.max_candidates);
   bool saw_duplicate = false;
 
-  const Node* nodes = tree.pool().data();
+  const HotNode* nodes = tree.pool().hot_data();
+  const NodeId* arena = tree.pool().child_arena();
   const std::uint32_t max_depth = limits.max_depth;
   const double min_probability = limits.min_probability;
   const std::size_t max_candidates = limits.max_candidates;
+
+  // How far ahead of the scan position sibling hot-plane gathers are
+  // prefetched.  The sibling run itself is contiguous (streamed by the
+  // hardware); the per-child weight reads scatter across the hot plane
+  // and are exactly the pointer-chase this hides.
+  constexpr std::size_t kGatherAhead = 4;
 
   const auto push_children = [&](NodeId parent_id, double path_prob,
                                  std::uint32_t depth) {
     if (depth >= max_depth) {
       return;
     }
-    const Node& parent = nodes[parent_id];
+    const HotNode& parent = nodes[parent_id];
     // Children are kept sorted by descending weight, hence descending
     // edge probability: stop at the first child below the cutoff.  The
     // divide per child matches edge_probability() exactly (hoisting only
     // the integer->double conversion of the shared denominator).
     const double parent_weight = static_cast<double>(parent.weight);
-    const NodeId* children = parent.children.data();
-    const std::size_t child_count = parent.children.size();
+    const NodeId* children = arena + parent.child_begin;
+    const std::size_t child_count = parent.child_count;
+    for (std::size_t i = 0; i < kGatherAhead && i < child_count; ++i) {
+      util::prefetch_read(&nodes[children[i]]);
+    }
     for (std::size_t i = 0; i < child_count; ++i) {
+      if (i + kGatherAhead < child_count) {
+        util::prefetch_read(&nodes[children[i + kGatherAhead]]);
+      }
       const NodeId child = children[i];
       const double p =
           path_prob *
           (static_cast<double>(nodes[child].weight) / parent_weight);
       if (p < min_probability) {
         break;
+      }
+      // This child is now on the frontier and will have its own run
+      // scanned if popped: stage the next level's sibling run while the
+      // current one streams (best-first descent prefetch).  Leaves have
+      // no run — most frontier nodes near the cutoff are leaves, so the
+      // gate saves more bandwidth than the (cached) count read costs.
+      if (nodes[child].child_count != 0) {
+        util::prefetch_read(arena + nodes[child].child_begin);
       }
       frontier_.push_back(FrontierItem{p, path_prob, child, depth + 1});
       std::push_heap(frontier_.begin(), frontier_.end());
@@ -92,7 +114,12 @@ void CandidateEnumerator::full_walk(const PrefetchTree& tree, NodeId from,
     std::pop_heap(frontier_.begin(), frontier_.end());
     const FrontierItem item = frontier_.back();
     frontier_.pop_back();
-    const Node& node = nodes[item.node];
+    if (!frontier_.empty()) {
+      // The heap root is the next node whose run gets scanned; warm its
+      // hot-plane entry while this item's children are pushed.
+      util::prefetch_read(&nodes[frontier_.front().node]);
+    }
+    const HotNode& node = nodes[item.node];
     // A block can be a descendant along several paths; heap order makes
     // the first occurrence the most probable one.
     if (seen_insert(node.block)) {
@@ -120,7 +147,7 @@ bool CandidateEnumerator::rescale(const PrefetchTree& tree, NodeId from,
   // shrink (min_probability crossing) and the pairwise order/tie
   // structure of the sorted list may not change — weights only grow, so
   // membership can never expand.
-  const Node* nodes = tree.pool().data();
+  const HotNode* nodes = tree.pool().hot_data();
   constexpr std::uint32_t kMaxChain = 64;
   std::array<NodeId, kMaxChain> chain;
   double prev_old = 0.0;
@@ -178,7 +205,7 @@ bool CandidateEnumerator::parse_strictly_below(const PrefetchTree& tree,
   if (id == from) {
     return false;  // the simulator's case: enumerating from the parse node
   }
-  const Node* nodes = tree.pool().data();
+  const HotNode* nodes = tree.pool().hot_data();
   while (id != kNoNode) {
     id = nodes[id].parent;
     if (id == from) {
@@ -207,10 +234,11 @@ bool CandidateEnumerator::same_items(std::span<const Candidate> a,
 
 std::span<const Candidate> CandidateEnumerator::enumerate(
     const PrefetchTree& tree, NodeId from, const EnumeratorLimits& limits) {
-  const Node& origin = tree.node(from);
-  if (origin.weight == 0) {
+  const std::uint64_t origin_weight = tree.weight(from);
+  if (origin_weight == 0) {
     return {};  // empty tree: no statistics yet (the cache is untouched)
   }
+  const std::uint64_t origin_epoch = tree.children_epoch(from);
   if (slots_.empty()) {
     slots_.resize(kCacheSlots);  // lazily built: one-shot users skip it
   }
@@ -225,17 +253,17 @@ std::span<const Candidate> CandidateEnumerator::enumerate(
     const bool stable =
         !slot.parse_below &&
         slot.eviction_epoch == tree.pool().eviction_epoch() &&
-        slot.children_epoch == origin.children_epoch;
+        slot.children_epoch == origin_epoch;
     if (frozen || stable) {
       if (slot.items_valid) {
-        if (slot.from_weight == origin.weight) {
+        if (slot.from_weight == origin_weight) {
           ++stats_.verbatim_hits;
           check_cached_result(tree, from, limits, slot);
           return {slot.items.data(), slot.items.size()};
         }
-        if (origin.weight > slot.from_weight && !slot.capped &&
+        if (origin_weight > slot.from_weight && !slot.capped &&
             !slot.deduped && rescale(tree, from, limits, slot.items)) {
-          slot.from_weight = origin.weight;
+          slot.from_weight = origin_weight;
           slot.fill_serial = serial;
           slot.parse_below = parse_strictly_below(tree, from);
           ++stats_.rescale_hits;
@@ -249,8 +277,8 @@ std::span<const Candidate> CandidateEnumerator::enumerate(
       // the walk overwrites its partial in-place updates.)
       ++stats_.full_walks;
       full_walk(tree, from, limits, slot.items, slot.capped, slot.deduped);
-      slot.children_epoch = origin.children_epoch;
-      slot.from_weight = origin.weight;
+      slot.children_epoch = origin_epoch;
+      slot.from_weight = origin_weight;
       slot.eviction_epoch = tree.pool().eviction_epoch();
       slot.fill_serial = serial;
       slot.parse_below = parse_strictly_below(tree, from);
@@ -265,8 +293,8 @@ std::span<const Candidate> CandidateEnumerator::enumerate(
   slot.from = from;
   slot.tree_uid = tree.uid();
   slot.limits = limits;
-  slot.children_epoch = origin.children_epoch;
-  slot.from_weight = origin.weight;
+  slot.children_epoch = origin_epoch;
+  slot.from_weight = origin_weight;
   slot.eviction_epoch = tree.pool().eviction_epoch();
   slot.fill_serial = serial;
   slot.parse_below = parse_strictly_below(tree, from);
@@ -280,13 +308,26 @@ std::span<const Candidate> CandidateEnumerator::enumerate(
 
 std::span<const Candidate> CandidateEnumerator::enumerate_fresh(
     const PrefetchTree& tree, NodeId from, const EnumeratorLimits& limits) {
-  if (tree.node(from).weight == 0) {
+  if (tree.weight(from) == 0) {
     return {};
   }
   bool capped = false;
   bool deduped = false;
   full_walk(tree, from, limits, out_, capped, deduped);
   return {out_.data(), out_.size()};
+}
+
+void CandidateEnumerator::enumerate_fresh_into(const PrefetchTree& tree,
+                                               NodeId from,
+                                               const EnumeratorLimits& limits,
+                                               std::vector<Candidate>& out) {
+  out.clear();
+  if (tree.weight(from) == 0) {
+    return;
+  }
+  bool capped = false;
+  bool deduped = false;
+  full_walk(tree, from, limits, out, capped, deduped);
 }
 
 void CandidateEnumerator::clear_cache() {
@@ -314,7 +355,7 @@ void CandidateEnumerator::audit([[maybe_unused]] const PrefetchTree& tree)
     if (slot.from >= tree.pool().id_bound()) {
       continue;
     }
-    const Node& origin = tree.node(slot.from);
+    const NodeView origin = tree.node(slot.from);
     // Mirror enumerate()'s hit conditions: only slots a lookup would
     // actually reuse are held to the bit-identity contract.
     const bool frozen = slot.fill_serial == tree.access_serial();
@@ -352,9 +393,14 @@ void CandidateEnumerator::audit([[maybe_unused]] const PrefetchTree& tree)
 std::vector<Candidate> enumerate_candidates(const PrefetchTree& tree,
                                             NodeId from,
                                             const EnumeratorLimits& limits) {
-  CandidateEnumerator enumerator;
-  const auto span = enumerator.enumerate_fresh(tree, from, limits);
-  return std::vector<Candidate>(span.begin(), span.end());
+  // enumerate_fresh() never reads or writes the slot cache, so reusing
+  // one scratch enumerator per thread is behaviour-identical to a fresh
+  // instance while keeping the walk's frontier/dedup/output buffers warm
+  // across one-shot calls.
+  thread_local CandidateEnumerator scratch;
+  std::vector<Candidate> result;
+  scratch.enumerate_fresh_into(tree, from, limits, result);
+  return result;
 }
 
 }  // namespace pfp::core::tree

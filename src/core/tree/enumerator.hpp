@@ -99,6 +99,12 @@ class CandidateEnumerator {
                                              NodeId from,
                                              const EnumeratorLimits& limits);
 
+  /// enumerate_fresh() walking straight into a caller-owned vector —
+  /// spares owning callers the copy out of the internal buffer.
+  void enumerate_fresh_into(const PrefetchTree& tree, NodeId from,
+                            const EnumeratorLimits& limits,
+                            std::vector<Candidate>& out);
+
   [[nodiscard]] const CacheStats& cache_stats() const noexcept {
     return stats_;
   }

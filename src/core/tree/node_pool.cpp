@@ -3,46 +3,102 @@
 #include <algorithm>
 
 #include "util/assert.hpp"
+#include "util/audit.hpp"
 
 namespace pfp::core::tree {
 
 NodePool::NodePool() { edges_.reserve(1024); }
+
+std::uint32_t NodePool::run_class(std::uint32_t capacity) noexcept {
+  PFP_DASSERT(capacity != 0 && (capacity & (capacity - 1)) == 0);
+  std::uint32_t cls = 0;
+  while ((1u << cls) < capacity) {
+    ++cls;
+  }
+  return cls;
+}
+
+std::uint32_t NodePool::alloc_run(std::uint32_t cls) {
+  auto& recycled = free_runs_[cls];
+  if (!recycled.empty()) {
+    const std::uint32_t begin = recycled.back();
+    recycled.pop_back();
+    return begin;
+  }
+  const std::size_t begin = arena_.size();
+  PFP_REQUIRE(begin + (1u << cls) <=
+              static_cast<std::size_t>(std::numeric_limits<std::uint32_t>::max()));
+  arena_.resize(begin + (std::size_t{1} << cls), kNoNode);
+  return static_cast<std::uint32_t>(begin);
+}
+
+void NodePool::free_run(std::uint32_t begin, std::uint32_t capacity) {
+  if (capacity == 0) {
+    return;
+  }
+  free_runs_[run_class(capacity)].push_back(begin);
+}
+
+void NodePool::grow_run(NodeId id) {
+  // Copy out the run head first: alloc_run may resize the arena and any
+  // HotNode reference would be into the pre-copy child data anyway.
+  const std::uint32_t old_begin = hot_[id].child_begin;
+  const std::uint32_t old_capacity = hot_[id].child_capacity;
+  const std::uint32_t count = hot_[id].child_count;
+  const std::uint32_t new_capacity =
+      old_capacity == 0 ? kMinRunCapacity : old_capacity * 2;
+  const std::uint32_t new_begin = alloc_run(run_class(new_capacity));
+  if (count > 0) {
+    std::copy(arena_.begin() + old_begin, arena_.begin() + old_begin + count,
+              arena_.begin() + new_begin);
+  }
+  free_run(old_begin, old_capacity);
+  HotNode& node = hot_[id];
+  node.child_begin = new_begin;
+  node.child_capacity = new_capacity;
+}
 
 NodeId NodePool::create(NodeId parent, BlockId block) {
   NodeId id;
   if (!free_.empty()) {
     id = free_.back();
     free_.pop_back();
-    nodes_[id] = Node{};
   } else {
-    id = static_cast<NodeId>(nodes_.size());
+    id = static_cast<NodeId>(hot_.size());
     PFP_REQUIRE(id != kNoNode);
-    nodes_.emplace_back();
+    hot_.emplace_back();
+    cold_.emplace_back();
   }
-  Node& node = nodes_[id];
+  hot_[id] = HotNode{};
+  cold_[id] = ColdNode{};
+  HotNode& node = hot_[id];
   node.block = block;
   node.weight = 1;
   node.parent = parent;
   if (parent != kNoNode) {
-    // Weight 1 is the minimum, so appending keeps the child list sorted.
-    node.pos_in_parent =
-        static_cast<std::uint32_t>(nodes_[parent].children.size());
-    nodes_[parent].children.push_back(id);
+    // Weight 1 is the minimum, so appending keeps the child run sorted.
+    cold_[id].pos_in_parent = hot_[parent].child_count;
+    if (hot_[parent].child_count == hot_[parent].child_capacity) {
+      grow_run(parent);
+    }
+    HotNode& p = hot_[parent];
+    arena_[p.child_begin + p.child_count] = id;
+    ++p.child_count;
     edges_.emplace(EdgeKey{parent, block}, id);
   }
   ++live_;
-  // The parent's child list grew; the new node itself gets a stamp
+  // The parent's child run grew; the new node itself gets a stamp
   // strictly above anything ever cached, which is what makes free-list
   // slot reuse safe for epoch-keyed caches.
   if (parent != kNoNode) {
-    nodes_[parent].children_epoch = ++epoch_;
+    cold_[parent].children_epoch = ++epoch_;
   }
-  node.children_epoch = ++epoch_;
+  cold_[id].children_epoch = ++epoch_;
   return id;
 }
 
 void NodePool::increment_weight(NodeId id) {
-  Node& node = nodes_[id];
+  HotNode& node = hot_[id];
   [[maybe_unused]] const std::uint64_t old_weight = node.weight++;
   if (node.parent == kNoNode) {
     return;
@@ -50,11 +106,11 @@ void NodePool::increment_weight(NodeId id) {
   // O(1) stamp: only the immediate parent's downward view changed here.
   // The node's own stamp stays — its descendants did not move, only its
   // own weight did (that is exactly the enumerator's rescale case).
-  nodes_[node.parent].children_epoch = ++epoch_;
-  auto& siblings = nodes_[node.parent].children;
-  const std::uint32_t pos = node.pos_in_parent;
+  cold_[node.parent].children_epoch = ++epoch_;
+  NodeId* siblings = arena_.data() + hot_[node.parent].child_begin;
+  const std::uint32_t pos = cold_[id].pos_in_parent;
   PFP_DASSERT(siblings[pos] == id);
-  if (pos == 0 || nodes_[siblings[pos - 1]].weight >= node.weight) {
+  if (pos == 0 || hot_[siblings[pos - 1]].weight >= node.weight) {
     return;  // already in place
   }
   // All siblings in [target, pos) carry exactly old_weight (descending
@@ -65,16 +121,16 @@ void NodePool::increment_weight(NodeId id) {
   std::uint32_t hi = pos;
   while (lo < hi) {
     const std::uint32_t mid = lo + (hi - lo) / 2;
-    if (nodes_[siblings[mid]].weight >= node.weight) {
+    if (hot_[siblings[mid]].weight >= node.weight) {
       lo = mid + 1;
     } else {
       hi = mid;
     }
   }
-  PFP_DASSERT(nodes_[siblings[lo]].weight == old_weight);
+  PFP_DASSERT(hot_[siblings[lo]].weight == old_weight);
   std::swap(siblings[lo], siblings[pos]);
-  nodes_[siblings[pos]].pos_in_parent = pos;
-  node.pos_in_parent = lo;
+  cold_[siblings[pos]].pos_in_parent = pos;
+  cold_[id].pos_in_parent = lo;
 }
 
 NodeId NodePool::find_child(NodeId parent, BlockId block) const {
@@ -83,32 +139,127 @@ NodeId NodePool::find_child(NodeId parent, BlockId block) const {
 }
 
 void NodePool::destroy(NodeId id) {
-  Node& node = nodes_[id];
-  PFP_REQUIRE(node.children.empty());
-  const NodeId parent = node.parent;
+  PFP_REQUIRE(hot_[id].child_count == 0);
+  const NodeId parent = hot_[id].parent;
   if (parent != kNoNode) {
-    auto& siblings = nodes_[parent].children;
-    PFP_DASSERT(siblings[node.pos_in_parent] == id);
-    siblings.erase(siblings.begin() +
-                   static_cast<std::ptrdiff_t>(node.pos_in_parent));
-    for (std::size_t i = node.pos_in_parent; i < siblings.size(); ++i) {
-      nodes_[siblings[i]].pos_in_parent = static_cast<std::uint32_t>(i);
+    HotNode& p = hot_[parent];
+    NodeId* siblings = arena_.data() + p.child_begin;
+    const std::uint32_t pos = cold_[id].pos_in_parent;
+    PFP_DASSERT(siblings[pos] == id);
+    for (std::uint32_t i = pos; i + 1 < p.child_count; ++i) {
+      siblings[i] = siblings[i + 1];
+      cold_[siblings[i]].pos_in_parent = i;
     }
-    if (nodes_[parent].last_visited_child == id) {
-      nodes_[parent].last_visited_child = kNoNode;
+    --p.child_count;
+    if (p.child_count == 0) {
+      // The run would otherwise linger while leaf-LRU churn (Figure 13's
+      // bounded trees) creates and destroys subtrees; recycle it.
+      free_run(p.child_begin, p.child_capacity);
+      p.child_begin = 0;
+      p.child_capacity = 0;
     }
-    edges_.erase(EdgeKey{parent, node.block});
+    if (cold_[parent].last_visited_child == id) {
+      cold_[parent].last_visited_child = kNoNode;
+    }
+    edges_.erase(EdgeKey{parent, hot_[id].block});
   }
-  node = Node{};  // resets children_epoch to 0: a freed slot never matches
-  node.parent = kNoNode;
+  // Reset both planes; children_epoch 0 means a freed slot never matches.
+  free_run(hot_[id].child_begin, hot_[id].child_capacity);
+  hot_[id] = HotNode{};
+  cold_[id] = ColdNode{};
   free_.push_back(id);
   --live_;
   if (parent != kNoNode) {
-    nodes_[parent].children_epoch = ++epoch_;
+    cold_[parent].children_epoch = ++epoch_;
   }
   // The victim may sit far from the parse path, outside the parse-order
   // argument; the global eviction stamp invalidates every cached list.
   ++eviction_epoch_;
+}
+
+std::size_t NodePool::actual_memory_bytes() const noexcept {
+  std::size_t bytes = hot_.capacity() * sizeof(HotNode) +
+                      cold_.capacity() * sizeof(ColdNode) +
+                      arena_.capacity() * sizeof(NodeId) +
+                      free_.capacity() * sizeof(NodeId) +
+                      edges_.capacity() * (sizeof(std::pair<EdgeKey, NodeId>) +
+                                           sizeof(std::uint8_t));
+  for (const auto& recycled : free_runs_) {
+    bytes += recycled.capacity() * sizeof(std::uint32_t);
+  }
+  return bytes;
+}
+
+void NodePool::audit() const {
+#if PFP_AUDIT_ENABLED
+  PFP_AUDIT("NodePool", hot_.size() == cold_.size(),
+            "hot and cold planes disagree on node count");
+  PFP_AUDIT("NodePool", live_ + free_.size() == hot_.size(),
+            "live count + free list does not cover the slabs");
+  // Freed slots must be fully reset (a recycled NodeId with a stale
+  // epoch would leak through the candidate cache's validity stamps).
+  std::vector<bool> is_free(hot_.size(), false);
+  for (const NodeId id : free_) {
+    PFP_AUDIT("NodePool", id < hot_.size(), "free-list id beyond id bound");
+    if (id >= hot_.size()) {
+      return;
+    }
+    PFP_AUDIT("NodePool", !is_free[id], "node id doubly free-listed");
+    is_free[id] = true;
+    PFP_AUDIT("NodePool",
+              hot_[id].weight == 0 && hot_[id].parent == kNoNode &&
+                  hot_[id].child_count == 0 && hot_[id].child_capacity == 0 &&
+                  cold_[id].children_epoch == 0,
+              "freed slot not reset (stale epoch or dangling child run)");
+  }
+  // Paint every claimed arena interval — live child runs and recycled
+  // free runs — and verify single ownership of each arena slot.
+  std::vector<bool> claimed(arena_.size(), false);
+  const auto claim = [&](std::uint32_t begin, std::uint32_t capacity,
+                         const char* what) {
+    PFP_AUDIT("NodePool",
+              static_cast<std::size_t>(begin) + capacity <= arena_.size(),
+              "child run reaches past the arena");
+    if (static_cast<std::size_t>(begin) + capacity > arena_.size()) {
+      return;
+    }
+    for (std::uint32_t i = begin; i < begin + capacity; ++i) {
+      PFP_AUDIT("NodePool", !claimed[i], what);
+      claimed[i] = true;
+    }
+  };
+  for (NodeId id = 0; id < hot_.size(); ++id) {
+    if (is_free[id]) {
+      continue;
+    }
+    const HotNode& n = hot_[id];
+    PFP_AUDIT("NodePool",
+              n.child_capacity == 0 ||
+                  (n.child_capacity & (n.child_capacity - 1)) == 0,
+              "child run capacity is not a power of two");
+    PFP_AUDIT("NodePool", n.child_count <= n.child_capacity,
+              "child count exceeds the run capacity");
+    claim(n.child_begin, n.child_capacity,
+          "live child runs overlap in the arena");
+    for (std::uint32_t i = 0; i < n.child_count; ++i) {
+      const NodeId c = arena_[n.child_begin + i];
+      PFP_AUDIT("NodePool", c < hot_.size() && !is_free[c],
+                "child run entry names a dead node");
+      if (c >= hot_.size()) {
+        continue;
+      }
+      PFP_AUDIT("NodePool", hot_[c].parent == id,
+                "child run entry does not point back at its owner");
+      PFP_AUDIT("NodePool", cold_[c].pos_in_parent == i,
+                "child's pos_in_parent disagrees with the run");
+    }
+  }
+  for (std::uint32_t cls = 0; cls < kRunClasses; ++cls) {
+    for (const std::uint32_t begin : free_runs_[cls]) {
+      claim(begin, 1u << cls, "recycled run overlaps a claimed run");
+    }
+  }
+#endif
 }
 
 }  // namespace pfp::core::tree

@@ -1,22 +1,38 @@
 // Node storage for the LZ prefetch tree.
 //
-// Nodes live in a slab indexed by 32-bit ids with a free list, so the
-// bounded-tree experiments (Figure 13) can create and evict hundreds of
-// thousands of nodes without allocator churn, and so sizeof bookkeeping
-// matches the paper's "each node corresponds to 40 bytes" accounting.
-// Edge lookup (parent, block) -> child is a single hash probe in a global
-// open-addressing edge map; per-node child lists support enumeration and
-// keep their first few entries inline (typical nodes have 1–4 children,
-// so the common case allocates nothing).
+// Nodes live in struct-of-arrays slabs indexed by 32-bit ids with a free
+// list, so the bounded-tree experiments (Figure 13) can create and evict
+// hundreds of thousands of nodes without allocator churn, and so sizeof
+// bookkeeping matches the paper's "each node corresponds to 40 bytes"
+// accounting.
+//
+// The record is split by access temperature:
+//   - the HOT plane (`HotNode`: block, weight, parent, child-run head) is
+//     everything a parse step or a best-first enumeration touches — 32
+//     bytes, two nodes per cache line;
+//   - the COLD plane (`ColdNode`: children_epoch, last_visited_child,
+//     pos_in_parent) holds the Section 9.6 machinery and the incremental-
+//     cache stamps, read far less often and never inside the enumeration
+//     inner loop.
+//
+// Child lists are not per-node containers: every node's children occupy
+// one contiguous run inside a shared child-index arena (power-of-two run
+// growth, freed runs recycled per size class), so descending-weight
+// enumeration streams over one flat array instead of chasing per-node
+// heap blocks, and the next level's hot-plane entries can be software-
+// prefetched while the current run is scanned.  Edge lookup
+// (parent, block) -> child stays a single hash probe in a global
+// open-addressing edge map.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "trace/record.hpp"
 #include "util/flat_map.hpp"
-#include "util/small_vector.hpp"
 
 namespace pfp::core::tree {
 
@@ -25,17 +41,27 @@ using trace::BlockId;
 using NodeId = std::uint32_t;
 inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
 
-struct Node {
-  BlockId block = 0;            ///< disk block this node represents
-  std::uint64_t weight = 0;     ///< times this node has been visited
+/// Hot traversal plane: the fields every parse step and enumeration step
+/// reads.  32 bytes — two nodes per cache line (the old array-of-structs
+/// record was 72 bytes and spanned two lines by itself).
+struct HotNode {
+  BlockId block = 0;         ///< disk block this node represents
+  std::uint64_t weight = 0;  ///< times this node has been visited
   NodeId parent = kNoNode;
-  NodeId last_visited_child = kNoNode;  ///< Section 9.6 machinery
-  std::uint32_t pos_in_parent = 0;      ///< index in parent's child list
-  /// Children sorted by weight, descending.  Candidate enumeration and
-  /// the parametric policies rely on this order to stop scanning at their
-  /// probability cutoff instead of visiting every child (the root of a
-  /// low-locality trace can have tens of thousands).
-  util::SmallVector<NodeId, 4> children;
+  /// Child run inside the shared arena: children occupy
+  /// [child_begin, child_begin + child_count), sorted by weight
+  /// descending.  Candidate enumeration and the parametric policies rely
+  /// on this order to stop scanning at their probability cutoff instead
+  /// of visiting every child (the root of a low-locality trace can have
+  /// tens of thousands).  child_capacity is 0 (no run) or a power of two.
+  std::uint32_t child_begin = 0;
+  std::uint32_t child_count = 0;
+  std::uint32_t child_capacity = 0;
+};
+static_assert(sizeof(HotNode) == 32, "hot plane packs two nodes per line");
+
+/// Cold plane: bookkeeping no enumeration inner loop ever touches.
+struct ColdNode {
   /// Version stamp of this node's *downward* state: advances when a
   /// direct child's weight changes or the child list gains or loses an
   /// entry — but NOT when only this node's own weight grows.  Maintained
@@ -45,6 +71,18 @@ struct Node {
   /// below this node without first crossing it — which stamps it (see
   /// enumerator.hpp for the cache-validity argument).
   std::uint64_t children_epoch = 0;
+  NodeId last_visited_child = kNoNode;  ///< Section 9.6 machinery
+  std::uint32_t pos_in_parent = 0;      ///< index in parent's child run
+};
+static_assert(sizeof(ColdNode) == 16);
+
+/// Read-only by-value view of one node across both planes, for
+/// introspection sites (tests, examples, policies off the inner loop).
+struct NodeView {
+  BlockId block = 0;
+  std::uint64_t weight = 0;
+  NodeId parent = kNoNode;
+  std::uint64_t children_epoch = 0;
 };
 
 class NodePool {
@@ -52,7 +90,8 @@ class NodePool {
   NodePool();
 
   /// Allocates a node for `block` under `parent` (kNoNode for the root)
-  /// with initial weight 1, and registers the edge.
+  /// with initial weight 1, and registers the edge.  May move the
+  /// parent's child run: spans from children() are invalidated.
   NodeId create(NodeId parent, BlockId block);
 
   /// Child of `parent` labelled `block`, or kNoNode.
@@ -64,15 +103,52 @@ class NodePool {
   void increment_weight(NodeId id);
 
   /// Destroys a node.  The node must be a leaf (no children).  Unlinks it
-  /// from its parent's child list and the edge map.
+  /// from its parent's child run and the edge map; a run whose last child
+  /// leaves is recycled into the arena free lists.
   void destroy(NodeId id);
 
-  Node& operator[](NodeId id) { return nodes_[id]; }
-  const Node& operator[](NodeId id) const { return nodes_[id]; }
+  // --- per-node accessors ---------------------------------------------
+  [[nodiscard]] BlockId block(NodeId id) const { return hot_[id].block; }
+  [[nodiscard]] std::uint64_t weight(NodeId id) const {
+    return hot_[id].weight;
+  }
+  [[nodiscard]] NodeId parent(NodeId id) const { return hot_[id].parent; }
+  [[nodiscard]] std::span<const NodeId> children(NodeId id) const {
+    const HotNode& n = hot_[id];
+    return {arena_.data() + n.child_begin, n.child_count};
+  }
+  [[nodiscard]] std::uint32_t child_count(NodeId id) const {
+    return hot_[id].child_count;
+  }
+  [[nodiscard]] std::uint64_t children_epoch(NodeId id) const {
+    return cold_[id].children_epoch;
+  }
+  [[nodiscard]] NodeId last_visited_child(NodeId id) const {
+    return cold_[id].last_visited_child;
+  }
+  void set_last_visited_child(NodeId id, NodeId child) {
+    cold_[id].last_visited_child = child;
+  }
+  [[nodiscard]] std::uint32_t pos_in_parent(NodeId id) const {
+    return cold_[id].pos_in_parent;
+  }
+  [[nodiscard]] NodeView view(NodeId id) const {
+    const HotNode& n = hot_[id];
+    return NodeView{n.block, n.weight, n.parent, cold_[id].children_epoch};
+  }
+
+  /// Low-level mutable plane access.  Escape hatch for deserialization
+  /// (weight restore) and the audit tests' seeded corruptions; regular
+  /// callers go through the mutation API above, which keeps the order,
+  /// edge-map and epoch invariants.
+  [[nodiscard]] HotNode& hot(NodeId id) { return hot_[id]; }
+  [[nodiscard]] const HotNode& hot(NodeId id) const { return hot_[id]; }
+  [[nodiscard]] ColdNode& cold(NodeId id) { return cold_[id]; }
+  [[nodiscard]] const ColdNode& cold(NodeId id) const { return cold_[id]; }
 
   [[nodiscard]] std::size_t live_nodes() const noexcept { return live_; }
   /// Upper bound on node ids ever allocated (for sizing side tables).
-  [[nodiscard]] std::size_t id_bound() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t id_bound() const noexcept { return hot_.size(); }
 
   /// Strictly monotone counter behind every children_epoch stamp.  Freed
   /// slots are re-stamped from it on reuse, so a cached epoch can never
@@ -86,14 +162,37 @@ class NodePool {
     return eviction_epoch_;
   }
 
-  /// Raw slab access for tight read-only walks (valid ids < id_bound()).
-  [[nodiscard]] const Node* data() const noexcept { return nodes_.data(); }
+  /// Raw plane/arena access for tight read-only walks (valid ids <
+  /// id_bound()).  Pointers are invalidated by create()/destroy().
+  [[nodiscard]] const HotNode* hot_data() const noexcept {
+    return hot_.data();
+  }
+  [[nodiscard]] const NodeId* child_arena() const noexcept {
+    return arena_.data();
+  }
 
   /// Paper's storage accounting: 40 bytes per node (Section 9.3).
+  /// Figure 13 and the `tree_bytes` metric keep quoting this so the
+  /// reproduction's memory axis stays comparable with the paper; see
+  /// actual_memory_bytes() for what the process really spends.
   static constexpr std::size_t kPaperBytesPerNode = 40;
   [[nodiscard]] std::size_t approx_memory_bytes() const noexcept {
     return live_ * kPaperBytesPerNode;
   }
+
+  /// Bytes the current layout actually reserves: both planes, the child
+  /// arena, the free lists and the edge map (capacities, not live
+  /// counts, because that is what the allocator charged us for).
+  [[nodiscard]] std::size_t actual_memory_bytes() const noexcept;
+
+  /// SIM_AUDIT sweep of the storage layout itself: plane sizes agree,
+  /// live child runs sit inside the arena without overlapping each other
+  /// or a recycled run, free-list size classes match run capacities, and
+  /// every run entry points back at its owner.  Structural *tree*
+  /// invariants (order, symmetry, reachability) live in
+  /// PrefetchTree::audit(), which calls this.  No-op unless compiled
+  /// with SIM_AUDIT >= 1.
+  void audit() const;
 
  private:
   struct EdgeKey {
@@ -112,7 +211,30 @@ class NodePool {
     }
   };
 
-  std::vector<Node> nodes_;
+  /// Smallest non-empty run: covers the paper's typical 1–4 child fanout
+  /// with at most one regrow.
+  static constexpr std::uint32_t kMinRunCapacity = 2;
+  /// Runs are power-of-two sized; 2^31 children cannot occur (ids are
+  /// 32-bit and the arena would overflow first).
+  static constexpr std::uint32_t kRunClasses = 32;
+
+  static std::uint32_t run_class(std::uint32_t capacity) noexcept;
+
+  /// Offset of a run with capacity 1 << cls: recycled if one is free,
+  /// else appended to the arena (which may reallocate it).
+  std::uint32_t alloc_run(std::uint32_t cls);
+  void free_run(std::uint32_t begin, std::uint32_t capacity);
+  /// Doubles `id`'s child run (or creates its first), copying the live
+  /// entries and recycling the old run.
+  void grow_run(NodeId id);
+
+  std::vector<HotNode> hot_;
+  std::vector<ColdNode> cold_;
+  /// Shared child-index arena; every node's children are one contiguous
+  /// slice of it.
+  std::vector<NodeId> arena_;
+  /// Recycled run offsets, bucketed by log2(capacity).
+  std::array<std::vector<std::uint32_t>, kRunClasses> free_runs_;
   std::vector<NodeId> free_;
   util::FlatMap<EdgeKey, NodeId, EdgeHash> edges_;
   std::size_t live_ = 0;

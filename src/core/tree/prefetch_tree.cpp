@@ -17,7 +17,7 @@ std::uint64_t PrefetchTree::next_uid() noexcept {
 PrefetchTree::PrefetchTree(TreeConfig config)
     : config_(config), uid_(next_uid()) {
   root_ = pool_.create(kNoNode, /*block=*/0);
-  pool_[root_].weight = 0;  // root counts substrings, none seen yet
+  pool_.hot(root_).weight = 0;  // root counts substrings, none seen yet
   current_ = root_;
   leaf_lru_.resize(16);
 }
@@ -95,12 +95,12 @@ void PrefetchTree::evict_one_leaf() {
     victim = leaf_lru_.back();
   }
   leaf_lru_.erase(victim);
-  const NodeId parent = pool_[victim].parent;
+  const NodeId parent = pool_.parent(victim);
   pool_.destroy(victim);
   // The parent may have just become a leaf; it is now evictable too.  It
   // enters at the cold end — its subtree, not the node itself, was the
   // recent activity.
-  if (parent != kNoNode && parent != root_ && pool_[parent].children.empty()) {
+  if (parent != kNoNode && parent != root_ && pool_.child_count(parent) == 0) {
     if (!leaf_lru_.contains(parent)) {
       // push_front then rotate to back: LruList has no push_back; emulate
       // by inserting and immediately demoting via touch order — instead we
@@ -114,10 +114,17 @@ void PrefetchTree::evict_one_leaf() {
 AccessInfo PrefetchTree::access(BlockId block) {
   ++access_serial_;
   AccessInfo info;
-  const NodeId lvc = pool_[current_].last_visited_child;
+  const NodeId lvc = pool_.last_visited_child(current_);
   info.had_lvc = lvc != kNoNode;
 
-  const NodeId child = pool_.find_child(current_, block);
+  // Section 9.6: accesses overwhelmingly follow the last-visited child
+  // (Table 3), and child labels are unique per parent, so checking the
+  // LVC's block first resolves the common case with one hot-plane read
+  // instead of an edge-map hash probe.  The fallback probe returns the
+  // same child the fast path would, by the uniqueness of edge labels.
+  const NodeId child = (lvc != kNoNode && pool_.block(lvc) == block)
+                           ? lvc
+                           : pool_.find_child(current_, block);
   info.predictable = child != kNoNode;
   info.followed_lvc = info.had_lvc && child == lvc;
 
@@ -125,11 +132,11 @@ AccessInfo PrefetchTree::access(BlockId block) {
   // substrings so that root-child probabilities are per-substring
   // frequencies (Figure 1).
   if (current_ == root_) {
-    ++pool_[root_].weight;  // root has no parent: no order fix-up needed
+    ++pool_.hot(root_).weight;  // root has no parent: no order fix-up needed
   }
 
   if (child != kNoNode) {
-    pool_[current_].last_visited_child = child;
+    pool_.set_last_visited_child(current_, child);
     pool_.increment_weight(child);
     touch(child);
     current_ = child;
@@ -138,7 +145,7 @@ AccessInfo PrefetchTree::access(BlockId block) {
 
   info.new_node = true;
   const bool parent_was_leaf =
-      current_ != root_ && pool_[current_].children.empty();
+      current_ != root_ && pool_.child_count(current_) == 0;
   const NodeId added = pool_.create(current_, block);
   if (leaf_lru_.capacity() <= added) {
     leaf_lru_.resize(pool_.id_bound() * 2 + 16);
@@ -147,7 +154,7 @@ AccessInfo PrefetchTree::access(BlockId block) {
     on_becomes_interior(current_);
   }
   leaf_lru_.push_front(added);
-  pool_[current_].last_visited_child = added;
+  pool_.set_last_visited_child(current_, added);
   current_ = root_;
 
   if (config_.max_nodes != 0) {
@@ -165,6 +172,10 @@ AccessInfo PrefetchTree::access(BlockId block) {
 
 void PrefetchTree::audit() const {
 #if PFP_AUDIT_ENABLED
+  // Storage-layout invariants (plane agreement, child-run arena
+  // ownership, free-list hygiene) first: the structural walk below
+  // assumes the runs it streams over are well-formed.
+  pool_.audit();
   // Preorder walk from the root; every structural invariant is checked at
   // the node that owns it.  The walk is bounded by the live-node count so
   // a corrupted child link cannot loop forever under a throwing handler.
@@ -183,30 +194,31 @@ void PrefetchTree::audit() const {
     if (id == current_) {
       current_reachable = true;
     }
-    const Node& n = pool_[id];
-    const bool is_leaf = n.children.empty() && id != root_;
+    const bool is_leaf = pool_.child_count(id) == 0 && id != root_;
     PFP_AUDIT("PrefetchTree", leaf_lru_.contains(id) == is_leaf,
               "leaf-LRU membership disagrees with leaf status");
-    PFP_AUDIT("PrefetchTree", n.children_epoch <= pool_.current_epoch(),
+    PFP_AUDIT("PrefetchTree",
+              pool_.children_epoch(id) <= pool_.current_epoch(),
               "node stamped with an epoch the pool has not issued yet");
+    const NodeId lvc = pool_.last_visited_child(id);
     std::uint64_t child_weight_sum = 0;
     std::uint64_t prev_weight = ~0ULL;
-    bool lvc_found = n.last_visited_child == kNoNode;
-    for (std::size_t i = 0; i < n.children.size(); ++i) {
-      const NodeId c = n.children[i];
-      const Node& child = pool_[c];
-      PFP_AUDIT("PrefetchTree", child.parent == id,
+    bool lvc_found = lvc == kNoNode;
+    const auto children = pool_.children(id);
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      const NodeId c = children[i];
+      PFP_AUDIT("PrefetchTree", pool_.parent(c) == id,
                 "child's parent link does not point back (symmetry)");
       PFP_AUDIT("PrefetchTree",
-                child.pos_in_parent == static_cast<std::uint32_t>(i),
+                pool_.pos_in_parent(c) == static_cast<std::uint32_t>(i),
                 "child's pos_in_parent disagrees with the child list");
-      PFP_AUDIT("PrefetchTree", pool_.find_child(id, child.block) == c,
+      PFP_AUDIT("PrefetchTree", pool_.find_child(id, pool_.block(c)) == c,
                 "edge map disagrees with the child list");
-      PFP_AUDIT("PrefetchTree", child.weight <= prev_weight,
+      PFP_AUDIT("PrefetchTree", pool_.weight(c) <= prev_weight,
                 "children not in descending-weight order");
-      prev_weight = child.weight;
-      child_weight_sum += child.weight;
-      if (c == n.last_visited_child) {
+      prev_weight = pool_.weight(c);
+      child_weight_sum += pool_.weight(c);
+      if (c == lvc) {
         lvc_found = true;
       }
       stack.push_back(c);
@@ -214,7 +226,7 @@ void PrefetchTree::audit() const {
     // Every arrival at a child follows a distinct arrival at this node
     // (Section 2's parse), so child visit counts can never outnumber the
     // node's own.
-    PFP_AUDIT("PrefetchTree", child_weight_sum <= n.weight,
+    PFP_AUDIT("PrefetchTree", child_weight_sum <= pool_.weight(id),
               "children's weights sum past the node's visit count");
     PFP_AUDIT("PrefetchTree", lvc_found,
               "last-visited child is not among the node's children");

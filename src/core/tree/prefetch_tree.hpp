@@ -71,17 +71,28 @@ class PrefetchTree {
   [[nodiscard]] NodeId current() const noexcept { return current_; }
   [[nodiscard]] NodeId root() const noexcept { return root_; }
 
-  [[nodiscard]] const Node& node(NodeId id) const { return pool_[id]; }
+  /// By-value snapshot of one node (reads both planes); introspection
+  /// convenience — hot paths use the single-field accessors below.
+  [[nodiscard]] NodeView node(NodeId id) const { return pool_.view(id); }
+  [[nodiscard]] BlockId block(NodeId id) const { return pool_.block(id); }
+  [[nodiscard]] std::uint64_t weight(NodeId id) const {
+    return pool_.weight(id);
+  }
+  [[nodiscard]] std::uint64_t children_epoch(NodeId id) const {
+    return pool_.children_epoch(id);
+  }
+  /// Children of `id`, weight-descending, as one contiguous slice of the
+  /// pool's child arena.  Invalidated by the next access() (node creation
+  /// can move or reallocate runs).
   [[nodiscard]] std::span<const NodeId> children(NodeId id) const {
-    const auto& c = pool_[id].children;
-    return {c.data(), c.size()};
+    return pool_.children(id);
   }
 
   /// weight(child) / weight(parent) — the edge probability.  Inline: this
   /// sits in the innermost loop of candidate enumeration.
   [[nodiscard]] double edge_probability(NodeId parent, NodeId child) const {
-    const std::uint64_t wp = pool_[parent].weight;
-    const std::uint64_t wc = pool_[child].weight;
+    const std::uint64_t wp = pool_.weight(parent);
+    const std::uint64_t wc = pool_.weight(child);
     PFP_DASSERT(wp > 0);
     PFP_DASSERT(wc <= wp);
     return static_cast<double>(wc) / static_cast<double>(wp);
@@ -94,7 +105,7 @@ class PrefetchTree {
 
   /// Last-visited child of `id`, or kNoNode (Section 9.6).
   [[nodiscard]] NodeId last_visited_child(NodeId id) const {
-    return pool_[id].last_visited_child;
+    return pool_.last_visited_child(id);
   }
 
   /// Process-unique identity of this tree instance (cache key component).
@@ -114,6 +125,11 @@ class PrefetchTree {
   }
   [[nodiscard]] std::size_t approx_memory_bytes() const noexcept {
     return pool_.approx_memory_bytes();
+  }
+  /// Bytes the SoA layout actually reserves (planes + child arena + edge
+  /// map); approx_memory_bytes() stays on the paper's 40 B/node axis.
+  [[nodiscard]] std::size_t actual_memory_bytes() const noexcept {
+    return pool_.actual_memory_bytes();
   }
   [[nodiscard]] const TreeConfig& config() const noexcept { return config_; }
 

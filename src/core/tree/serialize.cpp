@@ -84,20 +84,20 @@ void PrefetchTree::serialize(std::ostream& out) const {
   while (!stack.empty()) {
     const NodeId id = stack.back();
     stack.pop_back();
-    const Node& n = node(id);
-    write_u64(out, n.block);
-    write_u64(out, n.weight);
-    write_u32(out, static_cast<std::uint32_t>(n.children.size()));
-    stack.insert(stack.end(), n.children.rbegin(), n.children.rend());
+    write_u64(out, pool_.block(id));
+    write_u64(out, pool_.weight(id));
+    const auto kids = pool_.children(id);
+    write_u32(out, static_cast<std::uint32_t>(kids.size()));
+    stack.insert(stack.end(), kids.rbegin(), kids.rend());
   }
 }
 
 NodeId PrefetchTree::restore_child(NodeId parent, BlockId block,
                                    std::uint64_t weight) {
   const bool parent_was_leaf =
-      parent != root_ && pool_[parent].children.empty();
+      parent != root_ && pool_.child_count(parent) == 0;
   const NodeId added = pool_.create(parent, block);
-  pool_[added].weight = weight;
+  pool_.hot(added).weight = weight;
   if (leaf_lru_.capacity() <= added) {
     leaf_lru_.resize(pool_.id_bound() * 2 + 16);
   }
@@ -123,7 +123,7 @@ PrefetchTree PrefetchTree::deserialize(std::istream& in, TreeConfig config) {
   }
 
   PrefetchTree tree(config);
-  tree.pool_[tree.root_].weight = read_u64(in);
+  tree.pool_.hot(tree.root_).weight = read_u64(in);
   const std::uint32_t root_children = read_u32(in);
 
   struct Pending {
@@ -150,7 +150,7 @@ PrefetchTree PrefetchTree::deserialize(std::istream& in, TreeConfig config) {
     }
     if (weight == 0 || weight > top.last_child_weight ||
         (top.parent != tree.root_ &&
-         weight > tree.pool_[top.parent].weight)) {
+         weight > tree.pool_.weight(top.parent))) {
       corrupt("weight invariant violated");
     }
     if (tree.pool_.find_child(top.parent, block) != kNoNode) {

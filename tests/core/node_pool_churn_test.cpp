@@ -1,0 +1,253 @@
+// Randomized churn property test for the SoA NodePool: drive
+// create/destroy/increment_weight against a naive reference-model pool
+// (AoS records, per-node std::vector child lists, std::map edge index —
+// the "obviously correct" implementation the arena layout replaced) and
+// assert the two stay observationally identical: same find_child answers,
+// same child enumeration order, same weights and positions.  Every 1'000
+// operations the full live structure is compared and, in SIM_AUDIT
+// builds, the pool's arena-layout audit must come back clean.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/tree/node_pool.hpp"
+#include "util/audit.hpp"
+#include "util/prng.hpp"
+
+namespace pfp::core::tree {
+namespace {
+
+// Mirror of NodePool's observable semantics with the simplest possible
+// storage.  increment_weight reproduces the documented invariant-restoring
+// move exactly (binary search for the first lighter sibling + one swap),
+// so child *order* — not just the multiset of children — must match.
+class ReferencePool {
+ public:
+  NodeId create(NodeId parent, BlockId block) {
+    NodeId id;
+    if (!free_.empty()) {
+      id = free_.back();
+      free_.pop_back();
+      nodes_[id] = RefNode{};
+    } else {
+      id = static_cast<NodeId>(nodes_.size());
+      nodes_.emplace_back();
+    }
+    RefNode& node = nodes_[id];
+    node.block = block;
+    node.weight = 1;
+    node.parent = parent;
+    if (parent != kNoNode) {
+      node.pos_in_parent =
+          static_cast<std::uint32_t>(nodes_[parent].children.size());
+      nodes_[parent].children.push_back(id);
+      edges_[{parent, block}] = id;
+    }
+    ++live_;
+    return id;
+  }
+
+  [[nodiscard]] NodeId find_child(NodeId parent, BlockId block) const {
+    const auto it = edges_.find({parent, block});
+    return it == edges_.end() ? kNoNode : it->second;
+  }
+
+  void increment_weight(NodeId id) {
+    RefNode& node = nodes_[id];
+    ++node.weight;
+    if (node.parent == kNoNode) {
+      return;
+    }
+    auto& siblings = nodes_[node.parent].children;
+    const std::uint32_t pos = node.pos_in_parent;
+    if (pos == 0 || nodes_[siblings[pos - 1]].weight >= node.weight) {
+      return;
+    }
+    std::uint32_t lo = 0;
+    std::uint32_t hi = pos;
+    while (lo < hi) {
+      const std::uint32_t mid = lo + (hi - lo) / 2;
+      if (nodes_[siblings[mid]].weight >= node.weight) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    std::swap(siblings[lo], siblings[pos]);
+    nodes_[siblings[pos]].pos_in_parent = pos;
+    node.pos_in_parent = lo;
+  }
+
+  void destroy(NodeId id) {
+    RefNode& node = nodes_[id];
+    const NodeId parent = node.parent;
+    if (parent != kNoNode) {
+      auto& siblings = nodes_[parent].children;
+      siblings.erase(siblings.begin() + node.pos_in_parent);
+      for (std::size_t i = node.pos_in_parent; i < siblings.size(); ++i) {
+        nodes_[siblings[i]].pos_in_parent = static_cast<std::uint32_t>(i);
+      }
+      edges_.erase({parent, node.block});
+    }
+    nodes_[id] = RefNode{};
+    free_.push_back(id);
+    --live_;
+  }
+
+  [[nodiscard]] std::size_t live_nodes() const { return live_; }
+  [[nodiscard]] BlockId block(NodeId id) const { return nodes_[id].block; }
+  [[nodiscard]] std::uint64_t weight(NodeId id) const {
+    return nodes_[id].weight;
+  }
+  [[nodiscard]] NodeId parent(NodeId id) const { return nodes_[id].parent; }
+  [[nodiscard]] const std::vector<NodeId>& children(NodeId id) const {
+    return nodes_[id].children;
+  }
+
+ private:
+  struct RefNode {
+    BlockId block = 0;
+    std::uint64_t weight = 0;
+    NodeId parent = kNoNode;
+    std::uint32_t pos_in_parent = 0;
+    std::vector<NodeId> children;
+  };
+
+  std::vector<RefNode> nodes_;
+  std::vector<NodeId> free_;
+  std::map<std::pair<NodeId, BlockId>, NodeId> edges_;
+  std::size_t live_ = 0;
+};
+
+void throwing_handler(const char* component, const char* what, const char*,
+                      int) {
+  throw std::runtime_error(std::string(component) + ": " + what);
+}
+
+// Compare the full live structure: weights, parents, blocks and exact
+// child order for every live node, plus find_child over every live edge.
+void expect_identical(const NodePool& pool, const ReferencePool& ref,
+                      const std::vector<NodeId>& live) {
+  ASSERT_EQ(pool.live_nodes(), ref.live_nodes());
+  for (const NodeId id : live) {
+    ASSERT_EQ(pool.block(id), ref.block(id)) << "node " << id;
+    ASSERT_EQ(pool.weight(id), ref.weight(id)) << "node " << id;
+    ASSERT_EQ(pool.parent(id), ref.parent(id)) << "node " << id;
+    const auto got = pool.children(id);
+    const auto& want = ref.children(id);
+    ASSERT_EQ(got.size(), want.size()) << "node " << id;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(got[i], want[i]) << "node " << id << " child " << i;
+      ASSERT_EQ(pool.pos_in_parent(got[i]), i) << "node " << id;
+    }
+    ASSERT_EQ(pool.find_child(pool.parent(id) == kNoNode ? id : pool.parent(id),
+                              pool.block(id)),
+              ref.find_child(ref.parent(id) == kNoNode ? id : ref.parent(id),
+                             ref.block(id)));
+  }
+}
+
+TEST(NodePoolChurn, RandomizedOpsMatchReferenceModel) {
+  util::AuditHandler previous = nullptr;
+  if (PFP_AUDIT_ENABLED) {
+    previous = util::set_audit_handler(&throwing_handler);
+  }
+
+  NodePool pool;
+  ReferencePool ref;
+  const NodeId root = pool.create(kNoNode, 0);
+  ASSERT_EQ(ref.create(kNoNode, 0), root);
+
+  std::vector<NodeId> live{root};  // ids live in BOTH pools (identical)
+  util::Xoshiro256 rng(0xC0FFEE);
+  constexpr int kOps = 30'000;
+  constexpr std::uint64_t kBlockSpace = 48;  // small: forces fanout + dups
+
+  for (int op = 0; op < kOps; ++op) {
+    const std::uint64_t dice = rng.below(100);
+    if (dice < 45) {
+      // Create a child of a random live node under a random label; if the
+      // edge exists this is the parse's "walk the edge" case — increment.
+      const NodeId parent = live[rng.below(live.size())];
+      const BlockId block = 1 + rng.below(kBlockSpace);
+      const NodeId existing = pool.find_child(parent, block);
+      ASSERT_EQ(existing, ref.find_child(parent, block));
+      if (existing != kNoNode) {
+        pool.increment_weight(existing);
+        ref.increment_weight(existing);
+      } else {
+        const NodeId a = pool.create(parent, block);
+        const NodeId b = ref.create(parent, block);
+        ASSERT_EQ(a, b) << "free-list recycling order diverged";
+        live.push_back(a);
+      }
+    } else if (dice < 85) {
+      // Weight churn drives the sibling-run reorder path.
+      const NodeId id = live[rng.below(live.size())];
+      pool.increment_weight(id);
+      ref.increment_weight(id);
+    } else {
+      // Destroy a random live *leaf* (the pool's contract), freeing its
+      // slot and possibly its parent's whole child run.
+      const std::size_t start = rng.below(live.size());
+      for (std::size_t k = 0; k < live.size(); ++k) {
+        const std::size_t at = (start + k) % live.size();
+        const NodeId victim = live[at];
+        if (victim == root || pool.child_count(victim) != 0) {
+          continue;
+        }
+        pool.destroy(victim);
+        ref.destroy(victim);
+        live[at] = live.back();
+        live.pop_back();
+        break;
+      }
+    }
+
+    // Cheap per-op probe: one random edge lookup must agree.
+    const NodeId probe = live[rng.below(live.size())];
+    const BlockId label = 1 + rng.below(kBlockSpace);
+    ASSERT_EQ(pool.find_child(probe, label), ref.find_child(probe, label));
+
+    if ((op + 1) % 1'000 == 0) {
+      expect_identical(pool, ref, live);
+      if (PFP_AUDIT_ENABLED) {
+        // Arena-layout invariants (run ownership, free-list hygiene,
+        // freed-slot reset) must hold at every checkpoint.
+        ASSERT_NO_THROW(pool.audit());
+      }
+    }
+  }
+  expect_identical(pool, ref, live);
+  if (PFP_AUDIT_ENABLED) {
+    ASSERT_NO_THROW(pool.audit());
+    util::set_audit_handler(previous);
+  }
+}
+
+TEST(NodePoolChurn, ActualMemoryTracksLayoutNotPaperAccounting) {
+  NodePool pool;
+  const NodeId root = pool.create(kNoNode, 0);
+  for (BlockId b = 1; b <= 64; ++b) {
+    pool.create(root, b);
+  }
+  // Paper accounting is exactly 40 B/node; the layout figure counts what
+  // the planes + arena + edge map actually reserve and is necessarily
+  // at least the live hot+cold footprint.
+  EXPECT_EQ(pool.approx_memory_bytes(), 65u * NodePool::kPaperBytesPerNode);
+  EXPECT_GE(pool.actual_memory_bytes(),
+            pool.live_nodes() * (sizeof(HotNode) + sizeof(ColdNode)));
+  const std::size_t before = pool.actual_memory_bytes();
+  for (BlockId b = 65; b <= 512; ++b) {
+    pool.create(root, b);
+  }
+  EXPECT_GT(pool.actual_memory_bytes(), before);
+}
+
+}  // namespace
+}  // namespace pfp::core::tree

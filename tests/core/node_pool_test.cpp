@@ -14,8 +14,8 @@ TEST(NodePool, CreateRootAndChildren) {
   EXPECT_EQ(pool.find_child(root, 10), a);
   EXPECT_EQ(pool.find_child(root, 20), b);
   EXPECT_EQ(pool.find_child(root, 30), kNoNode);
-  EXPECT_EQ(pool[a].parent, root);
-  EXPECT_EQ(pool[a].weight, 1u);
+  EXPECT_EQ(pool.parent(a), root);
+  EXPECT_EQ(pool.weight(a), 1u);
 }
 
 TEST(NodePool, DestroyLeafUnlinksEverything) {
@@ -27,18 +27,18 @@ TEST(NodePool, DestroyLeafUnlinksEverything) {
   EXPECT_EQ(pool.live_nodes(), 2u);
   EXPECT_EQ(pool.find_child(root, 10), kNoNode);
   EXPECT_EQ(pool.find_child(root, 20), b);
-  ASSERT_EQ(pool[root].children.size(), 1u);
-  EXPECT_EQ(pool[root].children[0], b);
-  EXPECT_EQ(pool[b].pos_in_parent, 0u);
+  ASSERT_EQ(pool.children(root).size(), 1u);
+  EXPECT_EQ(pool.children(root)[0], b);
+  EXPECT_EQ(pool.pos_in_parent(b), 0u);
 }
 
 TEST(NodePool, DestroyClearsLvcPointer) {
   NodePool pool;
   const NodeId root = pool.create(kNoNode, 0);
   const NodeId a = pool.create(root, 10);
-  pool[root].last_visited_child = a;
+  pool.set_last_visited_child(root, a);
   pool.destroy(a);
-  EXPECT_EQ(pool[root].last_visited_child, kNoNode);
+  EXPECT_EQ(pool.last_visited_child(root), kNoNode);
 }
 
 TEST(NodePool, SlotsAreRecycled) {
@@ -48,8 +48,8 @@ TEST(NodePool, SlotsAreRecycled) {
   pool.destroy(a);
   const NodeId c = pool.create(root, 30);
   EXPECT_EQ(c, a);  // reused slot
-  EXPECT_EQ(pool[c].block, 30u);
-  EXPECT_EQ(pool[c].weight, 1u);
+  EXPECT_EQ(pool.block(c), 30u);
+  EXPECT_EQ(pool.weight(c), 1u);
 }
 
 TEST(NodePool, IncrementKeepsDescendingOrder) {
@@ -60,16 +60,16 @@ TEST(NodePool, IncrementKeepsDescendingOrder) {
   const NodeId c = pool.create(root, 3);
   // weights: a=1 b=1 c=1, order of creation a b c.
   pool.increment_weight(c);  // c=2 must move to front
-  EXPECT_EQ(pool[root].children[0], c);
+  EXPECT_EQ(pool.children(root)[0], c);
   pool.increment_weight(b);  // b=2, after c
   pool.increment_weight(b);  // b=3, front
-  EXPECT_EQ(pool[root].children[0], b);
-  EXPECT_EQ(pool[root].children[1], c);
-  EXPECT_EQ(pool[root].children[2], a);
+  EXPECT_EQ(pool.children(root)[0], b);
+  EXPECT_EQ(pool.children(root)[1], c);
+  EXPECT_EQ(pool.children(root)[2], a);
   // positions consistent
-  EXPECT_EQ(pool[b].pos_in_parent, 0u);
-  EXPECT_EQ(pool[c].pos_in_parent, 1u);
-  EXPECT_EQ(pool[a].pos_in_parent, 2u);
+  EXPECT_EQ(pool.pos_in_parent(b), 0u);
+  EXPECT_EQ(pool.pos_in_parent(c), 1u);
+  EXPECT_EQ(pool.pos_in_parent(a), 2u);
 }
 
 TEST(NodePool, IncrementOrderPropertyUnderStress) {
@@ -86,11 +86,11 @@ TEST(NodePool, IncrementOrderPropertyUnderStress) {
     x = x * 6364136223846793005ULL + 1442695040888963407ULL;
     pool.increment_weight(ids[(x >> 33) % kChildren]);
     // invariant: descending weights, consistent positions
-    const auto& children = pool[root].children;
+    const auto children = pool.children(root);
     for (std::size_t i = 0; i < children.size(); ++i) {
-      ASSERT_EQ(pool[children[i]].pos_in_parent, i);
+      ASSERT_EQ(pool.pos_in_parent(children[i]), i);
       if (i > 0) {
-        ASSERT_GE(pool[children[i - 1]].weight, pool[children[i]].weight);
+        ASSERT_GE(pool.weight(children[i - 1]), pool.weight(children[i]));
       }
     }
   }

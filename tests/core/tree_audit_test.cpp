@@ -99,7 +99,7 @@ TEST_F(TreeAuditDetection, BrokenParentLinkFires) {
   const NodeId a = tree.find_child(tree.root(), 1);
   const NodeId c = tree.find_child(a, 3);
   ASSERT_NE(c, kNoNode);
-  AuditTestAccess::pool(tree)[c].parent = tree.root();
+  AuditTestAccess::pool(tree).hot(c).parent = tree.root();
   EXPECT_THROW(tree.audit(), std::runtime_error);
 }
 
@@ -109,7 +109,7 @@ TEST_F(TreeAuditDetection, InflatedChildWeightFires) {
   ASSERT_NE(b, kNoNode);
   // b now outweighs its visit budget: children sum past the root's count
   // and the descending-weight order breaks.
-  AuditTestAccess::pool(tree)[b].weight = 100;
+  AuditTestAccess::pool(tree).hot(b).weight = 100;
   EXPECT_THROW(tree.audit(), std::runtime_error);
 }
 
@@ -118,7 +118,7 @@ TEST_F(TreeAuditDetection, EdgeMapMismatchFires) {
   const NodeId b = tree.find_child(tree.root(), 2);
   ASSERT_NE(b, kNoNode);
   // Relabel the node without touching the edge map: (root, 99) misses.
-  AuditTestAccess::pool(tree)[b].block = 99;
+  AuditTestAccess::pool(tree).hot(b).block = 99;
   EXPECT_THROW(tree.audit(), std::runtime_error);
 }
 
@@ -128,7 +128,7 @@ TEST_F(TreeAuditDetection, DanglingLastVisitedChildFires) {
   const NodeId c = tree.find_child(a, 3);
   ASSERT_NE(c, kNoNode);
   // c is a's child, not the root's.
-  AuditTestAccess::pool(tree)[tree.root()].last_visited_child = c;
+  AuditTestAccess::pool(tree).cold(tree.root()).last_visited_child = c;
   EXPECT_THROW(tree.audit(), std::runtime_error);
 }
 
