@@ -32,6 +32,13 @@ docs/static-analysis.md for the rationale behind each):
                     records stay fixed-size POD planes; a per-node
                     container member reintroduces pointer-chasing into the
                     walks the arena layout exists to avoid.
+  raw-thread        std::thread / std::jthread / pthread_create are banned
+                    in src/ outside src/util/.  Thread lifetime belongs to
+                    util::ThreadPool (whose queue discipline is annotated
+                    for -Wthread-safety, see util/thread_annotations.hpp);
+                    a raw spawn elsewhere escapes both the pool's join
+                    guarantees and the static analysis.  std::this_thread
+                    (yield/sleep) is fine and does not match.
   include-guard     every header under src/ uses #pragma once (repo
                     convention; mixing guard styles breaks the amalgamated
                     include checks).
@@ -63,6 +70,7 @@ COSTBEN_DIR = "src/core/costben"
 TREE_DIR = "src/core/tree"
 ENGINE_DIR = "src/engine"
 OBS_DIR = "src/obs"
+UTIL_DIR = "src/util"
 SOURCE_SUFFIXES = {".hpp", ".cpp"}
 
 # Layer boundaries: directory -> include prefixes it may not reach.  The
@@ -94,6 +102,9 @@ NODE_HEAP_MEMBER_RE = re.compile(
     r"multiset|unordered_map|unordered_set|basic_string)\s*<"
     r"|std\s*::\s*string\b)"
 )
+# std::this_thread::yield()/sleep_for() never match: "this_thread" is a
+# different token than "thread" after the ::.
+RAW_THREAD_RE = re.compile(r"\bstd\s*::\s*j?thread\b|\bpthread_create\b")
 
 
 class Violation(NamedTuple):
@@ -235,6 +246,11 @@ def check_file(root: pathlib.Path, path: pathlib.Path) -> List[Violation]:
             report(i, "no-std-rand",
                    "std::rand/srand breaks seeded reproducibility; "
                    "use util::SplitMix64 or util::Xoshiro256")
+        if not in_dir(rel, UTIL_DIR) and RAW_THREAD_RE.search(line):
+            report(i, "raw-thread",
+                   "raw thread spawn outside src/util/; route work "
+                   "through util::ThreadPool so lifetimes stay joined "
+                   "and the thread-safety annotations apply")
         if hot and HOT_CONTAINER_RE.search(line):
             report(i, "hot-container",
                    "node-based std container in a hot-path dir; "

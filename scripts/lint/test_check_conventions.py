@@ -239,6 +239,51 @@ class NodeHeapMemberRule(LintHarness):
         self.assertEqual(self.rules(found), set())
 
 
+class RawThreadRule(LintHarness):
+    def test_std_thread_outside_util_fires(self) -> None:
+        found = self.lint_file(
+            "src/engine/bad.cpp",
+            "#include <thread>\nstd::thread worker_;\n")
+        self.assertIn("raw-thread", self.rules(found))
+        self.assertEqual(
+            [v.line for v in found if v.rule == "raw-thread"], [2])
+
+    def test_jthread_fires_too(self) -> None:
+        found = self.lint_file(
+            "src/sim/bad.cpp", "std::jthread worker_;\n")
+        self.assertIn("raw-thread", self.rules(found))
+
+    def test_pthread_create_fires(self) -> None:
+        found = self.lint_file(
+            "src/engine/bad.cpp",
+            "int r = pthread_create(&tid, nullptr, fn, nullptr);\n")
+        self.assertIn("raw-thread", self.rules(found))
+
+    def test_std_thread_inside_util_is_fine(self) -> None:
+        found = self.lint_file(
+            "src/util/thread_pool_extra.cpp",
+            "std::vector<std::thread> workers_;\n")
+        self.assertEqual(self.rules(found), set())
+
+    def test_this_thread_yield_is_fine(self) -> None:
+        found = self.lint_file(
+            "src/engine/good.cpp",
+            "void f() { std::this_thread::yield(); }\n")
+        self.assertEqual(self.rules(found), set())
+
+    def test_hardware_concurrency_mention_in_comment_is_fine(self) -> None:
+        found = self.lint_file(
+            "src/engine/good.cpp",
+            "// sized to std::thread::hardware_concurrency()\nint n;\n")
+        self.assertEqual(self.rules(found), set())
+
+    def test_line_waiver_silences(self) -> None:
+        found = self.lint_file(
+            "src/engine/waived.cpp",
+            "std::thread t;  // lint: allow(raw-thread)\n")
+        self.assertEqual(self.rules(found), set())
+
+
 class IncludeGuardRule(LintHarness):
     def test_header_without_pragma_once_fires(self) -> None:
         found = self.lint_file(

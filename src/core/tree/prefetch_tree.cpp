@@ -10,6 +10,8 @@
 namespace pfp::core::tree {
 
 std::uint64_t PrefetchTree::next_uid() noexcept {
+  // writers: every constructing thread (fetch_add)
+  // readers: none directly — the RMW result is the only read
   static std::atomic<std::uint64_t> counter{0};
   return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }

@@ -130,8 +130,14 @@ Context PrefetchEngine::make_context() {
 
 void PrefetchEngine::publish_observability() {
 #ifdef PFP_OBS
+  // The engine's driving thread is the unique observability writer (the
+  // class is single-threaded by contract; ShardedEngine gives each shard
+  // its own engine).  Declare the roles once for the whole batch.
   auto& counters = obs_.counters();
-  obs_.gate().begin_write();
+  auto& gate = obs_.gate();
+  counters.assert_writer();
+  gate.assert_writer();
+  gate.begin_write();
   counters.accesses.set(metrics_.accesses);
   counters.demand_hits.set(metrics_.demand_hits);
   counters.prefetch_hits.set(metrics_.prefetch_hits);
@@ -145,7 +151,7 @@ void PrefetchEngine::publish_observability() {
   counters.tree_nodes.set(metrics_.policy.tree_nodes);
   counters.elapsed_virtual_us.set(
       static_cast<std::uint64_t>(metrics_.elapsed_ms * 1000.0));
-  obs_.gate().end_write();
+  gate.end_write();
 #endif
 }
 
@@ -235,6 +241,10 @@ AccessOutcome PrefetchEngine::step_one(
 #ifdef PFP_OBS
   publish_observability();
   if (tracing) {
+    // Same single-threaded contract as publish_observability(): this
+    // thread is the ring's unique writer.
+    auto& ring = obs_.ring();
+    ring.assert_writer();
     obs::TraceEvent event;
     event.block = block;
     event.ts_ms = period_start;
@@ -246,11 +256,11 @@ AccessOutcome PrefetchEngine::step_one(
             : (outcome == AccessOutcome::kPrefetchHit
                    ? obs::EventOutcome::kPrefetchHit
                    : obs::EventOutcome::kMiss));
-    obs_.ring().emit(event);
+    ring.emit(event);
     if (issued > 0) {
       event.kind = obs::EventKind::kPrefetchIssue;
       event.arg = static_cast<std::uint32_t>(issued);
-      obs_.ring().emit(event);
+      ring.emit(event);
     }
     const std::uint64_t ejected = metrics_.policy.prefetch_ejections +
                                   metrics_.policy.demand_ejections -
@@ -258,7 +268,7 @@ AccessOutcome PrefetchEngine::step_one(
     if (ejected > 0) {
       event.kind = obs::EventKind::kEviction;
       event.arg = static_cast<std::uint32_t>(ejected);
-      obs_.ring().emit(event);
+      ring.emit(event);
     }
   }
 #endif

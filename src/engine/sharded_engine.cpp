@@ -69,6 +69,11 @@ std::uint32_t ShardedEngine::shard_of(trace::BlockId block) const noexcept {
 
 void ShardedEngine::push(trace::BlockId block) {
   Shard& shard = *shards_[shard_of(block)];
+  // This thread is the engine's unique producer (class contract); it
+  // plays the producer role for every shard queue and is the single
+  // writer of the backpressure counter.
+  shard.queue.assert_producer();
+  shard.push_waits.assert_writer();
   while (!shard.queue.try_push(block)) {
     shard.push_waits.inc();  // off the steady-state path: full queue only
     std::this_thread::yield();  // backpressure: consumer is behind
@@ -78,6 +83,7 @@ void ShardedEngine::push(trace::BlockId block) {
 
 void ShardedEngine::flush() {
   for (auto& shard : shards_) {
+    shard->queue.assert_producer();  // `pushed` is producer-guarded
     while (shard->processed.load(std::memory_order_acquire) <
            shard->pushed) {
       std::this_thread::yield();
@@ -125,6 +131,9 @@ void ShardedEngine::write_chrome_trace(std::ostream& out) {
 }
 
 void ShardedEngine::worker(Shard& shard) {
+  // This thread is the shard's unique consumer and the only thread that
+  // ever touches shard.engine after construction.
+  shard.queue.assert_consumer();
   trace::BlockId block = 0;
   for (;;) {
     if (shard.queue.try_pop(block)) {

@@ -33,6 +33,7 @@
 #include "obs/counters.hpp"
 #include "obs/engine_obs.hpp"
 #include "util/spsc_queue.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pfp::engine {
@@ -102,6 +103,12 @@ class ShardedEngine {
   void write_chrome_trace(std::ostream& out);
 
  private:
+  // The caller-thread / shard-thread method partition is machine-checked
+  // through the queue's role capabilities (thread_annotations.hpp):
+  // push()/flush() assert and require the producer role of the shard
+  // queues they touch, worker() the consumer role.  A new method that
+  // reads producer-guarded state (e.g. `pushed`) from a worker — or vice
+  // versa — fails the -Werror=thread-safety CI leg.
   struct Shard {
     Shard(const EngineConfig& config, std::size_t queue_capacity)
         : engine(config), queue(queue_capacity) {}
@@ -109,9 +116,10 @@ class ShardedEngine {
     util::SpscQueue<trace::BlockId> queue;
     /// Accesses completed by the worker; release-published so flush()'s
     /// acquire load orders subsequent shard-state reads.
+    // writers: shard worker thread  readers: producer thread (flush)
     std::atomic<std::uint64_t> processed{0};
     /// Accesses routed here; producer-thread-only, no atomics needed.
-    std::uint64_t pushed = 0;
+    std::uint64_t pushed PFP_GUARDED_BY(queue.producer_role) = 0;
     /// Spin iterations push() burned waiting on a full queue; producer-
     /// written, scraper-read (single-writer Counter contract).
     obs::Counter push_waits;
@@ -121,6 +129,7 @@ class ShardedEngine {
 
   ShardedConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // writers: destructor (producer thread)  readers: shard worker threads
   std::atomic<bool> stop_{false};
   util::ThreadPool pool_;  ///< exactly one thread per shard
   std::vector<std::future<void>> workers_;

@@ -9,6 +9,13 @@
 // seqlock-style version gate the engine wraps each access period's
 // updates in.
 //
+// The single-writer discipline is machine-checked: every write-side
+// method requires the cell's writer role capability (Clang
+// -Wthread-safety; src/util/thread_annotations.hpp).  The engine thread
+// declares the role once per publish section with assert_writer(); read
+// sides (get(), read_begin()/read_retry()) stay capability-free because
+// any thread may call them.
+//
 // Layering: obs sits between util and engine and may include util only
 // (enforced by scripts/lint/check_conventions.py).
 #pragma once
@@ -17,40 +24,60 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "util/thread_annotations.hpp"
+
 namespace pfp::obs {
 
 inline constexpr std::size_t kCacheLineSize = 64;
 
 /// Monotonic event count.  Single-writer increments, any-thread reads.
 struct alignas(kCacheLineSize) Counter {
-  void inc(std::uint64_t delta = 1) noexcept {
+  /// The calling thread declares itself the unique writer (zero-cost
+  /// trust declaration for the thread-safety analysis).
+  void assert_writer() const noexcept PFP_ASSERT_CAPABILITY(writer_role) {}
+
+  // Single-writer RMW: the relaxed load+store pair below is NOT atomic as
+  // a unit; it is correct only because exactly one thread (the holder of
+  // writer_role) ever writes the cell.  That contract is what the
+  // capability requirement encodes.
+  void inc(std::uint64_t delta = 1) noexcept PFP_REQUIRES(writer_role) {
     value_.store(value_.load(std::memory_order_relaxed) + delta,
                  std::memory_order_relaxed);
   }
   /// Publishes an externally accumulated total (the engine mirrors its
   /// deterministic Metrics counters through these cells).
-  void set(std::uint64_t value) noexcept {
+  void set(std::uint64_t value) noexcept PFP_REQUIRES(writer_role) {
     value_.store(value, std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t get() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }
 
+  /// Writer role capability (zero-size; public so capability expressions
+  /// can name it).
+  util::ThreadRole writer_role;
+
  private:
+  // writers: the single writer_role holder  readers: any scraper thread
   std::atomic<std::uint64_t> value_{0};
 };
 
 /// Point-in-time level (ring occupancy, resident blocks).  Single-writer
 /// set, any-thread reads.
 struct alignas(kCacheLineSize) Gauge {
-  void set(std::uint64_t value) noexcept {
+  void assert_writer() const noexcept PFP_ASSERT_CAPABILITY(writer_role) {}
+
+  void set(std::uint64_t value) noexcept PFP_REQUIRES(writer_role) {
     value_.store(value, std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t get() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }
 
+  util::ThreadRole writer_role;
+
  private:
+  // writers: the single writer_role holder  readers: any scraper thread
   std::atomic<std::uint64_t> value_{0};
 };
 
@@ -63,12 +90,19 @@ struct alignas(kCacheLineSize) Gauge {
 /// snapshot.
 class SnapshotGate {
  public:
-  void begin_write() noexcept {
+  /// The calling thread declares itself the unique writer.
+  void assert_writer() const noexcept PFP_ASSERT_CAPABILITY(writer_role) {}
+
+  void begin_write() noexcept PFP_REQUIRES(writer_role) {
     version_.store(version_.load(std::memory_order_relaxed) + 1,
                    std::memory_order_relaxed);
+    // Seqlock begin: the release fence orders the odd version store
+    // before every subsequent (relaxed, atomic) cell store — a reader
+    // that observes any cell write also observes the odd version.
+    // lint: allow(fence): seqlock begin — pairs with read_retry's acquire
     std::atomic_thread_fence(std::memory_order_release);
   }
-  void end_write() noexcept {
+  void end_write() noexcept PFP_REQUIRES(writer_role) {
     version_.store(version_.load(std::memory_order_relaxed) + 1,
                    std::memory_order_release);
   }
@@ -79,12 +113,20 @@ class SnapshotGate {
   }
   /// True when the snapshot raced a write and must be retried.
   [[nodiscard]] bool read_retry(std::uint64_t begin_version) const noexcept {
+    // Seqlock read end: the acquire fence orders every preceding relaxed
+    // cell load before the version re-check — if the version still
+    // matches, no write overlapped the reads.
+    // lint: allow(fence): seqlock read end — pairs with begin_write's release
     std::atomic_thread_fence(std::memory_order_acquire);
     return (begin_version & 1) != 0 ||
            version_.load(std::memory_order_relaxed) != begin_version;
   }
 
+  /// Writer role capability (zero-size; see thread_annotations.hpp).
+  util::ThreadRole writer_role;
+
  private:
+  // writers: the single writer_role holder  readers: any scraper thread
   alignas(kCacheLineSize) std::atomic<std::uint64_t> version_{0};
 };
 

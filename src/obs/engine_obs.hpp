@@ -27,6 +27,7 @@
 #include "obs/phase_timing.hpp"
 #include "obs/trace_ring.hpp"
 #include "util/phase.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace pfp::obs {
 
@@ -55,6 +56,17 @@ struct ObsOptions {
 /// The live lock-free cells the engine publishes into.  Single writer
 /// (the engine thread); see counters.hpp for the read contract.
 struct EngineCounters {
+  /// The calling thread declares itself the unique writer of every cell
+  /// at once (the engine publishes them as one batch; asserting the
+  /// twelve roles cell-by-cell would drown the publish section).
+  void assert_writer() const noexcept PFP_ASSERT_CAPABILITY(
+      accesses.writer_role, demand_hits.writer_role,
+      prefetch_hits.writer_role, misses.writer_role,
+      prefetches_issued.writer_role, prefetch_ejections.writer_role,
+      demand_ejections.writer_role, disk_requests.writer_role,
+      resident_blocks.writer_role, free_buffers.writer_role,
+      tree_nodes.writer_role, elapsed_virtual_us.writer_role) {}
+
   Counter accesses;
   Counter demand_hits;
   Counter prefetch_hits;

@@ -24,6 +24,8 @@
 #include <span>
 #include <vector>
 
+#include "util/thread_annotations.hpp"
+
 namespace pfp::obs {
 
 enum class EventKind : std::uint8_t {
@@ -58,9 +60,13 @@ class TraceRing {
   TraceRing(const TraceRing&) = delete;
   TraceRing& operator=(const TraceRing&) = delete;
 
+  /// The calling thread declares itself the unique writer (zero-cost
+  /// trust declaration for the thread-safety analysis).
+  void assert_writer() const noexcept PFP_ASSERT_CAPABILITY(writer_role) {}
+
   /// Writer side.  Stamps the serial; overwrites the oldest event when
   /// the ring is full.
-  void emit(TraceEvent event) noexcept;
+  void emit(TraceEvent event) noexcept PFP_REQUIRES(writer_role);
 
   [[nodiscard]] bool enabled() const noexcept { return !slots_.empty(); }
   [[nodiscard]] std::size_t capacity() const noexcept {
@@ -80,11 +86,17 @@ class TraceRing {
   /// parked through an acquire (ShardedEngine::flush).
   [[nodiscard]] std::vector<TraceEvent> events() const;
 
-  void clear() noexcept;
+  void clear() noexcept PFP_REQUIRES(writer_role);
+
+  /// Writer role capability (zero-size; see thread_annotations.hpp).
+  util::ThreadRole writer_role;
 
  private:
   std::vector<TraceEvent> slots_;
   std::uint64_t mask_ = 0;
+  // writers: the single writer_role holder (the engine thread)
+  // readers: any scraper (recorded/dropped/occupancy); events() additionally
+  // requires the quiescent-dump contract for the plain slots_
   std::atomic<std::uint64_t> next_{0};  ///< next serial == events emitted
 };
 

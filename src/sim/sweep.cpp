@@ -7,6 +7,12 @@
 
 namespace pfp::sim {
 
+// Concurrency contract: each task touches only its own `spec` (read-only
+// after this frame builds the vector) and a private engine; the only
+// shared state is the pool's internal queue, whose locking is annotated
+// and checked in util::ThreadPool.  Results cross threads exclusively
+// through std::future's synchronization, so nothing here needs a
+// capability of its own.
 std::vector<Result> run_parallel(const std::vector<RunSpec>& specs,
                                  std::size_t threads) {
   std::vector<Result> results;

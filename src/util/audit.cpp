@@ -18,6 +18,8 @@ namespace {
 // Handler swaps happen on test threads while audits may run anywhere, so
 // the slot is atomic; relaxed ordering suffices — installing a handler is
 // not a synchronization point for the structures being audited.
+// writers: set_audit_handler (test setup/teardown)
+// readers: audit_failure on any auditing thread
 std::atomic<AuditHandler> g_handler{&default_handler};
 
 }  // namespace

@@ -7,6 +7,8 @@ namespace pfp::util {
 
 namespace {
 
+// writers: any thread via set_log_level (rare, test setup)
+// readers: every logging call site (level filter)
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
 std::mutex g_emit_mutex;
 

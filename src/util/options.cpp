@@ -77,7 +77,7 @@ std::uint64_t Options::u64(const std::string& name) const {
   if (!value) {
     std::fprintf(stderr, "option --%s: '%s' is not an unsigned integer\n",
                  name.c_str(), text.c_str());
-    std::exit(2);
+    std::exit(2);  // NOLINT(concurrency-mt-unsafe): pre-thread CLI usage error
   }
   return *value;
 }
@@ -88,7 +88,7 @@ double Options::real(const std::string& name) const {
   if (!value) {
     std::fprintf(stderr, "option --%s: '%s' is not a number\n", name.c_str(),
                  text.c_str());
-    std::exit(2);
+    std::exit(2);  // NOLINT(concurrency-mt-unsafe): pre-thread CLI usage error
   }
   return *value;
 }
@@ -99,7 +99,7 @@ bool Options::flag(const std::string& name) const {
   if (!value) {
     std::fprintf(stderr, "option --%s: '%s' is not a boolean\n", name.c_str(),
                  text.c_str());
-    std::exit(2);
+    std::exit(2);  // NOLINT(concurrency-mt-unsafe): pre-thread CLI usage error
   }
   return *value;
 }

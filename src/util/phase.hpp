@@ -18,6 +18,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "util/thread_annotations.hpp"
+
 #ifdef PFP_OBS
 #include <atomic>
 #include <chrono>
@@ -59,7 +61,13 @@ inline constexpr std::size_t kPhaseBucketCount = 32;
 /// (obs::EngineObs wraps reads in a seqlock-style version gate).
 class PhaseCells {
  public:
-  void add(EnginePhase phase, std::uint64_t ns) noexcept {
+  /// The calling thread declares itself the unique writer (zero-cost
+  /// trust declaration for the thread-safety analysis; the engine thread
+  /// owns the stopwatch that feeds these cells).
+  void assert_writer() const noexcept PFP_ASSERT_CAPABILITY(writer_role) {}
+
+  void add(EnginePhase phase, std::uint64_t ns) noexcept
+      PFP_REQUIRES(writer_role) {
     const auto p = static_cast<std::size_t>(phase);
     std::size_t bucket = 0;
     std::uint64_t x = ns;
@@ -86,6 +94,10 @@ class PhaseCells {
     return buckets_[phase][i].load(std::memory_order_relaxed);
   }
 
+  /// Writer role capability (zero-size; public so capability expressions
+  /// can name it, see thread_annotations.hpp).
+  ThreadRole writer_role;
+
  private:
   // Single-writer increment: a relaxed load+store pair is cheaper than a
   // fetch_add and equivalent when only one thread ever writes.
@@ -95,6 +107,8 @@ class PhaseCells {
                std::memory_order_relaxed);
   }
 
+  // writers: the single writer_role holder (the engine thread's
+  // stopwatch)  readers: any stats-scraper thread (PhaseTiming::sample)
   std::atomic<std::uint64_t> count_[kEnginePhaseCount] = {};
   std::atomic<std::uint64_t> total_ns_[kEnginePhaseCount] = {};
   std::atomic<std::uint64_t> buckets_[kEnginePhaseCount][kPhaseBucketCount] =
@@ -121,6 +135,9 @@ class PhaseStopwatch {
     if (cells_ == nullptr) {
       return;
     }
+    // The stopwatch has exactly one owner (the engine thread), so its
+    // marks are the cells' single writer by construction.
+    cells_->assert_writer();
     const std::uint64_t now = now_ns();
     cells_->add(phase, now - last_);
     last_ = now;
@@ -142,6 +159,7 @@ class PhaseStopwatch {
 
 class PhaseCells {
  public:
+  void assert_writer() const noexcept {}
   void add(EnginePhase, std::uint64_t) noexcept {}
   [[nodiscard]] std::uint64_t count(std::size_t) const noexcept { return 0; }
   [[nodiscard]] std::uint64_t total_ns(std::size_t) const noexcept {

@@ -6,6 +6,13 @@
 // ring indices.  Both sides keep a cached copy of the opposite index so
 // the steady state touches a single shared cache line per operation
 // instead of two (the classic Rigtorp layout).
+//
+// The producer/consumer split is machine-checked: try_push requires the
+// producer role capability and try_pop the consumer role (Clang
+// -Wthread-safety; see src/util/thread_annotations.hpp).  The one thread
+// playing each role declares it once with assert_producer() /
+// assert_consumer(); any new call path that touches a side without its
+// role fails the thread-safety CI leg.
 #pragma once
 
 #include <atomic>
@@ -14,6 +21,7 @@
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace pfp::util {
 
@@ -38,8 +46,14 @@ class SpscQueue {
   SpscQueue(const SpscQueue&) = delete;
   SpscQueue& operator=(const SpscQueue&) = delete;
 
+  /// The calling thread declares itself the unique producer/consumer.
+  /// Zero-cost trust declarations for the thread-safety analysis: call
+  /// once per function (or thread loop) before using that side.
+  void assert_producer() const noexcept PFP_ASSERT_CAPABILITY(producer_role) {}
+  void assert_consumer() const noexcept PFP_ASSERT_CAPABILITY(consumer_role) {}
+
   /// Producer side.  Returns false when the ring is full.
-  bool try_push(const T& value) {
+  bool try_push(const T& value) PFP_REQUIRES(producer_role) {
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
     if (tail - head_cache_ > mask_) {
       head_cache_ = head_.load(std::memory_order_acquire);
@@ -53,7 +67,7 @@ class SpscQueue {
   }
 
   /// Consumer side.  Returns false when the ring is empty.
-  bool try_pop(T& out) {
+  bool try_pop(T& out) PFP_REQUIRES(consumer_role) {
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
     if (head == tail_cache_) {
       tail_cache_ = tail_.load(std::memory_order_acquire);
@@ -68,22 +82,38 @@ class SpscQueue {
 
   [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
 
-  /// Approximate occupancy; exact only when called from the producer or
-  /// consumer thread while the other side is quiescent.
+  /// Approximate occupancy, callable from any thread (the shard stats
+  /// scraper reads it live for the queue gauge).  head_ is loaded FIRST:
+  /// head only ever advances toward tail, so a head read that predates
+  /// the tail read can only under-count.  The reverse order had a real
+  /// bug: a pop landing between the two loads pushed head past the stale
+  /// tail and the subtraction underflowed to ~2^64 (regression-tested in
+  /// tests/util/spsc_queue_test.cpp).  The result can still transiently
+  /// exceed the true occupancy (pushes after the head read count, pops
+  /// after it don't), which is fine for a gauge.
   [[nodiscard]] std::size_t size() const noexcept {
-    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
     const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
     return static_cast<std::size_t>(tail - head);
   }
   [[nodiscard]] bool empty() const noexcept { return size() == 0; }
 
+  /// Role capabilities (zero-size, public so capability expressions can
+  /// name them; see thread_annotations.hpp).
+  ThreadRole producer_role;
+  ThreadRole consumer_role;
+
  private:
   std::vector<T> buffer_;
   std::uint64_t mask_ = 0;
+  // writers: consumer thread (try_pop)  readers: both sides + scrapers
   alignas(64) std::atomic<std::uint64_t> head_{0};  ///< next pop slot
+  // writers: producer thread (try_push)  readers: both sides + scrapers
   alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< next push slot
-  alignas(64) std::uint64_t head_cache_ = 0;  ///< producer's view of head_
-  alignas(64) std::uint64_t tail_cache_ = 0;  ///< consumer's view of tail_
+  alignas(64) std::uint64_t head_cache_
+      PFP_GUARDED_BY(producer_role) = 0;  ///< producer's view of head_
+  alignas(64) std::uint64_t tail_cache_
+      PFP_GUARDED_BY(consumer_role) = 0;  ///< consumer's view of tail_
 };
 
 }  // namespace pfp::util

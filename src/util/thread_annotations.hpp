@@ -1,0 +1,147 @@
+// Clang thread-safety annotations for the concurrent surface.
+//
+// The engine layer is genuinely concurrent (thread-per-shard workers over
+// SPSC rings, a seqlock snapshot gate, single-writer counter cells), and
+// until this header the only check on that surface was TSan — dynamic,
+// schedule-dependent, and nearly blind on a 1-CPU host.  These macros put
+// the locking and role discipline into the type system instead: Clang's
+// -Wthread-safety analysis proves at compile time that guarded state is
+// only touched under its capability.  A dedicated CI leg builds the whole
+// tree with clang and -Werror=thread-safety (docs/static-analysis.md,
+// "Concurrency analysis"); on GCC every macro expands to nothing, so the
+// annotations are zero-cost and invisible to the release toolchain.
+//
+// Two kinds of capability are used in this codebase:
+//
+//  1. util::Mutex / util::MutexLock — annotated wrappers over std::mutex
+//     and std::unique_lock (libstdc++'s own types carry no annotations,
+//     so the analysis cannot see through them).  Classic data: members
+//     are declared PFP_GUARDED_BY(mutex_) and only touched under a
+//     MutexLock.
+//
+//  2. util::ThreadRole — a zero-size *role* capability with no runtime
+//     lock at all.  It names a thread discipline ("the unique producer",
+//     "the engine writer thread") that is enforced by construction, not
+//     by blocking.  Write-side methods declare PFP_REQUIRES(role); the
+//     one place that legitimately plays the role calls the object's
+//     assert_*() method, which tells the analysis "this thread is the
+//     role holder — hold me to it from here on".  The assert is a trust
+//     declaration (an empty inline call, zero cost); the payoff is that
+//     every OTHER path that touches role-guarded state without asserting
+//     the role fails the clang build.  What the static analysis cannot
+//     prove — that the asserting thread really is unique — stays TSan's
+//     job; see docs/static-analysis.md for the exact split.
+#pragma once
+
+#include <mutex>
+
+// Attribute plumbing.  Clang-only: GCC parses but ignores most of these
+// spellings with -Wattributes noise, so they are compiled out entirely.
+#if defined(__clang__)
+#define PFP_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define PFP_THREAD_ANNOTATION__(x)  // no-op outside clang
+#endif
+
+/// Declares a type to be a capability ("mutex", "role", ...).
+#define PFP_CAPABILITY(x) PFP_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII type that acquires in its ctor / releases in its dtor.
+#define PFP_SCOPED_CAPABILITY PFP_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Data member may only be touched while holding the capability.
+#define PFP_GUARDED_BY(x) PFP_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointee (not the pointer) is guarded by the capability.
+#define PFP_PT_GUARDED_BY(x) PFP_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Caller must hold the capability (exclusively / shared).
+#define PFP_REQUIRES(...) \
+  PFP_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define PFP_REQUIRES_SHARED(...) \
+  PFP_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires / releases the capability itself.
+#define PFP_ACQUIRE(...) \
+  PFP_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define PFP_RELEASE(...) \
+  PFP_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define PFP_TRY_ACQUIRE(...) \
+  PFP_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock prevention).
+#define PFP_EXCLUDES(...) PFP_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Tells the analysis the capability is held without acquiring it; the
+/// idiom behind ThreadRole's assert_*() trust declarations.
+#define PFP_ASSERT_CAPABILITY(...) \
+  PFP_THREAD_ANNOTATION__(assert_capability(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define PFP_RETURN_CAPABILITY(x) PFP_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch; every use needs a comment explaining why the analysis
+/// cannot see the invariant (prefer a role capability instead).
+#define PFP_NO_THREAD_SAFETY_ANALYSIS \
+  PFP_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace pfp::util {
+
+/// Annotated std::mutex.  Same cost, same semantics; exists only because
+/// libstdc++'s std::mutex is invisible to the analysis.
+class PFP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PFP_ACQUIRE() { mutex_.lock(); }
+  void unlock() PFP_RELEASE() { mutex_.unlock(); }
+  bool try_lock() PFP_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+  /// The wrapped mutex, for std::condition_variable interop (the wait
+  /// call needs the real std::unique_lock; see MutexLock::native).
+  [[nodiscard]] std::mutex& native() noexcept { return mutex_; }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Annotated RAII lock over Mutex (std::unique_lock underneath, so
+/// condition variables can wait on it via native()).
+class PFP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) PFP_ACQUIRE(mutex)
+      : lock_(mutex.native()) {}
+  ~MutexLock() PFP_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// For std::condition_variable::wait, which atomically releases and
+  /// reacquires.  The analysis does not model the temporary release; the
+  /// capability is held again by the time wait returns, so the net
+  /// accounting stays balanced (and guarded reads in the wait loop's
+  /// predicate are genuinely protected).
+  [[nodiscard]] std::unique_lock<std::mutex>& native() noexcept {
+    return lock_;
+  }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// A zero-size role capability: names a thread discipline (unique
+/// producer, unique consumer, single writer) instead of a runtime lock.
+/// Owning objects embed one per role as a *public* member so that
+/// PFP_GUARDED_BY / PFP_REQUIRES expressions can name it from call sites
+/// and sibling members; the member is empty and never read or written at
+/// runtime.
+class PFP_CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+};
+
+}  // namespace pfp::util

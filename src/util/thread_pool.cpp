@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -29,8 +29,16 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      // Manual wait loop (not the predicate overload): the predicate
+      // lambda would be analysed as its own capability-free function, so
+      // the guarded reads live directly in this scope where the analysis
+      // can see the lock is held.  wait() releases and reacquires the
+      // mutex internally; the capability is held again whenever the
+      // predicate runs (see MutexLock::native).
+      while (!stopping_ && queue_.empty()) {
+        cv_.wait(lock.native());
+      }
       if (queue_.empty()) {
         return;  // stopping and drained
       }

@@ -10,10 +10,11 @@
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace pfp::util {
 
@@ -37,23 +38,25 @@ class ThreadPool {
         std::make_shared<std::packaged_task<Result()>>(std::forward<F>(fn));
     std::future<Result> future = task->get_future();
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       queue_.emplace([task] { (*task)(); });
     }
     cv_.notify_one();
     return future;
   }
 
+  /// Safe from any thread: workers_ is written only during construction
+  /// (const-after-construction, so no capability guards it).
   [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
 
  private:
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+  Mutex mutex_;
+  std::queue<std::function<void()>> queue_ PFP_GUARDED_BY(mutex_);
   std::condition_variable cv_;
-  bool stopping_ = false;
+  bool stopping_ PFP_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace pfp::util

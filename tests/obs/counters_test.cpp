@@ -10,6 +10,7 @@ namespace {
 
 TEST(Counter, StartsAtZeroAndAccumulates) {
   Counter c;
+  c.assert_writer();  // the test thread is the unique writer
   EXPECT_EQ(c.get(), 0u);
   c.inc();
   c.inc(41);
@@ -18,6 +19,7 @@ TEST(Counter, StartsAtZeroAndAccumulates) {
 
 TEST(Counter, SetPublishesExternalTotal) {
   Counter c;
+  c.assert_writer();
   c.inc(7);
   c.set(1000);
   EXPECT_EQ(c.get(), 1000u);
@@ -25,6 +27,7 @@ TEST(Counter, SetPublishesExternalTotal) {
 
 TEST(Gauge, SetOverwrites) {
   Gauge g;
+  g.assert_writer();
   EXPECT_EQ(g.get(), 0u);
   g.set(5);
   g.set(3);
@@ -48,6 +51,7 @@ TEST(SnapshotGate, QuiescentReadDoesNotRetry) {
 
 TEST(SnapshotGate, MidWriteReadRetries) {
   SnapshotGate gate;
+  gate.assert_writer();
   gate.begin_write();
   const auto v = gate.read_begin();
   EXPECT_EQ(v & 1, 1u);  // odd = writer inside the section
@@ -60,6 +64,7 @@ TEST(SnapshotGate, MidWriteReadRetries) {
 
 TEST(SnapshotGate, WriteBetweenBeginAndRetryIsDetected) {
   SnapshotGate gate;
+  gate.assert_writer();
   const auto v = gate.read_begin();
   gate.begin_write();
   gate.end_write();
@@ -75,6 +80,9 @@ TEST(SnapshotGate, ReaderNeverSeesTornPair) {
   std::atomic<bool> stop{false};
 
   std::thread writer([&] {
+    gate.assert_writer();
+    a.assert_writer();
+    b.assert_writer();
     for (std::uint64_t i = 1; !stop.load(std::memory_order_relaxed); ++i) {
       gate.begin_write();
       a.set(i);
@@ -91,6 +99,11 @@ TEST(SnapshotGate, ReaderNeverSeesTornPair) {
     if (!gate.read_retry(v)) {
       EXPECT_EQ(sb, 2 * sa) << "torn snapshot passed the gate";
       ++clean_reads;
+    } else {
+      // On a single CPU the writer can sit parked mid-section for a
+      // whole timeslice; spinning through the retry without yielding
+      // would burn every iteration against the same odd version.
+      std::this_thread::yield();
     }
   }
   stop.store(true, std::memory_order_relaxed);

@@ -20,6 +20,7 @@ TEST(PhaseTiming, DefaultIsEmpty) {
 
 TEST(PhaseTiming, SampleCopiesLiveCells) {
   util::PhaseCells cells;
+  cells.assert_writer();  // the test thread is the unique writer
   cells.add(EnginePhase::kLookup, 0);     // bucket 0
   cells.add(EnginePhase::kLookup, 100);   // bit_width(100) == 7
   cells.add(EnginePhase::kIssue, 1);      // bucket 1
@@ -39,6 +40,7 @@ TEST(PhaseTiming, SampleCopiesLiveCells) {
 
 TEST(PhaseTiming, OverlongSampleClampsToOverflowBucket) {
   util::PhaseCells cells;
+  cells.assert_writer();
   // ~4.6e18 ns: bit_width is 63, beyond any realistic phase but the
   // clamp keeps it inside the fixed bucket array.
   cells.add(EnginePhase::kEviction, std::uint64_t{1} << 62);
@@ -51,6 +53,8 @@ TEST(PhaseTiming, OverlongSampleClampsToOverflowBucket) {
 TEST(PhaseTiming, MergeSumsEveryCell) {
   util::PhaseCells a;
   util::PhaseCells b;
+  a.assert_writer();
+  b.assert_writer();
   a.add(EnginePhase::kEnumeration, 10);
   b.add(EnginePhase::kEnumeration, 20);
   b.add(EnginePhase::kCostBenefit, 5);
@@ -67,6 +71,7 @@ TEST(PhaseTiming, MergeSumsEveryCell) {
 
 TEST(PhaseTiming, HistogramRoundTripsBuckets) {
   util::PhaseCells cells;
+  cells.assert_writer();
   cells.add(EnginePhase::kLookup, 5);  // [4, 7] -> log2 bucket 3
   cells.add(EnginePhase::kLookup, 6);
   const PhaseTiming t = PhaseTiming::sample(cells);
@@ -77,6 +82,7 @@ TEST(PhaseTiming, HistogramRoundTripsBuckets) {
 
 TEST(PhaseTiming, SummaryNamesSampledPhases) {
   util::PhaseCells cells;
+  cells.assert_writer();
   cells.add(EnginePhase::kCostBenefit, 64);
   const auto text = PhaseTiming::sample(cells).summary();
   EXPECT_NE(text.find("cost_benefit"), std::string::npos);

@@ -19,6 +19,7 @@ TraceEvent access_event(std::uint64_t block, double ts_ms) {
 
 TEST(TraceRing, ZeroCapacityDisablesRecording) {
   TraceRing ring(0);
+  ring.assert_writer();  // the test thread is the unique writer
   EXPECT_FALSE(ring.enabled());
   EXPECT_EQ(ring.capacity(), 0u);
   ring.emit(access_event(1, 0.0));
@@ -35,6 +36,7 @@ TEST(TraceRing, CapacityRoundsUpToPowerOfTwo) {
 
 TEST(TraceRing, StampsMonotonicSerials) {
   TraceRing ring(4);
+  ring.assert_writer();
   for (int i = 0; i < 3; ++i) {
     ring.emit(access_event(static_cast<std::uint64_t>(i), i * 1.0));
   }
@@ -50,6 +52,7 @@ TEST(TraceRing, StampsMonotonicSerials) {
 
 TEST(TraceRing, OverwritesOldestWhenFull) {
   TraceRing ring(4);
+  ring.assert_writer();
   for (int i = 0; i < 10; ++i) {
     ring.emit(access_event(static_cast<std::uint64_t>(i), i * 1.0));
   }
@@ -66,6 +69,7 @@ TEST(TraceRing, OverwritesOldestWhenFull) {
 
 TEST(TraceRing, ClearRestartsSerials) {
   TraceRing ring(4);
+  ring.assert_writer();
   ring.emit(access_event(1, 0.0));
   ring.clear();
   EXPECT_EQ(ring.recorded(), 0u);
@@ -76,6 +80,7 @@ TEST(TraceRing, ClearRestartsSerials) {
 
 TEST(ChromeTrace, RendersAccessesAsCompleteEvents) {
   TraceRing ring(4);
+  ring.assert_writer();
   ring.emit(access_event(7, 2.0));
   TraceEvent issue;
   issue.block = 8;
@@ -101,6 +106,8 @@ TEST(ChromeTrace, RendersAccessesAsCompleteEvents) {
 TEST(ChromeTrace, MultipleRingsBecomeSeparatePids) {
   TraceRing a(2);
   TraceRing b(2);
+  a.assert_writer();
+  b.assert_writer();
   a.emit(access_event(1, 0.0));
   b.emit(access_event(2, 0.0));
   std::ostringstream out;

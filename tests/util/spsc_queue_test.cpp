@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -19,6 +20,9 @@ TEST(SpscQueue, CapacityRoundsUpToPowerOfTwo) {
 
 TEST(SpscQueue, PopOnEmptyFails) {
   SpscQueue<int> q(4);
+  // Single-threaded test: this thread plays both queue roles.
+  q.assert_producer();
+  q.assert_consumer();
   int v = -1;
   EXPECT_TRUE(q.empty());
   EXPECT_FALSE(q.try_pop(v));
@@ -27,6 +31,8 @@ TEST(SpscQueue, PopOnEmptyFails) {
 
 TEST(SpscQueue, PushOnFullFails) {
   SpscQueue<int> q(4);
+  q.assert_producer();
+  q.assert_consumer();
   for (int i = 0; i < 4; ++i) {
     EXPECT_TRUE(q.try_push(i));
   }
@@ -36,6 +42,8 @@ TEST(SpscQueue, PushOnFullFails) {
 
 TEST(SpscQueue, FifoOrder) {
   SpscQueue<int> q(8);
+  q.assert_producer();
+  q.assert_consumer();
   for (int i = 0; i < 8; ++i) {
     ASSERT_TRUE(q.try_push(i));
   }
@@ -49,6 +57,8 @@ TEST(SpscQueue, FifoOrder) {
 
 TEST(SpscQueue, IndicesWrapAroundTheRing) {
   SpscQueue<int> q(4);
+  q.assert_producer();
+  q.assert_consumer();
   // Many times the capacity, alternating push/pop, so head and tail wrap
   // the ring repeatedly while staying partially full.
   int next_in = 0;
@@ -71,6 +81,7 @@ TEST(SpscQueue, TwoThreadTransferDeliversEverythingInOrder) {
   std::vector<std::uint64_t> received;
   received.reserve(kCount);
   std::thread consumer([&] {
+    q.assert_consumer();
     std::uint64_t v = 0;
     while (received.size() < kCount) {
       if (q.try_pop(v)) {
@@ -81,6 +92,7 @@ TEST(SpscQueue, TwoThreadTransferDeliversEverythingInOrder) {
     }
   });
 
+  q.assert_producer();
   for (std::uint64_t i = 0; i < kCount; ++i) {
     while (!q.try_push(i)) {
       std::this_thread::yield();
@@ -92,6 +104,50 @@ TEST(SpscQueue, TwoThreadTransferDeliversEverythingInOrder) {
   for (std::uint64_t i = 0; i < kCount; ++i) {
     ASSERT_EQ(received[i], i) << "reordered at index " << i;
   }
+}
+
+// Regression for a real ordering defect: size() used to load tail before
+// head, so a pop landing between the two loads could make head > tail
+// and the unsigned difference wrap to ~2^64.  With the fixed order (head
+// first) the difference can transiently over- or under-count by the
+// in-flight elements but can never go negative, so any astronomically
+// large value proves the old bug.
+TEST(SpscQueue, SizeNeverUnderflowsUnderConcurrentPop) {
+  SpscQueue<std::uint64_t> q(16);
+  constexpr std::uint64_t kCount = 50'000;
+  std::atomic<bool> done{false};
+
+  std::thread consumer([&] {
+    q.assert_consumer();
+    std::uint64_t v = 0;
+    std::uint64_t popped = 0;
+    while (popped < kCount) {
+      if (q.try_pop(v)) {
+        ++popped;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  std::thread sampler([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      // A sane size is bounded by capacity plus a small in-flight slack;
+      // the underflow produced values near 2^64.
+      ASSERT_LT(q.size(), std::uint64_t{1} << 32);
+      std::this_thread::yield();  // don't starve the transfer on 1 CPU
+    }
+  });
+
+  q.assert_producer();
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    while (!q.try_push(i)) {
+      std::this_thread::yield();
+    }
+  }
+  consumer.join();
+  sampler.join();
 }
 
 }  // namespace
