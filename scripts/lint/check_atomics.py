@@ -21,11 +21,16 @@ capability analysis.  This linter enforces the repo's ordering rules:
                     atomic_signal_fence need `lint: allow(fence): <why>`
                     naming the acquire/release pairing (the two seqlock
                     fences in obs/counters.hpp are the template).
-  role-comment      every `std::atomic<...>` variable declaration carries
-                    `// writers: ...  readers: ...` comments within the
-                    six lines above it, so the single-writer contracts the
-                    thread-safety roles assert are also written down where
-                    the data lives.
+  role-comment      every `std::atomic<...>` variable declaration — and
+                    every field guarded by a thread-role capability
+                    (`PFP_GUARDED_BY(<...>role<...>)`, e.g. the SPSC
+                    cached indices and the sharded engine's staging
+                    buffers) — carries `// writers: ...  readers: ...`
+                    comments within the six lines above it, so the
+                    single-writer contracts the thread-safety roles
+                    assert are also written down where the data lives.
+                    Mutex-guarded fields are exempt: their contract IS
+                    the mutex.
   atomics-allowlist atomics may only appear in the files listed in
                     ATOMIC_FILES below.  Concurrency stays corralled in
                     the audited leaf primitives; a new atomic anywhere
@@ -96,6 +101,12 @@ ORDERED_OPS = (
 AMBIGUOUS_OPS = {"clear", "wait", "store", "load", "exchange"}
 
 ATOMIC_DECL_RE = re.compile(r"\bstd\s*::\s*atomic(?:_flag\b|\s*<)")
+# A field guarded by a thread-role capability (not a mutex): the
+# capability expression names a role, e.g. PFP_GUARDED_BY(producer_role)
+# or PFP_GUARDED_BY(queue.consumer_role).  These are the cross-thread
+# single-writer contracts (SPSC cached indices, staging buffers), so
+# they carry the same writers:/readers: documentation duty as atomics.
+ROLE_GUARDED_RE = re.compile(r"\bPFP_GUARDED_BY\s*\(\s*[\w.>\-]*role\w*\s*\)")
 OP_CALL_RE = re.compile(
     r"[.\->]\s*(" + "|".join(ORDERED_OPS) + r")\s*\(")
 FENCE_RE = re.compile(
@@ -294,6 +305,21 @@ def check_file(root: pathlib.Path, path: pathlib.Path) -> List[Violation]:
                        "and 'readers: ...' comments in the "
                        f"{ROLE_COMMENT_WINDOW} lines above; write the "
                        "thread contract down where the data lives")
+
+        # Role-guarded fields (PFP_GUARDED_BY over a *role* capability):
+        # same documentation duty as atomics — they are the data the
+        # role contracts exist for.  Skip preprocessor lines so the
+        # macro's own #define never trips the rule.
+        if not line.lstrip().startswith("#") and ROLE_GUARDED_RE.search(line):
+            window = raw_lines[max(0, i - 1 - ROLE_COMMENT_WINDOW):i]
+            blob = "\n".join(window)
+            if "writers:" not in blob or "readers:" not in blob:
+                report(i, "role-comment",
+                       "role-guarded field without '// writers: ...' and "
+                       "'readers: ...' comments in the "
+                       f"{ROLE_COMMENT_WINDOW} lines above; the guarded "
+                       "declaration is where the cross-thread contract "
+                       "belongs")
 
         if SEQ_CST_RE.search(line):
             uses_atomics = True
@@ -577,6 +603,41 @@ SELF_TEST_CASES = [
      "src/core/policy/rogue.cpp",
      "// writers: w  readers: r\nstd::atomic<int> sneaky_{0};\n",
      "atomics-allowlist"),
+    # Bulk-queue patterns: a run-publishing store with a defaulted order
+    # is exactly the bug the bulk ops must never regress into.
+    ("bulk-publish-defaulted-store",
+     "src/util/spsc_queue.hpp",
+     "// writers: w  readers: r\nstd::atomic<std::uint64_t> tail_{0};\n"
+     "void f(std::size_t n) { auto t = tail_.load(\n"
+     "    std::memory_order_relaxed); tail_.store(t + n); }\n",
+     "explicit-order"),
+    ("bulk-publish-explicit-store-clean",
+     "src/util/spsc_queue.hpp",
+     "// writers: w  readers: r\nstd::atomic<std::uint64_t> tail_{0};\n"
+     "void f(std::size_t n) { auto t = tail_.load(\n"
+     "    std::memory_order_relaxed);\n"
+     "  tail_.store(t + n, std::memory_order_release); }\n",
+     None),
+    # Role-guarded fields (staging buffers, cached indices) need the
+    # writers:/readers: contract like atomics do.
+    ("role-guarded-missing-comment",
+     "src/engine/sharded_engine.hpp",
+     "std::vector<int> staged PFP_GUARDED_BY(queue.producer_role);\n",
+     "role-comment"),
+    ("role-guarded-with-comment",
+     "src/engine/sharded_engine.hpp",
+     "// writers: producer thread  readers: producer thread\n"
+     "std::vector<int> staged PFP_GUARDED_BY(queue.producer_role);\n",
+     None),
+    ("mutex-guarded-exempt",
+     "src/util/thread_pool.hpp",
+     "std::queue<int> queue_ PFP_GUARDED_BY(mutex_);\n",
+     None),
+    ("guarded-macro-define-exempt",
+     "src/util/thread_annotations.hpp",
+     "#define PFP_GUARDED_BY(x) __attribute__((guarded_by(x)))\n"
+     "// mentions producer_role in prose only\n",
+     None),
     ("comment-mention-clean",
      "src/core/policy/clean.cpp",
      "// std::atomic would be wrong here; see docs\nint x = 0;\n",

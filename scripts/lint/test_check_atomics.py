@@ -223,6 +223,43 @@ class RoleCommentRule(LintHarness):
             "void f(std::atomic<int>* cell);\n")
         self.assertEqual(self.rules(found), set())
 
+    def test_role_guarded_field_without_comment_fires(self) -> None:
+        # The batched hand-off's staging buffers are plain (non-atomic)
+        # fields whose cross-thread contract is a role capability; they
+        # carry the same documentation duty as atomics.
+        found = self.lint_file(
+            "src/engine/sharded_engine.hpp",
+            "std::vector<int> staged PFP_GUARDED_BY(queue.producer_role);\n")
+        self.assertIn("role-comment", self.rules(found))
+
+    def test_role_guarded_field_with_comment_silences(self) -> None:
+        found = self.lint_file(
+            "src/engine/sharded_engine.hpp",
+            "// writers: producer thread  readers: producer thread\n"
+            "std::vector<int> staged PFP_GUARDED_BY(queue.producer_role);\n")
+        self.assertEqual(self.rules(found), set())
+
+    def test_bare_role_capability_spelling_fires_too(self) -> None:
+        found = self.lint_file(
+            "src/util/spsc_queue.hpp",
+            "std::uint64_t head_cache_ PFP_GUARDED_BY(producer_role) = 0;\n")
+        self.assertIn("role-comment", self.rules(found))
+
+    def test_mutex_guarded_field_is_exempt(self) -> None:
+        # Mutex-guarded fields document themselves through the mutex;
+        # only role capabilities trigger the comment duty.
+        found = self.lint_file(
+            "src/util/thread_pool.hpp",
+            "std::queue<int> queue_ PFP_GUARDED_BY(mutex_);\n")
+        self.assertEqual(self.rules(found), set())
+
+    def test_guarded_by_macro_definition_is_exempt(self) -> None:
+        found = self.lint_file(
+            "src/util/thread_annotations.hpp",
+            "#define PFP_GUARDED_BY(x) "
+            "PFP_THREAD_ANNOTATION__(guarded_by(x))\n")
+        self.assertEqual(self.rules(found), set())
+
 
 class AllowlistRule(LintHarness):
     def test_atomic_outside_allowlist_fires(self) -> None:

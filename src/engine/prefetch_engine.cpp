@@ -163,7 +163,8 @@ void PrefetchEngine::write_chrome_trace(std::ostream& out) const {
 template <typename PolicyRef>
 AccessOutcome PrefetchEngine::step_one(
     PolicyRef policy, trace::BlockId block, std::uint64_t period,
-    std::span<const trace::TraceRecord> upcoming, Context& ctx) {
+    std::span<const trace::TraceRecord> upcoming, Context& ctx,
+    [[maybe_unused]] bool publish_each) {
   const double period_start = metrics_.elapsed_ms;
   ctx.period = period;
   ctx.now_ms = period_start;
@@ -239,7 +240,9 @@ AccessOutcome PrefetchEngine::step_one(
   phase_clock_.mark(util::EnginePhase::kIssue);
 
 #ifdef PFP_OBS
-  publish_observability();
+  if (publish_each) {
+    publish_observability();
+  }
   if (tracing) {
     // Same single-threaded contract as publish_observability(): this
     // thread is the ring's unique writer.
@@ -308,6 +311,46 @@ void PrefetchEngine::step(const trace::Trace& trace, std::size_t index) {
 }
 
 template <typename PolicyRef>
+void PrefetchEngine::run_blocks(PolicyRef policy,
+                                std::span<const trace::BlockId> blocks,
+                                Context& ctx) {
+  // The batched inner loop: per-access setup (Context build, policy
+  // dispatch, observability publish) is hoisted to the batch boundary.
+  // `period` is the running access counter — exactly what the push-one
+  // path passes — so batched and push-one streams are bit-identical.
+  for (const trace::BlockId block : blocks) {
+    step_one(policy, block, metrics_.accesses, {}, ctx,
+             /*publish_each=*/false);
+  }
+  publish_observability();
+}
+
+BatchResult PrefetchEngine::access_many(
+    std::span<const trace::BlockId> blocks) {
+  const Metrics before = metrics_;
+  Context ctx = make_context();
+  core::policy::dispatch_kind(config_.policy.kind, [&](auto tag) {
+    using PolicyT = typename decltype(tag)::type;
+    if constexpr (std::is_same_v<PolicyT, core::policy::Prefetcher>) {
+      run_blocks(Virtual{*policy_}, blocks, ctx);  // vtable fallback
+    } else {
+      PFP_DASSERT(typeid(*policy_) == typeid(PolicyT));
+      run_blocks(Direct<PolicyT>{static_cast<PolicyT&>(*policy_)}, blocks,
+                 ctx);
+    }
+  });
+
+  BatchResult result;
+  result.demand_hits = metrics_.demand_hits - before.demand_hits;
+  result.prefetch_hits = metrics_.prefetch_hits - before.prefetch_hits;
+  result.misses = metrics_.misses - before.misses;
+  result.latency_ms =
+      metrics_.elapsed_ms - before.elapsed_ms -
+      static_cast<double>(blocks.size()) * config_.timing.t_cpu;
+  return result;
+}
+
+template <typename PolicyRef>
 void PrefetchEngine::run_loop(PolicyRef policy, const trace::Trace& trace) {
   // One Context for the whole run; step_one refreshes the per-period
   // fields (period, now_ms, upcoming) instead of rebuilding the struct
@@ -326,6 +369,24 @@ void PrefetchEngine::run_as(const trace::Trace& trace) {
 }
 
 void PrefetchEngine::run_trace(const trace::Trace& trace) {
+  // Fast path: replay through the batched loop.  Valid whenever the
+  // per-index state run_loop supplies is reproducible without the trace:
+  // `period` (the trace index) must equal the running access counter —
+  // true exactly when the engine starts fresh — and `upcoming` must be
+  // dead, which holds for every policy except the oracle
+  // perfect-selector (the only ctx.upcoming consumer).  Bit-identical on
+  // this path by the access_many contract; anything else replays through
+  // the indexed loop below.
+  if (metrics_.accesses == 0 &&
+      config_.policy.kind != core::policy::PolicyKind::kPerfectSelector) {
+    std::vector<trace::BlockId> blocks;
+    blocks.reserve(trace.size());
+    for (const trace::TraceRecord& record : trace.records()) {
+      blocks.push_back(record.block);
+    }
+    access_many(blocks);
+    return;
+  }
   core::policy::dispatch_kind(config_.policy.kind, [&](auto tag) {
     using PolicyT = typename decltype(tag)::type;
     if constexpr (std::is_same_v<PolicyT, core::policy::Prefetcher>) {

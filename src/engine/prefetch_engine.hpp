@@ -47,6 +47,17 @@ struct AccessResult {
   double latency_ms = 0.0;
 };
 
+/// Aggregate of one access_many() batch, folded from the same per-access
+/// state machine the push-one path runs.
+struct BatchResult {
+  std::uint64_t demand_hits = 0;
+  std::uint64_t prefetch_hits = 0;
+  std::uint64_t misses = 0;
+  /// Sum of per-access latency_ms over the batch (same exclusion of
+  /// T_cpu as AccessResult::latency_ms).
+  double latency_ms = 0.0;
+};
+
 class PrefetchEngine {
  public:
   /// Validates the configuration (see engine::validate) and builds the
@@ -57,6 +68,19 @@ class PrefetchEngine {
   /// machine — cache access, timing charges, predictor learning,
   /// prefetch issue — and reports what happened.
   AccessResult access(trace::BlockId block);
+
+  /// Batched push: feeds a whole run of references through the same
+  /// state machine with the per-access setup hoisted out of the inner
+  /// loop — the Context is built once, the policy dispatch is resolved
+  /// once to a devirtualized loop (like run_trace), and the
+  /// observability mirror is published once per batch instead of once
+  /// per access (one stats-gate write section; the trace ring still
+  /// records every access).  Bit-identical to calling access() for each
+  /// block in order — metrics, decisions and final observability all
+  /// match; only the live-scrape granularity coarsens to batch
+  /// boundaries.  This is the shard workers' pull path and the fast
+  /// path run_trace() replays through.
+  BatchResult access_many(std::span<const trace::BlockId> blocks);
 
   /// Replay entry point for one trace position; identical to access()
   /// except oracle policies can see the rest of the trace.
@@ -113,13 +137,19 @@ class PrefetchEngine {
   // run_trace() dispatches to, so the two can never drift apart.
   // `PolicyRef` is a dispatch proxy: Virtual goes through the vtable,
   // Direct<P> makes qualified calls on the exact dynamic type.
+  // `publish_each` lets the batched paths hoist the per-access
+  // observability publish out of the inner loop (they publish once per
+  // batch); it never affects metrics or decisions.
   template <typename PolicyRef>
   core::policy::AccessOutcome step_one(
       PolicyRef policy, trace::BlockId block, std::uint64_t period,
       std::span<const trace::TraceRecord> upcoming,
-      core::policy::Context& ctx);
+      core::policy::Context& ctx, bool publish_each = true);
   template <typename PolicyRef>
   void run_loop(PolicyRef policy, const trace::Trace& trace);
+  template <typename PolicyRef>
+  void run_blocks(PolicyRef policy, std::span<const trace::BlockId> blocks,
+                  core::policy::Context& ctx);
   template <typename PolicyT>
   void run_as(const trace::Trace& trace);
   [[nodiscard]] core::policy::Context make_context();

@@ -1,0 +1,78 @@
+// Bounded exponential backoff for spin-wait loops.
+//
+// The sharded engine's producer spins when a shard ring is full and the
+// shard workers spin when their ring is empty.  A raw yield loop burns a
+// full core while making no progress — on the 1-CPU container that core
+// is the one the stalled peer needs.  Backoff escalates through tiers:
+//
+//   tier 1  cpu_relax() bursts, doubling 1, 2, 4, ... up to
+//           2^kMaxSpinExponent pause instructions per wait() — cheap
+//           polling while the peer is probably mid-operation;
+//   tier 2  std::this_thread::yield() on every wait() after that — the
+//           waiter cedes its core to the scheduler instead of burning it.
+//
+// The spin budget before the first yield is therefore bounded at
+// 2^(kMaxSpinExponent+1)-1 relaxes total, after which EVERY wait yields
+// (regression-tested in tests/util/backoff_test.cpp).  Call reset() after
+// the awaited condition holds so the next stall starts cheap again.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+namespace pfp::util {
+
+/// One pause/yield hint to the CPU: tells simultaneous-multithreading
+/// hardware the core is in a spin loop so the sibling thread gets the
+/// execution resources.  Compiles to `pause` on x86, `yield` on ARM, and
+/// nothing elsewhere.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+/// Per-wait-site escalation state.  Not thread-safe: one Backoff per
+/// waiting loop, on the waiting thread's stack or in its single-threaded
+/// state.
+class Backoff {
+ public:
+  /// Last spin tier: 2^6 = 64 relaxes, so the total pre-yield spin
+  /// budget is 1+2+...+64 = 127 relax instructions (~a few hundred ns).
+  static constexpr std::uint32_t kMaxSpinExponent = 6;
+
+  /// Waits once at the current tier and escalates.  Returns true when
+  /// the wait ceded the core (yield tier), false for a spin-tier wait —
+  /// the return value exists so tests can pin the escalation contract
+  /// without intercepting the scheduler.
+  bool wait() noexcept {
+    if (round_ <= kMaxSpinExponent) {
+      const std::uint32_t spins = 1u << round_;
+      for (std::uint32_t i = 0; i < spins; ++i) {
+        cpu_relax();
+      }
+      ++round_;
+      return false;
+    }
+    std::this_thread::yield();
+    return true;
+  }
+
+  /// Back to the cheap tier; call when the awaited condition held.
+  void reset() noexcept { round_ = 0; }
+
+  /// True once every further wait() yields instead of spinning.
+  [[nodiscard]] bool yielding() const noexcept {
+    return round_ > kMaxSpinExponent;
+  }
+
+  /// Completed waits since the last reset (saturates at the yield tier).
+  [[nodiscard]] std::uint32_t round() const noexcept { return round_; }
+
+ private:
+  std::uint32_t round_ = 0;
+};
+
+}  // namespace pfp::util

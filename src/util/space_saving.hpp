@@ -1,0 +1,128 @@
+// Space-saving top-K heavy-hitter sketch (Metwally, Agrawal, El Abbadi).
+//
+// Tracks the K most frequent keys of a stream in O(K) memory with one
+// O(1) hash probe per record: a tracked key increments its counter; an
+// untracked key replaces the current minimum-count entry, inheriting its
+// count as the new entry's over-estimation error.  Guarantees:
+//
+//   - every key with true frequency > N/K is tracked (no false negatives
+//     among genuine heavy hitters once the stream is long enough);
+//   - count() over-estimates true frequency by at most error();
+//   - count() - error() is a LOWER bound on the true frequency, which is
+//     what the hot-key routing uses: a key is only treated as hot once
+//     its guaranteed count clears a threshold, so the Zipf tail churning
+//     through the sketch's minimum slot never qualifies.
+//
+// The sharded engine's producer feeds every routed access through one of
+// these to drive the hot-key mitigation strategies (docs/perf.md,
+// "Batched hand-off").  Deterministic by construction: the sketch state
+// is a pure function of the record() sequence, which keeps batched
+// routing decisions reproducible run to run.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/flat_map.hpp"
+
+namespace pfp::util {
+
+/// Fixed-capacity space-saving sketch over uint64 keys.
+class SpaceSaving {
+ public:
+  struct Entry {
+    std::uint64_t key = 0;
+    std::uint64_t count = 0;  ///< estimate; true frequency <= count
+    std::uint64_t error = 0;  ///< count inherited at replacement time
+  };
+
+  explicit SpaceSaving(std::size_t capacity) : capacity_(capacity) {
+    PFP_REQUIRE(capacity >= 1);
+    entries_.reserve(capacity);
+    index_.reserve(capacity);
+  }
+
+  /// Records one occurrence of `key`.
+  void record(std::uint64_t key) {
+    ++total_;
+    if (auto it = index_.find(key); it != index_.end()) {
+      ++entries_[it->second].count;
+      return;
+    }
+    if (entries_.size() < capacity_) {
+      index_.emplace(key, static_cast<std::uint32_t>(entries_.size()));
+      entries_.push_back(Entry{key, 1, 0});
+      return;
+    }
+    // Replace the minimum-count entry; its count becomes the newcomer's
+    // over-estimation error.  O(K) scan — K is small (tens) and this
+    // path only runs for keys outside the current top-K.
+    std::size_t min_slot = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+      if (entries_[i].count < entries_[min_slot].count) {
+        min_slot = i;
+      }
+    }
+    Entry& slot = entries_[min_slot];
+    index_.erase(slot.key);
+    index_.emplace(key, static_cast<std::uint32_t>(min_slot));
+    slot.error = slot.count;
+    slot.key = key;
+    ++slot.count;
+  }
+
+  /// True when `key` occupies a sketch slot (tracked, not necessarily a
+  /// genuine heavy hitter — see is_heavy()).
+  [[nodiscard]] bool tracked(std::uint64_t key) const {
+    return index_.contains(key);
+  }
+
+  /// True when `key` is tracked with a GUARANTEED frequency (count minus
+  /// inherited error) of at least `min_count`.  The guarantee filters
+  /// out tail keys cycling through the minimum slot.
+  [[nodiscard]] bool is_heavy(std::uint64_t key,
+                              std::uint64_t min_count) const {
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      return false;
+    }
+    const Entry& e = entries_[it->second];
+    return e.count - e.error >= min_count;
+  }
+
+  /// Frequency estimate (upper bound); 0 for untracked keys.
+  [[nodiscard]] std::uint64_t count(std::uint64_t key) const {
+    const auto it = index_.find(key);
+    return it == index_.end() ? 0 : entries_[it->second].count;
+  }
+
+  /// Tracked entries, highest count first (ties by key for determinism).
+  [[nodiscard]] std::vector<Entry> top() const {
+    std::vector<Entry> out = entries_;
+    std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+      return a.count != b.count ? a.count > b.count : a.key < b.key;
+    });
+    return out;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  void clear() {
+    entries_.clear();
+    index_.clear();
+    total_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t total_ = 0;
+  std::vector<Entry> entries_;
+  FlatMap<std::uint64_t, std::uint32_t> index_;  ///< key -> entries_ slot
+};
+
+}  // namespace pfp::util

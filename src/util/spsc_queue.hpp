@@ -7,6 +7,11 @@
 // the steady state touches a single shared cache line per operation
 // instead of two (the classic Rigtorp layout).
 //
+// The bulk operations (try_push_n / try_pop_n) move a contiguous run of
+// values under a SINGLE release/acquire pair, which is what makes the
+// batched shard hand-off pay: the per-element synchronization cost of a
+// 256-record run is 1/256th of the push-one path's.
+//
 // The producer/consumer split is machine-checked: try_push requires the
 // producer role capability and try_pop the consumer role (Clang
 // -Wthread-safety; see src/util/thread_annotations.hpp).  The one thread
@@ -15,9 +20,11 @@
 // role fails the thread-safety CI leg.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -66,6 +73,37 @@ class SpscQueue {
     return true;
   }
 
+  /// Producer side, bulk: appends as many of `values` as currently fit,
+  /// front-first, and publishes them all under ONE release store — the
+  /// whole point of the batched hand-off (docs/perf.md, "Batched
+  /// hand-off").  The copy crosses the wrap seam in at most two
+  /// contiguous segments.  Returns the number accepted (0 when full);
+  /// partial acceptance is normal when the ring is nearly full, and the
+  /// caller retries with the remaining suffix.
+  std::size_t try_push_n(std::span<const T> values)
+      PFP_REQUIRES(producer_role) {
+    if (values.empty()) {
+      return 0;
+    }
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t free = capacity() - static_cast<std::size_t>(
+                                        tail - head_cache_);
+    if (free < values.size()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      free = capacity() - static_cast<std::size_t>(tail - head_cache_);
+      if (free == 0) {
+        return 0;
+      }
+    }
+    const std::size_t n = std::min(values.size(), free);
+    const std::size_t start = static_cast<std::size_t>(tail & mask_);
+    const std::size_t first = std::min(n, capacity() - start);
+    std::copy_n(values.data(), first, buffer_.data() + start);
+    std::copy_n(values.data() + first, n - first, buffer_.data());
+    tail_.store(tail + n, std::memory_order_release);
+    return n;
+  }
+
   /// Consumer side.  Returns false when the ring is empty.
   bool try_pop(T& out) PFP_REQUIRES(consumer_role) {
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
@@ -78,6 +116,34 @@ class SpscQueue {
     out = buffer_[head & mask_];
     head_.store(head + 1, std::memory_order_release);
     return true;
+  }
+
+  /// Consumer side, bulk: pops up to `max` values into `out` under ONE
+  /// acquire/release pair, crossing the wrap seam in at most two
+  /// contiguous segments.  Returns the number popped (0 when empty).
+  /// The cached tail is refreshed whenever it cannot satisfy a full run,
+  /// so a worker draining in bulk sees everything already published.
+  std::size_t try_pop_n(T* out, std::size_t max)
+      PFP_REQUIRES(consumer_role) {
+    if (max == 0) {
+      return 0;
+    }
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    std::size_t avail = static_cast<std::size_t>(tail_cache_ - head);
+    if (avail < max) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      avail = static_cast<std::size_t>(tail_cache_ - head);
+      if (avail == 0) {
+        return 0;
+      }
+    }
+    const std::size_t n = std::min(max, avail);
+    const std::size_t start = static_cast<std::size_t>(head & mask_);
+    const std::size_t first = std::min(n, capacity() - start);
+    std::copy_n(buffer_.data() + start, first, out);
+    std::copy_n(buffer_.data(), n - first, out + first);
+    head_.store(head + n, std::memory_order_release);
+    return n;
   }
 
   [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
@@ -110,8 +176,10 @@ class SpscQueue {
   alignas(64) std::atomic<std::uint64_t> head_{0};  ///< next pop slot
   // writers: producer thread (try_push)  readers: both sides + scrapers
   alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< next push slot
+  // writers: producer thread  readers: producer thread
   alignas(64) std::uint64_t head_cache_
       PFP_GUARDED_BY(producer_role) = 0;  ///< producer's view of head_
+  // writers: consumer thread  readers: consumer thread
   alignas(64) std::uint64_t tail_cache_
       PFP_GUARDED_BY(consumer_role) = 0;  ///< consumer's view of tail_
 };

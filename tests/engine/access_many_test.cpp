@@ -1,0 +1,214 @@
+// The access_many() bit-identity contract: the batched loop hoists
+// per-access setup (context build, dispatch resolution, observability
+// publish) but must produce exactly the metrics of the push-one path —
+// same decisions, same timing charges, down to the last double.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "engine/prefetch_engine.hpp"
+#include "util/prng.hpp"
+
+namespace pfp::engine {
+namespace {
+
+using core::policy::PolicyKind;
+
+EngineConfig config_for(PolicyKind kind, std::size_t blocks = 64) {
+  EngineConfig c;
+  c.cache_blocks = blocks;
+  c.policy.kind = kind;
+  return c;
+}
+
+std::vector<trace::BlockId> random_blocks(std::uint64_t seed, int length,
+                                          int universe) {
+  std::vector<trace::BlockId> out;
+  out.reserve(static_cast<std::size_t>(length));
+  util::Xoshiro256 rng(seed);
+  for (int i = 0; i < length; ++i) {
+    out.push_back(rng.below(static_cast<std::uint64_t>(universe)));
+  }
+  return out;
+}
+
+trace::Trace as_trace(const std::vector<trace::BlockId>& blocks) {
+  trace::Trace t("t");
+  for (const trace::BlockId block : blocks) {
+    t.append(block);
+  }
+  return t;
+}
+
+void expect_identical(const Metrics& a, const Metrics& b) {
+  EXPECT_EQ(a.accesses, b.accesses);
+  EXPECT_EQ(a.demand_hits, b.demand_hits);
+  EXPECT_EQ(a.prefetch_hits, b.prefetch_hits);
+  EXPECT_EQ(a.misses, b.misses);
+  EXPECT_EQ(a.elapsed_ms, b.elapsed_ms);
+  EXPECT_EQ(a.stall_ms, b.stall_ms);
+  EXPECT_EQ(a.disk_queue_delay_ms, b.disk_queue_delay_ms);
+  EXPECT_EQ(a.disk_requests, b.disk_requests);
+  EXPECT_EQ(a.policy.prefetches_issued, b.policy.prefetches_issued);
+  EXPECT_EQ(a.policy.obl_prefetches_issued, b.policy.obl_prefetches_issued);
+  EXPECT_EQ(a.policy.tree_prefetches_issued,
+            b.policy.tree_prefetches_issued);
+  EXPECT_EQ(a.policy.sum_prefetch_probability,
+            b.policy.sum_prefetch_probability);
+  EXPECT_EQ(a.policy.candidates_chosen, b.policy.candidates_chosen);
+  EXPECT_EQ(a.policy.candidates_already_cached,
+            b.policy.candidates_already_cached);
+  EXPECT_EQ(a.policy.prefetch_ejections, b.policy.prefetch_ejections);
+  EXPECT_EQ(a.policy.demand_ejections, b.policy.demand_ejections);
+  EXPECT_EQ(a.policy.predictable, b.policy.predictable);
+  EXPECT_EQ(a.policy.predictable_uncached, b.policy.predictable_uncached);
+  EXPECT_EQ(a.policy.lvc_opportunities, b.policy.lvc_opportunities);
+  EXPECT_EQ(a.policy.lvc_followed, b.policy.lvc_followed);
+  EXPECT_EQ(a.policy.lvc_checks, b.policy.lvc_checks);
+  EXPECT_EQ(a.policy.lvc_cached, b.policy.lvc_cached);
+  EXPECT_EQ(a.policy.tree_nodes, b.policy.tree_nodes);
+}
+
+TEST(AccessMany, MatchesPushOneExactlyAcrossPolicies) {
+  const auto blocks = random_blocks(3, 20'000, 400);
+  for (const PolicyKind kind :
+       {PolicyKind::kNoPrefetch, PolicyKind::kNextLimit, PolicyKind::kTree,
+        PolicyKind::kTreeNextLimit, PolicyKind::kTreeLvc,
+        PolicyKind::kTreeThreshold, PolicyKind::kTreeChildren,
+        PolicyKind::kTreeAdaptive}) {
+    SCOPED_TRACE(static_cast<int>(kind));
+    PrefetchEngine batched(config_for(kind));
+    batched.access_many(blocks);
+
+    PrefetchEngine one(config_for(kind));
+    for (const trace::BlockId block : blocks) {
+      one.access(block);
+    }
+    expect_identical(batched.metrics(), one.metrics());
+  }
+}
+
+TEST(AccessMany, BatchSizeIsInvariant) {
+  // Splitting the stream into runs of any size must not change a single
+  // metric: period numbering continues across calls because it rides
+  // the running access counter, not the batch offset.
+  const auto blocks = random_blocks(11, 15'000, 300);
+  PrefetchEngine whole(config_for(PolicyKind::kTreeNextLimit));
+  whole.access_many(blocks);
+
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{64}, std::size_t{1000}}) {
+    SCOPED_TRACE(chunk);
+    PrefetchEngine split(config_for(PolicyKind::kTreeNextLimit));
+    std::span<const trace::BlockId> rest(blocks);
+    while (!rest.empty()) {
+      const std::size_t n = std::min(chunk, rest.size());
+      split.access_many(rest.first(n));
+      rest = rest.subspan(n);
+    }
+    expect_identical(split.metrics(), whole.metrics());
+  }
+}
+
+TEST(AccessMany, MatchesRunTraceOnFreshEngine) {
+  // run_trace() replays through access_many() when the engine is fresh
+  // and the policy is not the oracle; the three paths must agree.
+  const auto blocks = random_blocks(5, 20'000, 500);
+  const auto t = as_trace(blocks);
+
+  PrefetchEngine replayed(config_for(PolicyKind::kTreeNextLimit));
+  replayed.run_trace(t);
+
+  PrefetchEngine batched(config_for(PolicyKind::kTreeNextLimit));
+  batched.access_many(blocks);
+
+  expect_identical(replayed.metrics(), batched.metrics());
+}
+
+TEST(AccessMany, BatchResultSumsTheBatch) {
+  const auto blocks = random_blocks(7, 10'000, 250);
+
+  PrefetchEngine one(config_for(PolicyKind::kTreeNextLimit));
+  std::uint64_t demand_hits = 0;
+  std::uint64_t prefetch_hits = 0;
+  std::uint64_t misses = 0;
+  double latency_ms = 0.0;
+  for (const trace::BlockId block : blocks) {
+    const AccessResult r = one.access(block);
+    demand_hits += r.outcome == Outcome::kDemandHit ? 1 : 0;
+    prefetch_hits += r.outcome == Outcome::kPrefetchHit ? 1 : 0;
+    misses += r.outcome == Outcome::kMiss ? 1 : 0;
+    latency_ms += r.latency_ms;
+  }
+
+  PrefetchEngine batched(config_for(PolicyKind::kTreeNextLimit));
+  const BatchResult b = batched.access_many(blocks);
+  EXPECT_EQ(b.demand_hits, demand_hits);
+  EXPECT_EQ(b.prefetch_hits, prefetch_hits);
+  EXPECT_EQ(b.misses, misses);
+  EXPECT_NEAR(b.latency_ms, latency_ms, 1e-6);
+  EXPECT_EQ(b.demand_hits + b.prefetch_hits + b.misses, blocks.size());
+}
+
+TEST(AccessMany, WarmEngineStillMatchesPushOne) {
+  // A non-fresh engine numbers periods from its running access counter;
+  // the batched path must keep doing exactly that.
+  const auto warmup = random_blocks(13, 5'000, 200);
+  const auto blocks = random_blocks(17, 10'000, 200);
+
+  PrefetchEngine batched(config_for(PolicyKind::kTreeNextLimit));
+  batched.access_many(warmup);
+  batched.access_many(blocks);
+
+  PrefetchEngine one(config_for(PolicyKind::kTreeNextLimit));
+  for (const trace::BlockId block : warmup) {
+    one.access(block);
+  }
+  for (const trace::BlockId block : blocks) {
+    one.access(block);
+  }
+  expect_identical(batched.metrics(), one.metrics());
+}
+
+TEST(AccessMany, RunTraceOnWarmEngineMatchesStepLoop) {
+  // A warm engine disqualifies the access_many fast path (periods would
+  // restart from the access counter, not the trace index); run_trace
+  // must fall back to the indexed loop and keep matching step().
+  const auto warmup = random_blocks(19, 2'000, 150);
+  const auto blocks = random_blocks(23, 8'000, 150);
+  const auto t = as_trace(blocks);
+
+  PrefetchEngine replayed(config_for(PolicyKind::kTreeNextLimit));
+  replayed.access_many(warmup);
+  replayed.run_trace(t);
+
+  PrefetchEngine stepped(config_for(PolicyKind::kTreeNextLimit));
+  stepped.access_many(warmup);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    stepped.step(t, i);
+  }
+  expect_identical(replayed.metrics(), stepped.metrics());
+}
+
+TEST(AccessMany, OraclePolicyReplayUnchanged) {
+  // kPerfectSelector reads the rest of the trace (ctx.upcoming), which
+  // access_many cannot supply — run_trace must keep the oracle on the
+  // indexed loop and bit-match step().
+  const auto blocks = random_blocks(29, 8'000, 200);
+  const auto t = as_trace(blocks);
+
+  PrefetchEngine replayed(config_for(PolicyKind::kPerfectSelector));
+  replayed.run_trace(t);
+
+  PrefetchEngine stepped(config_for(PolicyKind::kPerfectSelector));
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    stepped.step(t, i);
+  }
+  expect_identical(replayed.metrics(), stepped.metrics());
+}
+
+}  // namespace
+}  // namespace pfp::engine

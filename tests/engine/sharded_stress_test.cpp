@@ -4,10 +4,12 @@
 // and iteration count without a separate test binary.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <thread>
+#include <vector>
 
 #include "engine/sharded_engine.hpp"
 #include "trace/gen_cad.hpp"
@@ -103,6 +105,108 @@ TEST(ShardedStress, MetricsReadsAfterFlushAreStable) {
       ASSERT_EQ(sum, i);
     }
   }
+}
+
+TEST(ShardedStress, BulkHandoffWithInterleavedDrainsAndFlushes) {
+  // The batched path under TSan: staging-buffer flushes (bulk
+  // try_push_n) racing bulk worker pops (try_pop_n) on small rings,
+  // with drain()/flush() mixed in mid-stream.
+  const auto t = cad_trace(100'000 * stress_scale());
+  std::vector<trace::BlockId> blocks;
+  blocks.reserve(t.size());
+  for (const auto& rec : t) {
+    blocks.push_back(rec.block);
+  }
+  ShardedEngine eng(stress_config(4));
+  std::size_t i = 0;
+  std::size_t round = 0;
+  while (i < blocks.size()) {
+    const std::size_t n = std::min<std::size_t>(blocks.size() - i,
+                                                1 + (round * 131) % 997);
+    eng.access_many({blocks.data() + i, n});
+    i += n;
+    if (++round % 17 == 0) {
+      eng.drain();
+    }
+    if (round % 61 == 0) {
+      eng.flush();
+    }
+  }
+  const auto merged = eng.merged_metrics();
+  EXPECT_EQ(merged.accesses, blocks.size());
+  EXPECT_EQ(merged.demand_hits + merged.prefetch_hits + merged.misses,
+            blocks.size());
+}
+
+TEST(ShardedStress, BulkDestructionDrainsStagedAndQueuedWork) {
+  // Tear down with work both staged in the producer buffers and queued
+  // in the rings: the destructor must flush the staging residue to the
+  // rings and the workers must drain them.
+  const auto t = cad_trace(30'000 * stress_scale());
+  std::vector<trace::BlockId> blocks;
+  blocks.reserve(t.size());
+  for (const auto& rec : t) {
+    blocks.push_back(rec.block);
+  }
+  for (std::uint64_t round = 0; round < 5 * stress_scale(); ++round) {
+    ShardedEngine eng(stress_config(4));
+    eng.access_many(blocks);
+    // No drain, no flush: destructor must hand over staged residue.
+  }
+  SUCCEED();
+}
+
+TEST(ShardedStress, BulkHotKeyStrategiesUnderLoad) {
+  // Both mitigation strategies racing a skewed stream through small
+  // rings; completeness is the assertion, TSan the real check.
+  const auto t = cad_trace(50'000 * stress_scale());
+  std::vector<trace::BlockId> blocks;
+  blocks.reserve(t.size());
+  for (const auto& rec : t) {
+    // Skew: fold a third of the stream onto 4 hot blocks.
+    blocks.push_back(rec.block % 3 == 0 ? rec.block % 4 : rec.block);
+  }
+  for (const HotKeyStrategy strategy :
+       {HotKeyStrategy::kBatchRuns, HotKeyStrategy::kRebalance}) {
+    ShardedConfig c = stress_config(4);
+    c.hot_keys = strategy;
+    c.hot_key_min_count = 128;
+    ShardedEngine eng(c);
+    eng.access_many(blocks);
+    const auto merged = eng.merged_metrics();
+    ASSERT_EQ(merged.accesses, blocks.size());
+  }
+}
+
+TEST(ShardedStress, RunRoutingUnderLoad) {
+  // The positional deal racing bulk worker pops through small rings,
+  // with a run length misaligned with both the chunking and the ring
+  // size; completeness is the assertion, TSan the real check.
+  const auto t = cad_trace(100'000 * stress_scale());
+  std::vector<trace::BlockId> blocks;
+  blocks.reserve(t.size());
+  for (const auto& rec : t) {
+    blocks.push_back(rec.block);
+  }
+  ShardedConfig c = stress_config(4);
+  c.routing = Routing::kRuns;
+  c.run_length = 193;
+  ShardedEngine eng(c);
+  std::size_t i = 0;
+  std::size_t round = 0;
+  while (i < blocks.size()) {
+    const std::size_t n = std::min<std::size_t>(blocks.size() - i,
+                                                1 + (round * 89) % 733);
+    eng.access_many({blocks.data() + i, n});
+    i += n;
+    if (++round % 23 == 0) {
+      eng.drain();
+    }
+  }
+  const auto merged = eng.merged_metrics();
+  EXPECT_EQ(merged.accesses, blocks.size());
+  EXPECT_EQ(merged.demand_hits + merged.prefetch_hits + merged.misses,
+            blocks.size());
 }
 
 }  // namespace

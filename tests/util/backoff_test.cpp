@@ -1,0 +1,59 @@
+#include "util/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace pfp::util {
+namespace {
+
+// The escalation contract the sharded engine's backpressure fix relies
+// on: a stalled producer (or worker) spins only a bounded number of
+// rounds, after which EVERY wait cedes the core via yield — it can
+// never burn a core unbounded (the regression ShardedEngine saw on the
+// 1-CPU container).
+TEST(Backoff, SpinsBoundedRoundsThenAlwaysYields) {
+  Backoff backoff;
+  // Spin tier: exponents 0..kMaxSpinExponent return false (no yield).
+  for (std::uint32_t i = 0; i <= Backoff::kMaxSpinExponent; ++i) {
+    EXPECT_FALSE(backoff.yielding());
+    EXPECT_FALSE(backoff.wait()) << "spin round " << i << " yielded early";
+  }
+  // Yield tier: from here on, every single wait yields.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(backoff.yielding());
+    EXPECT_TRUE(backoff.wait()) << "yield-tier wait " << i << " spun";
+  }
+}
+
+TEST(Backoff, RoundCounterSaturatesAtYieldTier) {
+  Backoff backoff;
+  for (std::uint32_t i = 0; i <= Backoff::kMaxSpinExponent; ++i) {
+    EXPECT_EQ(backoff.round(), i);
+    backoff.wait();
+  }
+  const std::uint32_t at_yield = backoff.round();
+  backoff.wait();
+  backoff.wait();
+  EXPECT_EQ(backoff.round(), at_yield);  // no further escalation state
+}
+
+TEST(Backoff, ResetReturnsToCheapTier) {
+  Backoff backoff;
+  while (!backoff.yielding()) {
+    backoff.wait();
+  }
+  backoff.reset();
+  EXPECT_FALSE(backoff.yielding());
+  EXPECT_EQ(backoff.round(), 0u);
+  EXPECT_FALSE(backoff.wait());  // first post-reset wait spins again
+}
+
+TEST(Backoff, CpuRelaxIsCallable) {
+  // Smoke: the pause/yield intrinsic must compile and execute on this
+  // target (the #if ladder in backoff.hpp covers x86/ARM/other).
+  cpu_relax();
+}
+
+}  // namespace
+}  // namespace pfp::util

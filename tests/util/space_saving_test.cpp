@@ -1,0 +1,133 @@
+#include "util/space_saving.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace pfp::util {
+namespace {
+
+TEST(SpaceSaving, RejectsZeroCapacity) {
+  EXPECT_DEATH(SpaceSaving(0), "precondition");
+}
+
+TEST(SpaceSaving, ExactCountsWhileUnderCapacity) {
+  SpaceSaving sketch(4);
+  for (int i = 0; i < 3; ++i) {
+    sketch.record(7);
+  }
+  sketch.record(9);
+  EXPECT_EQ(sketch.size(), 2u);
+  EXPECT_EQ(sketch.total(), 4u);
+  EXPECT_EQ(sketch.count(7), 3u);
+  EXPECT_EQ(sketch.count(9), 1u);
+  EXPECT_EQ(sketch.count(42), 0u);
+  EXPECT_TRUE(sketch.tracked(7));
+  EXPECT_FALSE(sketch.tracked(42));
+  // No replacements yet, so counts are exact: guaranteed == estimate.
+  EXPECT_TRUE(sketch.is_heavy(7, 3));
+  EXPECT_FALSE(sketch.is_heavy(7, 4));
+}
+
+TEST(SpaceSaving, ReplacementInheritsMinCountAsError) {
+  SpaceSaving sketch(2);
+  sketch.record(1);
+  sketch.record(1);
+  sketch.record(2);  // min slot: count 1
+  sketch.record(3);  // evicts key 2, inherits count 1 as error
+  EXPECT_FALSE(sketch.tracked(2));
+  EXPECT_TRUE(sketch.tracked(3));
+  EXPECT_EQ(sketch.count(3), 2u);  // inherited 1 + its own occurrence
+  // Guaranteed count is 2 - 1 = 1: is_heavy() must not promote it past
+  // that, which is exactly how the Zipf tail gets filtered.
+  EXPECT_TRUE(sketch.is_heavy(3, 1));
+  EXPECT_FALSE(sketch.is_heavy(3, 2));
+}
+
+TEST(SpaceSaving, HeavyHittersAlwaysTracked) {
+  // Classic space-saving guarantee: any key with true frequency > N/K
+  // occupies a slot at stream end.  8 hot keys at ~10% each against a
+  // K=16 sketch over a noisy uniform tail.
+  constexpr std::uint64_t kHot = 8;
+  SpaceSaving sketch(16);
+  Xoshiro256 rng(5);
+  std::uint64_t hot_true[kHot] = {};
+  for (int i = 0; i < 100'000; ++i) {
+    if (rng.below(10) < 8) {
+      const std::uint64_t key = rng.below(kHot);
+      ++hot_true[key];
+      sketch.record(key);
+    } else {
+      sketch.record(1000 + rng.below(50'000));
+    }
+  }
+  for (std::uint64_t key = 0; key < kHot; ++key) {
+    ASSERT_TRUE(sketch.tracked(key)) << "hot key " << key << " lost";
+    // count() is an over-estimate, never an under-estimate.
+    EXPECT_GE(sketch.count(key), hot_true[key]);
+    // And the guaranteed bound clears a threshold far above tail noise.
+    EXPECT_TRUE(sketch.is_heavy(key, hot_true[key] / 2));
+  }
+}
+
+TEST(SpaceSaving, TopIsSortedAndDeterministic) {
+  SpaceSaving sketch(4);
+  for (int i = 0; i < 5; ++i) {
+    sketch.record(10);
+  }
+  for (int i = 0; i < 3; ++i) {
+    sketch.record(20);
+  }
+  sketch.record(30);
+  sketch.record(31);  // same count as 30: ties break by key
+  const std::vector<SpaceSaving::Entry> top = sketch.top();
+  ASSERT_EQ(top.size(), 4u);
+  EXPECT_EQ(top[0].key, 10u);
+  EXPECT_EQ(top[1].key, 20u);
+  EXPECT_EQ(top[2].key, 30u);
+  EXPECT_EQ(top[3].key, 31u);
+}
+
+TEST(SpaceSaving, ClearEmptiesTheSketch) {
+  SpaceSaving sketch(4);
+  sketch.record(1);
+  sketch.record(1);
+  sketch.clear();
+  EXPECT_EQ(sketch.size(), 0u);
+  EXPECT_EQ(sketch.total(), 0u);
+  EXPECT_FALSE(sketch.tracked(1));
+  sketch.record(2);
+  EXPECT_EQ(sketch.count(2), 1u);
+}
+
+TEST(SpaceSaving, DeterministicAcrossIdenticalStreams) {
+  // The sharded engine's routing depends on this: the sketch is a pure
+  // function of the record() sequence.
+  SpaceSaving a(8);
+  SpaceSaving b(8);
+  Xoshiro256 rng(9);
+  std::vector<std::uint64_t> stream;
+  for (int i = 0; i < 20'000; ++i) {
+    stream.push_back(rng.below(64));
+  }
+  for (const std::uint64_t key : stream) {
+    a.record(key);
+  }
+  for (const std::uint64_t key : stream) {
+    b.record(key);
+  }
+  const auto ta = a.top();
+  const auto tb = b.top();
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].key, tb[i].key);
+    EXPECT_EQ(ta[i].count, tb[i].count);
+    EXPECT_EQ(ta[i].error, tb[i].error);
+  }
+}
+
+}  // namespace
+}  // namespace pfp::util

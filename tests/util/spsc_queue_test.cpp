@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <numeric>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -144,6 +146,219 @@ TEST(SpscQueue, SizeNeverUnderflowsUnderConcurrentPop) {
   for (std::uint64_t i = 0; i < kCount; ++i) {
     while (!q.try_push(i)) {
       std::this_thread::yield();
+    }
+  }
+  consumer.join();
+  sampler.join();
+}
+
+TEST(SpscQueue, BulkPushPopRoundTrip) {
+  SpscQueue<int> q(16);
+  q.assert_producer();
+  q.assert_consumer();
+  std::vector<int> in(10);
+  std::iota(in.begin(), in.end(), 0);
+  EXPECT_EQ(q.try_push_n(in), 10u);
+  EXPECT_EQ(q.size(), 10u);
+  std::vector<int> out(16, -1);
+  EXPECT_EQ(q.try_pop_n(out.data(), out.size()), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SpscQueue, BulkOpsOnEmptyInputsAreNoops) {
+  SpscQueue<int> q(4);
+  q.assert_producer();
+  q.assert_consumer();
+  EXPECT_EQ(q.try_push_n(std::span<const int>{}), 0u);
+  int out = -1;
+  EXPECT_EQ(q.try_pop_n(&out, 0), 0u);
+  EXPECT_EQ(q.try_pop_n(&out, 4), 0u);  // empty ring
+  EXPECT_EQ(out, -1);
+}
+
+TEST(SpscQueue, BulkPushAcceptsPartialRunWhenNearlyFull) {
+  SpscQueue<int> q(8);
+  q.assert_producer();
+  q.assert_consumer();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.try_push(i));
+  }
+  // 3 slots free; a 6-element run is accepted front-first, partially.
+  const std::vector<int> in{5, 6, 7, 8, 9, 10};
+  EXPECT_EQ(q.try_push_n(in), 3u);
+  EXPECT_EQ(q.size(), 8u);
+  EXPECT_EQ(q.try_push_n(in), 0u);  // now genuinely full
+  for (int i = 0; i < 8; ++i) {
+    int v = -1;
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, i);  // FIFO preserved across the partial bulk push
+  }
+}
+
+TEST(SpscQueue, BulkPopReturnsAtMostWhatIsAvailable) {
+  SpscQueue<int> q(8);
+  q.assert_producer();
+  q.assert_consumer();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(q.try_push(i));
+  }
+  std::vector<int> out(8, -1);
+  EXPECT_EQ(q.try_pop_n(out.data(), 8), 3u);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], 1);
+  EXPECT_EQ(out[2], 2);
+  EXPECT_EQ(out[3], -1);
+}
+
+// Property test for the wrap seam: drive the ring through every head
+// offset with mixed-size bulk pushes/pops and verify the stream comes
+// out intact.  Every iteration whose start offset + run length crosses
+// capacity() exercises the two-segment copy in both directions.
+TEST(SpscQueue, BulkOpsPreserveFifoAcrossWrapSeam) {
+  SpscQueue<std::uint64_t> q(16);
+  q.assert_producer();
+  q.assert_consumer();
+  std::uint64_t next_in = 0;
+  std::uint64_t next_out = 0;
+  std::vector<std::uint64_t> chunk;
+  std::vector<std::uint64_t> out(16);
+  // Varying run lengths 1..13 against capacity 16 hit every alignment of
+  // the seam over 500 rounds.
+  for (int round = 0; round < 500; ++round) {
+    const std::size_t len = 1 + static_cast<std::size_t>(round) % 13;
+    chunk.clear();
+    for (std::size_t i = 0; i < len; ++i) {
+      chunk.push_back(next_in++);
+    }
+    std::span<const std::uint64_t> rest(chunk);
+    while (!rest.empty()) {
+      const std::size_t accepted = q.try_push_n(rest);
+      if (accepted == 0) {
+        const std::size_t popped = q.try_pop_n(out.data(), out.size());
+        ASSERT_GT(popped, 0u);
+        for (std::size_t i = 0; i < popped; ++i) {
+          ASSERT_EQ(out[i], next_out++);
+        }
+        continue;
+      }
+      rest = rest.subspan(accepted);
+    }
+  }
+  for (;;) {
+    const std::size_t popped = q.try_pop_n(out.data(), out.size());
+    if (popped == 0) {
+      break;
+    }
+    for (std::size_t i = 0; i < popped; ++i) {
+      ASSERT_EQ(out[i], next_out++);
+    }
+  }
+  EXPECT_EQ(next_out, next_in);
+  EXPECT_TRUE(q.empty());
+}
+
+// Two-thread bulk transfer: producer pushes in bulk runs, consumer
+// drains in bulk runs, contents must arrive complete and in order.
+// Doubles as the TSan coverage for the single release/acquire pair the
+// bulk ops publish a whole run under (CI runs this file under
+// -fsanitize=thread via the SpscQueue filter).
+TEST(SpscQueue, TwoThreadBulkTransferDeliversEverythingInOrder) {
+  SpscQueue<std::uint64_t> q(64);
+  constexpr std::uint64_t kCount = 200'000;
+
+  std::vector<std::uint64_t> received;
+  received.reserve(kCount);
+  std::thread consumer([&] {
+    q.assert_consumer();
+    std::uint64_t buf[48];
+    while (received.size() < kCount) {
+      const std::size_t n = q.try_pop_n(buf, 48);
+      if (n == 0) {
+        std::this_thread::yield();
+        continue;
+      }
+      received.insert(received.end(), buf, buf + n);
+    }
+  });
+
+  q.assert_producer();
+  std::vector<std::uint64_t> chunk;
+  std::uint64_t next = 0;
+  while (next < kCount) {
+    const std::size_t len =
+        static_cast<std::size_t>(1 + next % 37);  // mixed run sizes
+    chunk.clear();
+    for (std::size_t i = 0; i < len && next < kCount; ++i) {
+      chunk.push_back(next++);
+    }
+    std::span<const std::uint64_t> rest(chunk);
+    while (!rest.empty()) {
+      const std::size_t accepted = q.try_push_n(rest);
+      if (accepted == 0) {
+        std::this_thread::yield();
+        continue;
+      }
+      rest = rest.subspan(accepted);
+    }
+  }
+  consumer.join();
+
+  ASSERT_EQ(received.size(), kCount);
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(received[i], i) << "reordered at index " << i;
+  }
+}
+
+// size() monotonicity/sanity under concurrent bulk pops: same contract
+// as SizeNeverUnderflowsUnderConcurrentPop, but with the consumer
+// draining whole runs so head advances by large strides between the
+// sampler's two loads.
+TEST(SpscQueue, SizeNeverUnderflowsUnderConcurrentBulkPop) {
+  SpscQueue<std::uint64_t> q(16);
+  constexpr std::uint64_t kCount = 50'000;
+  std::atomic<bool> done{false};
+
+  std::thread consumer([&] {
+    q.assert_consumer();
+    std::uint64_t buf[16];
+    std::uint64_t popped = 0;
+    while (popped < kCount) {
+      const std::size_t n = q.try_pop_n(buf, 16);
+      if (n == 0) {
+        std::this_thread::yield();
+      } else {
+        popped += n;
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  std::thread sampler([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      ASSERT_LT(q.size(), std::uint64_t{1} << 32);
+      std::this_thread::yield();  // don't starve the transfer on 1 CPU
+    }
+  });
+
+  q.assert_producer();
+  std::vector<std::uint64_t> chunk;
+  std::uint64_t next = 0;
+  while (next < kCount) {
+    chunk.clear();
+    for (std::size_t i = 0; i < 8 && next < kCount; ++i) {
+      chunk.push_back(next++);
+    }
+    std::span<const std::uint64_t> rest(chunk);
+    while (!rest.empty()) {
+      const std::size_t accepted = q.try_push_n(rest);
+      if (accepted == 0) {
+        std::this_thread::yield();
+        continue;
+      }
+      rest = rest.subspan(accepted);
     }
   }
   consumer.join();
