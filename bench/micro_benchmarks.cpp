@@ -220,6 +220,9 @@ BENCHMARK(BM_SimulatorThroughput)
     ->Arg(static_cast<int>(core::policy::PolicyKind::kTreeThreshold))
     ->Arg(static_cast<int>(core::policy::PolicyKind::kTreeChildren))
     ->Arg(static_cast<int>(core::policy::PolicyKind::kTreeAdaptive))
+    ->Arg(static_cast<int>(core::policy::PolicyKind::kProbGraph))
+    ->Arg(static_cast<int>(core::policy::PolicyKind::kMarkov))
+    ->Arg(static_cast<int>(core::policy::PolicyKind::kAssoc))
     ->Unit(benchmark::kMillisecond);
 
 // Single-engine access throughput at each observability level.  Arg(0)

@@ -27,6 +27,8 @@ const pfp::core::policy::PolicyKind kKinds[] = {
     pfp::core::policy::PolicyKind::kProbGraph,
     pfp::core::policy::PolicyKind::kPerfectSelector,
     pfp::core::policy::PolicyKind::kTreeAdaptive,
+    pfp::core::policy::PolicyKind::kMarkov,
+    pfp::core::policy::PolicyKind::kAssoc,
 };
 
 // Enumerator names as they appear in the Golden initializers.
@@ -43,6 +45,8 @@ const char* kind_token(pfp::core::policy::PolicyKind kind) {
     case PolicyKind::kProbGraph: return "kProbGraph";
     case PolicyKind::kPerfectSelector: return "kPerfectSelector";
     case PolicyKind::kTreeAdaptive: return "kTreeAdaptive";
+    case PolicyKind::kMarkov: return "kMarkov";
+    case PolicyKind::kAssoc: return "kAssoc";
   }
   return "?";
 }

@@ -68,6 +68,8 @@ from typing import Iterable, List, NamedTuple
 HOT_DIRS = ("src/core", "src/cache", "src/obs")
 COSTBEN_DIR = "src/core/costben"
 TREE_DIR = "src/core/tree"
+MARKOV_DIR = "src/core/markov"
+ASSOC_DIR = "src/core/assoc"
 ENGINE_DIR = "src/engine"
 OBS_DIR = "src/obs"
 UTIL_DIR = "src/util"
@@ -75,10 +77,25 @@ SOURCE_SUFFIXES = {".hpp", ".cpp"}
 
 # Layer boundaries: directory -> include prefixes it may not reach.  The
 # obs entry lists every project layer except util/ and obs/ itself, which
-# is the allowlist "obs may include util only" phrased as a ban.
+# is the allowlist "obs may include util only" phrased as a ban.  The
+# costben entry keeps the controller predictor-agnostic: the cost model
+# (Eq. 1-14) consumes generic candidates (costben/candidate.hpp) and may
+# never know any predictor family's types — the predictor-zoo refactor
+# depends on that direction staying one-way.  The predictor modules
+# (tree/, markov/, assoc/) are below policy/ and must not reach up into
+# the policies that drive them, nor sideways into each other.
 LAYERING = {
     ENGINE_DIR: ("sim/",),
     OBS_DIR: ("trace/", "cache/", "core/", "engine/", "sim/"),
+    COSTBEN_DIR: ("core/tree/", "core/markov/", "core/assoc/",
+                  "core/policy/", "cache/", "trace/", "engine/", "sim/",
+                  "obs/"),
+    TREE_DIR: ("core/policy/", "core/markov/", "core/assoc/", "engine/",
+               "sim/", "obs/"),
+    MARKOV_DIR: ("core/policy/", "core/tree/", "core/assoc/", "engine/",
+                 "sim/", "obs/"),
+    ASSOC_DIR: ("core/policy/", "core/tree/", "core/markov/", "engine/",
+                "sim/", "obs/"),
 }
 
 ALLOW_LINE_RE = re.compile(r"lint:\s*allow\(([a-z-]+)\)")

@@ -369,6 +369,85 @@ class LayeringRule(LintHarness):
         self.assertEqual(self.rules(found), set())
 
 
+class PredictorLayeringRule(LintHarness):
+    def test_costben_including_tree_fires(self) -> None:
+        found = self.lint_file(
+            "src/core/costben/bad.hpp",
+            '#pragma once\n#include "core/tree/prefetch_tree.hpp"\n')
+        self.assertIn("layering", self.rules(found))
+        self.assertEqual(found[0].line, 2)
+
+    def test_costben_including_markov_or_assoc_fires(self) -> None:
+        found = self.lint_file(
+            "src/core/costben/bad2.cpp",
+            '#include "core/markov/markov_model.hpp"\n'
+            '#include "core/assoc/association_miner.hpp"\n')
+        self.assertEqual(
+            [v.line for v in found if v.rule == "layering"], [1, 2])
+
+    def test_costben_including_policy_fires(self) -> None:
+        found = self.lint_file(
+            "src/core/costben/bad3.cpp",
+            '#include "core/policy/prefetcher.hpp"\n')
+        self.assertIn("layering", self.rules(found))
+
+    def test_costben_including_util_and_itself_is_fine(self) -> None:
+        found = self.lint_file(
+            "src/core/costben/good.cpp",
+            '#include "core/costben/equations.hpp"\n'
+            '#include "core/costben/candidate.hpp"\n'
+            '#include "util/ewma.hpp"\n')
+        self.assertEqual(self.rules(found), set())
+
+    def test_markov_including_policy_fires(self) -> None:
+        found = self.lint_file(
+            "src/core/markov/bad.cpp",
+            '#include "core/policy/cost_benefit.hpp"\n')
+        self.assertIn("layering", self.rules(found))
+
+    def test_markov_including_sibling_predictor_fires(self) -> None:
+        found = self.lint_file(
+            "src/core/markov/bad2.cpp",
+            '#include "core/tree/node_pool.hpp"\n'
+            '#include "core/assoc/association_miner.hpp"\n')
+        self.assertEqual(
+            [v.line for v in found if v.rule == "layering"], [1, 2])
+
+    def test_assoc_including_tree_or_markov_fires(self) -> None:
+        found = self.lint_file(
+            "src/core/assoc/bad.cpp",
+            '#include "core/markov/markov_model.hpp"\n')
+        self.assertIn("layering", self.rules(found))
+
+    def test_tree_including_policy_fires(self) -> None:
+        found = self.lint_file(
+            "src/core/tree/bad_layer.cpp",
+            '#include "core/policy/prefetcher.hpp"\n')
+        self.assertIn("layering", self.rules(found))
+
+    def test_predictor_including_costben_and_util_is_fine(self) -> None:
+        # Downward includes are the point: predictors speak the generic
+        # candidate vocabulary and use util primitives.
+        for rel in ("src/core/markov/good.cpp", "src/core/assoc/good.cpp"):
+            found = self.lint_file(
+                rel,
+                '#include "core/costben/candidate.hpp"\n'
+                '#include "trace/record.hpp"\n'
+                '#include "util/flat_map.hpp"\n'
+                '#include "util/lru_list.hpp"\n')
+            self.assertEqual(self.rules(found), set())
+
+    def test_policy_including_predictors_is_fine(self) -> None:
+        # policy/ sits above all three predictor families.
+        found = self.lint_file(
+            "src/core/policy/good.cpp",
+            '#include "core/tree/prefetch_tree.hpp"\n'
+            '#include "core/markov/markov_model.hpp"\n'
+            '#include "core/assoc/association_miner.hpp"\n'
+            '#include "core/costben/equations.hpp"\n')
+        self.assertEqual(self.rules(found), set())
+
+
 class ObsLayeringRule(LintHarness):
     def test_obs_including_engine_fires(self) -> None:
         found = self.lint_file(

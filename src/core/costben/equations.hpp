@@ -60,6 +60,15 @@ class BenefitTable {
     return p_b * dtpf_[d_b] - p_x * dtpf_[d_b - 1];
   }
 
+  /// dT_pf(b, d) itself.  Eq. 1's second term assumes the candidate will
+  /// be offered again at depth d-1 next period; single-offer predictors
+  /// (see CostBenefitKnobs::single_offer) price against the demand fetch
+  /// the block otherwise becomes, which is this value times p_b.
+  [[nodiscard]] double dtpf(std::uint32_t d_b) const {
+    PFP_DASSERT(d_b <= max_depth_);
+    return dtpf_[d_b];
+  }
+
  private:
   const double* dtpf_;
   std::uint32_t max_depth_;

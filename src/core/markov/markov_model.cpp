@@ -1,0 +1,335 @@
+#include "core/markov/markov_model.hpp"
+
+#include <algorithm>
+#include <array>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+#include "util/audit.hpp"
+#include "util/binary_io.hpp"
+
+namespace pfp::core::markov {
+
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'P', 'F', 'M', 'K'};
+constexpr std::uint16_t kStreamVersion = 1;
+
+[[noreturn]] void corrupt(const char* what) {
+  throw std::runtime_error(std::string("delta-markov stream: ") + what);
+}
+
+}  // namespace
+
+DeltaMarkov::DeltaMarkov(MarkovConfig config)
+    : config_(config), lru_(config.max_contexts) {
+  PFP_REQUIRE(config_.max_contexts >= 1);
+  PFP_REQUIRE(config_.row_width >= 1);
+  // max_count == 1 would re-decay a fresh count forever.
+  PFP_REQUIRE(config_.max_count >= 2);
+  index_.reserve(config_.max_contexts);
+}
+
+void DeltaMarkov::observe(trace::BlockId block) {
+  if (!has_prev_block_) {
+    prev_block_ = block;
+    has_prev_block_ = true;
+    return;
+  }
+  const std::int64_t delta = static_cast<std::int64_t>(block) -
+                             static_cast<std::int64_t>(prev_block_);
+  if (has_prev_delta_) {
+    record(prev_delta_, delta);
+  }
+  prev_delta_ = delta;
+  has_prev_delta_ = true;
+  prev_block_ = block;
+  PFP_AUDIT_SWEEP(*this);
+}
+
+std::uint32_t DeltaMarkov::ensure_row(std::int64_t context) {
+  const auto it = index_.find(context);
+  if (it != index_.end()) {
+    lru_.touch(it->second);
+    return it->second;
+  }
+  std::uint32_t slot = 0;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else if (rows_.size() < config_.max_contexts) {
+    slot = static_cast<std::uint32_t>(rows_.size());
+    rows_.push_back(Row{});
+    arena_.resize(rows_.size() * config_.row_width);
+  } else {
+    // Table full: recycle the least recently updated row.
+    slot = lru_.pop_back();
+    Row& victim = rows_[slot];
+    index_.erase(victim.context);
+    transitions_ -= victim.size;
+  }
+  rows_[slot] = Row{context, 0, 0};
+  index_.emplace(context, slot);
+  lru_.push_front(slot);
+  return slot;
+}
+
+void DeltaMarkov::record(std::int64_t context, std::int64_t next_delta) {
+  const std::uint32_t slot = ensure_row(context);
+  Row& row = rows_[slot];
+  Transition* t = row_slice(slot);
+
+  std::uint32_t i = 0;
+  while (i < row.size && t[i].delta != next_delta) {
+    ++i;
+  }
+  if (i < row.size) {
+    ++t[i].count;
+    ++row.total;
+    // Bubble toward the front to keep the descending-count order.
+    while (i > 0 && t[i - 1].count < t[i].count) {
+      std::swap(t[i - 1], t[i]);
+      --i;
+    }
+    if (t[i].count >= config_.max_count) {
+      decay_row(slot);
+    }
+  } else if (row.size < config_.row_width) {
+    t[row.size] = Transition{next_delta, 1};
+    ++row.size;
+    ++row.total;
+    ++transitions_;
+  } else {
+    // Full row: the weakest successor (last, by the sorted invariant)
+    // makes room for the newcomer.
+    row.total -= t[row.size - 1].count;
+    t[row.size - 1] = Transition{next_delta, 1};
+    ++row.total;
+  }
+}
+
+void DeltaMarkov::decay_row(std::uint32_t slot) {
+  Row& row = rows_[slot];
+  Transition* t = row_slice(slot);
+  std::uint32_t kept = 0;
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < row.size; ++i) {
+    const std::uint32_t halved = t[i].count / 2;
+    if (halved == 0) {
+      continue;  // stale successor fades out entirely
+    }
+    t[kept] = Transition{t[i].delta, halved};
+    total += halved;
+    ++kept;
+  }
+  transitions_ -= row.size - kept;
+  row.size = kept;
+  row.total = total;
+}
+
+std::size_t DeltaMarkov::predict_into(
+    const MarkovPredictLimits& limits,
+    std::vector<costben::PredictedBlock>& out) const {
+  if (!has_prev_delta_ || limits.max_candidates == 0) {
+    return 0;
+  }
+  const auto it = index_.find(prev_delta_);
+  if (it == index_.end()) {
+    return 0;  // never seen this context: nothing to predict
+  }
+  scratch_.clear();
+  const Row& row = rows_[it->second];
+  const Transition* t = row_slice(it->second);
+  for (std::uint32_t i = 0; i < row.size; ++i) {
+    const double p1 =
+        static_cast<double>(t[i].count) / static_cast<double>(row.total);
+    if (p1 < limits.min_probability) {
+      break;  // sorted descending: everything after is weaker
+    }
+    const std::int64_t first =
+        static_cast<std::int64_t>(prev_block_) + t[i].delta;
+    if (first < 0) {
+      continue;  // delta walks off the front of the address space
+    }
+    scratch_.push_back(costben::PredictedBlock{
+        static_cast<std::uint64_t>(first), p1, 1.0, 1});
+
+    // Greedy chain: extend along each next context's most probable
+    // successor, multiplying step probabilities (Eq. 1's path product).
+    std::int64_t base = first;
+    std::int64_t context = t[i].delta;
+    double p_prev = p1;
+    for (std::uint32_t depth = 2; depth <= limits.max_depth; ++depth) {
+      const auto jt = index_.find(context);
+      if (jt == index_.end() || rows_[jt->second].size == 0) {
+        break;
+      }
+      const Row& next_row = rows_[jt->second];
+      const Transition& best = row_slice(jt->second)[0];
+      const double step = static_cast<double>(best.count) /
+                          static_cast<double>(next_row.total);
+      const double p = p_prev * step;
+      if (p < limits.min_probability) {
+        break;
+      }
+      base += best.delta;
+      if (base < 0) {
+        break;
+      }
+      scratch_.push_back(costben::PredictedBlock{
+          static_cast<std::uint64_t>(base), p, p_prev, depth});
+      p_prev = p;
+      context = best.delta;
+    }
+  }
+
+  // Most probable first; ties broken by block then depth so the output
+  // is a pure function of the model state.
+  std::sort(scratch_.begin(), scratch_.end(),
+            [](const costben::PredictedBlock& a,
+               const costben::PredictedBlock& b) {
+              if (a.probability != b.probability) {
+                return a.probability > b.probability;
+              }
+              if (a.block != b.block) {
+                return a.block < b.block;
+              }
+              return a.depth < b.depth;
+            });
+  seen_.clear();
+  std::size_t appended = 0;
+  for (const costben::PredictedBlock& c : scratch_) {
+    if (appended >= limits.max_candidates) {
+      break;
+    }
+    if (!seen_.emplace(c.block, '\0').second) {
+      continue;  // chains can converge: keep the most probable route
+    }
+    out.push_back(c);
+    ++appended;
+  }
+  return appended;
+}
+
+std::size_t DeltaMarkov::actual_memory_bytes() const noexcept {
+  return rows_.capacity() * sizeof(Row) +
+         arena_.capacity() * sizeof(Transition) +
+         index_.capacity() * (sizeof(std::pair<std::int64_t, std::uint32_t>) +
+                              sizeof(std::uint8_t)) +
+         lru_.capacity() * 2 * sizeof(std::uint32_t) +
+         free_.capacity() * sizeof(std::uint32_t) +
+         scratch_.capacity() * sizeof(costben::PredictedBlock) +
+         seen_.capacity() * (sizeof(std::pair<std::uint64_t, char>) +
+                             sizeof(std::uint8_t));
+}
+
+void DeltaMarkov::serialize(std::ostream& out) const {
+  out.write(kMagic.data(), kMagic.size());
+  util::write_u16(out, kStreamVersion);
+  util::write_u64(out, index_.size());
+  // LRU-to-MRU so the reader's push_front replays the recency order.
+  for (std::uint32_t slot = lru_.back(); slot != util::LruList::npos;
+       slot = lru_.prev(slot)) {
+    const Row& row = rows_[slot];
+    util::write_i64(out, row.context);
+    util::write_u32(out, row.size);
+    const Transition* t = row_slice(slot);
+    for (std::uint32_t i = 0; i < row.size; ++i) {
+      util::write_i64(out, t[i].delta);
+      util::write_u32(out, t[i].count);
+    }
+  }
+}
+
+DeltaMarkov DeltaMarkov::deserialize(std::istream& in, MarkovConfig config) {
+  std::array<char, 4> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) {
+    corrupt("bad magic");
+  }
+  if (util::read_u16(in) != kStreamVersion) {
+    corrupt("unsupported version");
+  }
+  DeltaMarkov model(config);
+  const std::uint64_t row_count = util::read_u64(in);
+  if (!in || row_count > config.max_contexts) {
+    corrupt("row count exceeds the configured context bound");
+  }
+  for (std::uint64_t r = 0; r < row_count; ++r) {
+    const std::int64_t context = util::read_i64(in);
+    const std::uint32_t size = util::read_u32(in);
+    if (!in) {
+      corrupt("truncated row header");
+    }
+    if (size > config.row_width) {
+      corrupt("row width exceeds the configured bound");
+    }
+    const std::uint32_t slot = model.ensure_row(context);
+    if (model.rows_[slot].size != 0 || model.index_.size() != r + 1) {
+      corrupt("duplicate context row");
+    }
+    Row& row = model.rows_[slot];
+    Transition* t = model.row_slice(slot);
+    for (std::uint32_t i = 0; i < size; ++i) {
+      const std::int64_t delta = util::read_i64(in);
+      const std::uint32_t count = util::read_u32(in);
+      if (!in) {
+        corrupt("truncated transition");
+      }
+      if (count == 0) {
+        corrupt("zero transition count");
+      }
+      if (i > 0 && t[i - 1].count < count) {
+        corrupt("transitions not in descending-count order");
+      }
+      t[i] = Transition{delta, count};
+      row.total += count;
+    }
+    row.size = size;
+    model.transitions_ += size;
+  }
+  PFP_AUDIT_SWEEP(model);
+  return model;
+}
+
+void DeltaMarkov::audit() const {
+#if PFP_AUDIT_ENABLED
+  PFP_AUDIT("DeltaMarkov", rows_.size() <= config_.max_contexts,
+            "row storage within the configured bound");
+  PFP_AUDIT("DeltaMarkov", index_.size() == lru_.size(),
+            "every indexed row is LRU-linked");
+  PFP_AUDIT("DeltaMarkov", index_.size() + free_.size() == rows_.size(),
+            "slots are either live or on the free list");
+  std::size_t live_transitions = 0;
+  for (const auto& [context, slot] : index_) {
+    PFP_AUDIT("DeltaMarkov", slot < rows_.size(), "index points at a slot");
+    PFP_AUDIT("DeltaMarkov", rows_[slot].context == context,
+              "row context matches its index key");
+    PFP_AUDIT("DeltaMarkov", lru_.contains(slot), "live row is LRU-linked");
+    const Row& row = rows_[slot];
+    PFP_AUDIT("DeltaMarkov", row.size <= config_.row_width,
+              "row within the configured width");
+    std::uint64_t total = 0;
+    const Transition* t = row_slice(slot);
+    for (std::uint32_t i = 0; i < row.size; ++i) {
+      PFP_AUDIT("DeltaMarkov", t[i].count >= 1, "live transition has weight");
+      PFP_AUDIT("DeltaMarkov", i == 0 || t[i - 1].count >= t[i].count,
+                "row sorted by descending count");
+      total += t[i].count;
+    }
+    PFP_AUDIT("DeltaMarkov", total == row.total,
+              "row total equals the sum of its counts");
+    live_transitions += row.size;
+  }
+  PFP_AUDIT("DeltaMarkov", live_transitions == transitions_,
+            "transition counter matches live rows");
+  for (const std::uint32_t slot : free_) {
+    PFP_AUDIT("DeltaMarkov", slot < rows_.size(), "free slot is allocated");
+    PFP_AUDIT("DeltaMarkov", !lru_.contains(slot), "free slot is unlinked");
+  }
+#endif
+}
+
+}  // namespace pfp::core::markov

@@ -1,0 +1,147 @@
+// Pangloss-style delta-Markov predictor (arXiv:1906.00877, adapted).
+//
+// The model learns the first-order chain over *address deltas*: after
+// seeing consecutive blocks a, b, c it records the transition
+// (b - a) -> (c - b).  Deltas generalize across absolute addresses, so a
+// strided or looping workload collapses onto a handful of rows where a
+// per-block table would sprawl.  Each context delta owns one compressed
+// row: a fixed-width, count-sorted list of successor deltas (the paper's
+// "compressed Markov chain" rows), and the whole table is LRU-bounded so
+// memory stays constant no matter how wild the trace is.
+//
+// Aging: when a row's hottest count saturates, every count in the row is
+// halved (zeros drop out).  Stale transitions therefore decay instead of
+// pinning the row forever — the bounded-row analogue of Pangloss's LRU
+// position-as-probability trick.
+//
+// Prediction walks the chain greedily from the last observed delta:
+// depth-1 candidates are the current row's successors; deeper candidates
+// extend each depth-1 candidate along the most probable path, multiplying
+// step probabilities exactly like the LZ tree multiplies edge
+// probabilities (Eq. 1's p_b), with the previous chain element's
+// probability as p_x.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/costben/candidate.hpp"
+#include "trace/record.hpp"
+#include "util/flat_map.hpp"
+#include "util/lru_list.hpp"
+
+namespace pfp::core::markov {
+
+struct MarkovConfig {
+  /// Bound on tracked context deltas (rows); the least recently updated
+  /// row is recycled when the table is full.
+  std::uint32_t max_contexts = 4096;
+  /// Successor deltas kept per row; the weakest is displaced when a new
+  /// successor arrives at a full row.
+  std::uint32_t row_width = 8;
+  /// Count saturation threshold: when a successor's count reaches this,
+  /// the whole row's counts are halved (aging).
+  std::uint32_t max_count = 255;
+};
+
+/// Cutoffs for predict_into, mirroring tree::EnumeratorLimits.
+struct MarkovPredictLimits {
+  std::uint32_t max_depth = 8;
+  double min_probability = 0.002;
+  std::size_t max_candidates = 48;
+};
+
+class DeltaMarkov {
+ public:
+  /// One successor-delta entry of a row.
+  struct Transition {
+    std::int64_t delta = 0;
+    std::uint32_t count = 0;
+  };
+
+  DeltaMarkov() : DeltaMarkov(MarkovConfig{}) {}
+  explicit DeltaMarkov(MarkovConfig config);
+
+  [[nodiscard]] const MarkovConfig& config() const noexcept { return config_; }
+
+  /// Feeds one access; updates the chain with the (previous delta ->
+  /// new delta) transition once two deltas exist.
+  void observe(trace::BlockId block);
+
+  /// Appends up to `limits.max_candidates` predictions (most probable
+  /// first, deduplicated by block) for the current position; returns the
+  /// number appended.  Candidates carry chain-product probabilities and
+  /// the previous chain element's probability as parent_probability.
+  std::size_t predict_into(const MarkovPredictLimits& limits,
+                           std::vector<costben::PredictedBlock>& out) const;
+
+  /// Number of live context rows.
+  [[nodiscard]] std::size_t row_count() const noexcept {
+    return index_.size();
+  }
+  /// Number of live transitions across all rows.
+  [[nodiscard]] std::size_t transition_count() const noexcept {
+    return transitions_;
+  }
+
+  /// What the model's containers really hold (capacity, not size) —
+  /// comparable across policies like NodePool::actual_memory_bytes().
+  [[nodiscard]] std::size_t actual_memory_bytes() const noexcept;
+
+  /// "PFMK" v1: rows in LRU-to-MRU order so a round trip preserves the
+  /// eviction order exactly.  The transient parse position (previous
+  /// block / delta) is warm-up state and intentionally not persisted.
+  void serialize(std::ostream& out) const;
+  /// Rebuilds a model from `in` under `config`'s bounds; throws
+  /// std::runtime_error ("delta-markov stream: ...") on malformed input
+  /// or rows exceeding the configured bounds.
+  static DeltaMarkov deserialize(std::istream& in, MarkovConfig config);
+
+  /// SIM_AUDIT sweep: index/rows/LRU/free-list consistency, per-row
+  /// count ordering and totals (no-op unless PFP_AUDIT_ENABLED).
+  void audit() const;
+
+ private:
+  struct Row {
+    std::int64_t context = 0;   ///< the delta keying this row
+    std::uint64_t total = 0;    ///< sum of live transition counts
+    std::uint32_t size = 0;     ///< live entries in the arena slice
+  };
+
+  [[nodiscard]] Transition* row_slice(std::uint32_t slot) noexcept {
+    return arena_.data() + static_cast<std::size_t>(slot) * config_.row_width;
+  }
+  [[nodiscard]] const Transition* row_slice(std::uint32_t slot) const noexcept {
+    return arena_.data() + static_cast<std::size_t>(slot) * config_.row_width;
+  }
+
+  /// Row slot for `context`, allocating (and evicting the LRU row if the
+  /// table is full) when absent.  Touches the LRU either way.
+  std::uint32_t ensure_row(std::int64_t context);
+  void record(std::int64_t context, std::int64_t next_delta);
+  /// Halves every count in the row, dropping zeros (aging).
+  void decay_row(std::uint32_t slot);
+
+  MarkovConfig config_;
+  util::FlatMap<std::int64_t, std::uint32_t> index_;  ///< context -> slot
+  std::vector<Row> rows_;
+  std::vector<Transition> arena_;  ///< rows_[i] owns slice i*row_width
+  util::LruList lru_;              ///< over row slots, front = MRU
+  std::vector<std::uint32_t> free_;  ///< recycled row slots
+  std::size_t transitions_ = 0;
+
+  // Parse position: the last observed block and delta.
+  trace::BlockId prev_block_ = 0;
+  std::int64_t prev_delta_ = 0;
+  bool has_prev_block_ = false;
+  bool has_prev_delta_ = false;
+
+  // predict_into staging, reused across calls so prediction allocates
+  // nothing at steady state.  Logically const: prediction never mutates
+  // the chain itself.
+  mutable std::vector<costben::PredictedBlock> scratch_;
+  mutable util::FlatMap<std::uint64_t, char> seen_;  ///< dedup by block
+};
+
+}  // namespace pfp::core::markov

@@ -6,6 +6,8 @@
 // means adding a policy kind touches one place instead of every driver.
 #pragma once
 
+#include <cstdio>
+
 #include "core/policy/factory.hpp"
 #include "core/policy/next_limit.hpp"
 #include "core/policy/no_prefetch.hpp"
@@ -14,6 +16,7 @@
 #include "core/policy/tree_lvc.hpp"
 #include "core/policy/tree_next_limit.hpp"
 #include "core/policy/tree_threshold.hpp"
+#include "util/assert.hpp"
 
 namespace pfp::core::policy {
 
@@ -23,11 +26,29 @@ struct KindTag {
   using type = T;
 };
 
+/// The vtable fallback silently forfeits devirtualization, so reaching it
+/// means a PolicyKind was added without a dispatch_kind case — a bug, not
+/// a mode.  Debug builds abort; Release builds log once per process and
+/// keep running on the (correct, just slower) virtual path.
+inline void note_vtable_fallback(PolicyKind kind) {
+  PFP_DASSERT(!"dispatch_kind: PolicyKind missing from the static dispatch "
+               "table, falling back to the vtable");
+  static const bool warned_once = [kind] {
+    std::fprintf(stderr,
+                 "pfp: warning: dispatch_kind has no case for PolicyKind %d "
+                 "('%s'); using the vtable fallback (devirtualized loops "
+                 "disabled for it)\n",
+                 static_cast<int>(kind), kind_name(kind).c_str());
+    return true;
+  }();
+  (void)warned_once;
+}
+
 /// Invokes f with KindTag<Concrete> for the dynamic type make_prefetcher
 /// builds for `kind` (kTree maps to TreeCostBenefit even though
 /// subclasses exist — the factory guarantees the exact type).  Unknown
 /// kinds fall back to KindTag<Prefetcher>, which visitors should treat as
-/// "use the vtable".
+/// "use the vtable"; see note_vtable_fallback for how loudly.
 template <typename F>
 decltype(auto) dispatch_kind(PolicyKind kind, F&& f) {
   switch (kind) {
@@ -51,7 +72,12 @@ decltype(auto) dispatch_kind(PolicyKind kind, F&& f) {
       return f(KindTag<ProbGraph>{});
     case PolicyKind::kTreeAdaptive:
       return f(KindTag<TreeAdaptive>{});
+    case PolicyKind::kMarkov:
+      return f(KindTag<MarkovCostBenefit>{});
+    case PolicyKind::kAssoc:
+      return f(KindTag<AssocCostBenefit>{});
   }
+  note_vtable_fallback(kind);
   return f(KindTag<Prefetcher>{});  // unknown kind: vtable fallback
 }
 

@@ -19,6 +19,18 @@ const std::vector<PolicyKind>& headline_policies() {
   return kAll;
 }
 
+const std::vector<PolicyKind>& all_policy_kinds() {
+  static const std::vector<PolicyKind> kAll = {
+      PolicyKind::kNoPrefetch,      PolicyKind::kNextLimit,
+      PolicyKind::kTree,            PolicyKind::kTreeNextLimit,
+      PolicyKind::kTreeLvc,         PolicyKind::kPerfectSelector,
+      PolicyKind::kTreeThreshold,   PolicyKind::kTreeChildren,
+      PolicyKind::kProbGraph,       PolicyKind::kTreeAdaptive,
+      PolicyKind::kMarkov,          PolicyKind::kAssoc,
+  };
+  return kAll;
+}
+
 std::string kind_name(PolicyKind kind) {
   switch (kind) {
     case PolicyKind::kNoPrefetch:
@@ -41,19 +53,16 @@ std::string kind_name(PolicyKind kind) {
       return "prob-graph";
     case PolicyKind::kTreeAdaptive:
       return "tree-adaptive";
+    case PolicyKind::kMarkov:
+      return "markov";
+    case PolicyKind::kAssoc:
+      return "assoc";
   }
   return "?";
 }
 
 PolicyKind kind_from_name(const std::string& name) {
-  static const PolicyKind kAll[] = {
-      PolicyKind::kNoPrefetch,      PolicyKind::kNextLimit,
-      PolicyKind::kTree,            PolicyKind::kTreeNextLimit,
-      PolicyKind::kTreeLvc,         PolicyKind::kPerfectSelector,
-      PolicyKind::kTreeThreshold,   PolicyKind::kTreeChildren,
-      PolicyKind::kProbGraph,      PolicyKind::kTreeAdaptive,
-  };
-  for (const PolicyKind kind : kAll) {
+  for (const PolicyKind kind : all_policy_kinds()) {
     if (kind_name(kind) == name) {
       return kind;
     }
@@ -86,6 +95,41 @@ void validate_spec(const PolicySpec& spec) {
     throw std::invalid_argument(
         "PolicySpec: tree.max_prefetches_per_period must be at least 1");
   }
+  require_fraction(spec.markov.limits.min_probability,
+                   "markov.limits.min_probability");
+  if (spec.markov.model.max_contexts == 0 ||
+      spec.markov.model.row_width == 0) {
+    throw std::invalid_argument(
+        "PolicySpec: markov.model bounds must be at least 1");
+  }
+  if (spec.markov.model.max_count < 2) {
+    throw std::invalid_argument(
+        "PolicySpec: markov.model.max_count must be at least 2");
+  }
+  if (spec.markov.max_prefetches_per_period == 0) {
+    throw std::invalid_argument(
+        "PolicySpec: markov.max_prefetches_per_period must be at least 1");
+  }
+  require_fraction(spec.assoc.limits.min_probability,
+                   "assoc.limits.min_probability");
+  if (spec.assoc.miner.lookahead == 0 ||
+      spec.assoc.miner.window <= spec.assoc.miner.lookahead) {
+    throw std::invalid_argument(
+        "PolicySpec: assoc.miner.window must exceed assoc.miner.lookahead "
+        "(both at least 1)");
+  }
+  if (spec.assoc.miner.row_width == 0 || spec.assoc.miner.max_rows == 0) {
+    throw std::invalid_argument(
+        "PolicySpec: assoc.miner bounds must be at least 1");
+  }
+  if (spec.assoc.miner.age_threshold < 2) {
+    throw std::invalid_argument(
+        "PolicySpec: assoc.miner.age_threshold must be at least 2");
+  }
+  if (spec.assoc.max_prefetches_per_period == 0) {
+    throw std::invalid_argument(
+        "PolicySpec: assoc.max_prefetches_per_period must be at least 1");
+  }
 }
 
 // Construction happens once per simulation, never per access, so the
@@ -112,6 +156,10 @@ std::unique_ptr<Prefetcher> make_prefetcher(const PolicySpec& spec) {
       return std::make_unique<ProbGraph>(spec.graph);
     case PolicyKind::kTreeAdaptive:
       return std::make_unique<TreeAdaptive>(spec.tree, spec.adaptive);
+    case PolicyKind::kMarkov:
+      return std::make_unique<MarkovCostBenefit>(spec.markov);
+    case PolicyKind::kAssoc:
+      return std::make_unique<AssocCostBenefit>(spec.assoc);
   }
   throw std::invalid_argument("unknown policy kind");
 }

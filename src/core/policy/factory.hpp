@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "core/policy/assoc_policy.hpp"
+#include "core/policy/markov_policy.hpp"
 #include "core/policy/prefetcher.hpp"
 #include "core/policy/prob_graph.hpp"
 #include "core/policy/tree_adaptive.hpp"
@@ -27,6 +29,8 @@ enum class PolicyKind {
   kTreeChildren,
   kProbGraph,  ///< first-order probability graph (related-work baseline)
   kTreeAdaptive,  ///< tree + adaptive precision floor (paper future work)
+  kMarkov,  ///< delta-Markov chain under the cost-benefit controller
+  kAssoc,   ///< association miner under the cost-benefit controller
 };
 
 struct PolicySpec {
@@ -37,10 +41,16 @@ struct PolicySpec {
   std::uint32_t children = 3;     ///< tree-children parameter
   ProbGraphConfig graph;          ///< prob-graph parameters
   AdaptiveConfig adaptive;        ///< tree-adaptive parameters
+  MarkovPolicyConfig markov;      ///< markov parameters
+  AssocPolicyConfig assoc;        ///< assoc parameters
 };
 
 /// The four headline schemes of Section 9.1, in paper order.
 const std::vector<PolicyKind>& headline_policies();
+
+/// Every PolicyKind, in enum order — the source of truth for exhaustive
+/// sweeps and for kind_from_name's reverse lookup.
+const std::vector<PolicyKind>& all_policy_kinds();
 
 /// Stable name for a kind ("tree-next-limit", ...); parametric kinds get
 /// their parameter appended by the live policy's name() instead.

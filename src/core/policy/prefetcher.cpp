@@ -1,20 +1,46 @@
 #include "core/policy/prefetcher.hpp"
 
-#include "core/tree/prefetch_tree.hpp"
+#include <cctype>
+#include <cstdio>
 
 namespace pfp::core::policy {
+
+std::string predictor_tag_name(std::uint32_t tag) {
+  switch (tag) {
+    case kPredictorNone:
+      return "none";
+    case kPredictorTree:
+      return "tree";
+    case kPredictorMarkov:
+      return "markov";
+    case kPredictorAssoc:
+      return "assoc";
+    default:
+      break;
+  }
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%08x", tag);
+  return buf;
+}
 
 void Prefetcher::on_prefetch_consumed(const cache::PrefetchEntry& entry,
                                       Context& ctx) {
   ctx.estimators.prefetch_outcome(/*accessed=*/true, entry.obl);
 }
 
-const tree::PrefetchTree* Prefetcher::predictor_tree() const {
-  return nullptr;
+std::uint32_t Prefetcher::predictor_state_tag() const {
+  return kPredictorNone;
 }
 
-bool Prefetcher::restore_predictor_tree(tree::PrefetchTree /*tree*/) {
+void Prefetcher::save_predictor_state(std::ostream& /*out*/) const {}
+
+bool Prefetcher::load_predictor_state(std::istream& /*in*/) {
   return false;
+}
+
+std::size_t Prefetcher::predictions_into(
+    std::vector<costben::PredictedBlock>& /*out*/) const {
+  return 0;
 }
 
 }  // namespace pfp::core::policy

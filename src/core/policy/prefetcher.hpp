@@ -6,15 +6,24 @@
 // when it wants room for a prefetch and when the simulator needs room for
 // a demand fetch (Figure 2's reclaim arrows are policy decisions, not
 // cache mechanics).
+//
+// Predictor state is generic: a policy that learns exposes its durable
+// predictor through an opaque, versioned, self-describing byte stream
+// (save/load) plus a family tag, and enumerates its current predictions
+// into caller storage in the controller's candidate vocabulary
+// (costben::PredictedBlock).  The engine's snapshot layer and any
+// introspection tool see every predictor family — LZ tree, delta-Markov
+// chain, association miner — through this one surface; no predictor type
+// leaks into the interface.
 #pragma once
 
+#include <cstdint>
+#include <iosfwd>
 #include <string>
+#include <vector>
 
+#include "core/costben/candidate.hpp"
 #include "core/policy/context.hpp"
-
-namespace pfp::core::tree {
-class PrefetchTree;
-}  // namespace pfp::core::tree
 
 namespace pfp::core::policy {
 
@@ -23,6 +32,29 @@ enum class AccessOutcome {
   kPrefetchHit,  ///< found in the prefetch cache (migrated on reference)
   kMiss,         ///< demand fetch required
 };
+
+/// Predictor-family tags ("FourCC" codes).  A policy with durable
+/// predictor state reports exactly one of these; snapshot streams record
+/// the tag so a blob can never be restored into the wrong family.
+constexpr std::uint32_t fourcc(char a, char b, char c, char d) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(a)) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(b)) << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(c)) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(d)) << 24);
+}
+
+/// Stateless policies (no durable predictor).
+constexpr std::uint32_t kPredictorNone = 0;
+/// The LZ prefetch tree family (core/tree).
+constexpr std::uint32_t kPredictorTree = fourcc('L', 'Z', 'T', 'R');
+/// Pangloss-style delta-Markov chain (core/markov).
+constexpr std::uint32_t kPredictorMarkov = fourcc('M', 'R', 'K', 'V');
+/// MITHRIL-style sporadic-association miner (core/assoc).
+constexpr std::uint32_t kPredictorAssoc = fourcc('A', 'S', 'S', 'C');
+
+/// Human-readable name for a predictor tag ("tree", "markov", "assoc",
+/// "none", or "0x...." for unknown tags) — for error messages.
+std::string predictor_tag_name(std::uint32_t tag);
 
 class Prefetcher {
  public:
@@ -46,13 +78,32 @@ class Prefetcher {
   virtual void on_prefetch_consumed(const cache::PrefetchEntry& entry,
                                     Context& ctx);
 
-  /// The policy's persistent predictor state (the LZ prefetch tree), or
-  /// nullptr for policies without one.  Engine snapshots serialize it.
-  [[nodiscard]] virtual const tree::PrefetchTree* predictor_tree() const;
+  // --- generic predictor-state interface ---------------------------------
 
-  /// Replaces the predictor tree (engine snapshot restore).  Returns
-  /// false when the policy has no tree to restore into.
-  virtual bool restore_predictor_tree(tree::PrefetchTree tree);
+  /// Which predictor family this policy persists (kPredictorNone when the
+  /// policy keeps no durable predictor state).  Engine snapshots record
+  /// the tag next to the opaque blob.
+  [[nodiscard]] virtual std::uint32_t predictor_state_tag() const;
+
+  /// Serializes the predictor state as an opaque, versioned stream (each
+  /// family writes its own magic + version header).  Only meaningful when
+  /// predictor_state_tag() != kPredictorNone; the default implementation
+  /// writes nothing.
+  virtual void save_predictor_state(std::ostream& out) const;
+
+  /// Restores state written by save_predictor_state() of the same family.
+  /// Throws std::runtime_error on malformed input; returns false when the
+  /// policy keeps no predictor state to restore into.
+  virtual bool load_predictor_state(std::istream& in);
+
+  /// Appends the predictor's current candidates — what it would consider
+  /// prefetching right now — to `out` in the controller's generic
+  /// vocabulary, most probable first.  Caller owns (and clears) the
+  /// storage; returns the number of candidates appended.  Stateless
+  /// policies append nothing.  Introspection only: never on the per-access
+  /// hot path.
+  virtual std::size_t predictions_into(
+      std::vector<costben::PredictedBlock>& out) const;
 };
 
 }  // namespace pfp::core::policy

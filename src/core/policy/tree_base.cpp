@@ -8,18 +8,40 @@ TreeInstrumentedPrefetcher::TreeInstrumentedPrefetcher(
     tree::TreeConfig config)
     : tree_(config) {}
 
-const tree::PrefetchTree* TreeInstrumentedPrefetcher::predictor_tree()
-    const {
-  return &tree_;
+std::uint32_t TreeInstrumentedPrefetcher::predictor_state_tag() const {
+  return kPredictorTree;
 }
 
-bool TreeInstrumentedPrefetcher::restore_predictor_tree(
-    tree::PrefetchTree tree) {
+void TreeInstrumentedPrefetcher::save_predictor_state(
+    std::ostream& out) const {
+  tree_.serialize(out);
+}
+
+bool TreeInstrumentedPrefetcher::load_predictor_state(std::istream& in) {
   // Move-assignment keeps the incoming tree's uid, so epoch-keyed
   // enumerator caches can never confuse the restored structure with the
   // one it replaces (see PrefetchTree's uid semantics).
-  tree_ = std::move(tree);
+  tree_ = tree::PrefetchTree::deserialize(in, tree_.config());
   return true;
+}
+
+tree::EnumeratorLimits TreeInstrumentedPrefetcher::prediction_limits()
+    const {
+  return tree::EnumeratorLimits{};
+}
+
+std::size_t TreeInstrumentedPrefetcher::predictions_into(
+    std::vector<costben::PredictedBlock>& out) const {
+  // Introspection path, not the per-access loop: a one-shot fresh
+  // enumeration keeps this const and cache-neutral.
+  const std::vector<tree::Candidate> candidates =
+      tree::enumerate_candidates(tree_, tree_.current(), prediction_limits());
+  out.reserve(out.size() + candidates.size());
+  for (const tree::Candidate& c : candidates) {
+    out.push_back(costben::PredictedBlock{c.block, c.probability,
+                                          c.parent_probability, c.depth});
+  }
+  return candidates.size();
 }
 
 tree::AccessInfo TreeInstrumentedPrefetcher::observe_access(

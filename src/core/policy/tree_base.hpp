@@ -7,6 +7,7 @@
 #pragma once
 
 #include "core/policy/prefetcher.hpp"
+#include "core/tree/enumerator.hpp"
 #include "core/tree/prefetch_tree.hpp"
 
 namespace pfp::core::policy {
@@ -17,11 +18,21 @@ class TreeInstrumentedPrefetcher : public Prefetcher {
 
   [[nodiscard]] const tree::PrefetchTree& prefetch_tree() const noexcept { return tree_; }
 
-  /// Engine snapshot hooks: the tree is the persistent predictor state.
-  [[nodiscard]] const tree::PrefetchTree* predictor_tree() const override;
-  bool restore_predictor_tree(tree::PrefetchTree tree) override;
+  /// Generic predictor-state surface: the tree is the durable predictor.
+  /// The opaque stream is core/tree/serialize's "PFTR" format; the growth
+  /// bound on load comes from the live policy's configuration, not the
+  /// stream (it stores structure only).
+  [[nodiscard]] std::uint32_t predictor_state_tag() const override;
+  void save_predictor_state(std::ostream& out) const override;
+  bool load_predictor_state(std::istream& in) override;
+  std::size_t predictions_into(
+      std::vector<costben::PredictedBlock>& out) const override;
 
  protected:
+  /// Enumeration limits predictions_into() applies; cost-benefit policies
+  /// override this with their configured limits so introspection sees the
+  /// same candidate set the controller prices.
+  [[nodiscard]] virtual tree::EnumeratorLimits prediction_limits() const;
   /// Feeds the reference through the parse and updates the shared tree
   /// metrics.  Call exactly once per on_access.
   tree::AccessInfo observe_access(BlockId block, AccessOutcome outcome,

@@ -29,7 +29,7 @@ void TreeLvc::on_access(BlockId block, AccessOutcome outcome, Context& ctx) {
       candidate.parent_probability = 1.0;
       candidate.depth = 1;
       candidate.node = lvc;
-      admit_tree_prefetch(ctx, candidate);
+      admit_predicted_prefetch(ctx, candidate, config_.refetch);
       ++issued;
     }
   }

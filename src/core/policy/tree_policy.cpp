@@ -1,10 +1,5 @@
 #include "core/policy/tree_policy.hpp"
 
-#include <algorithm>
-
-#include "core/costben/equations.hpp"
-#include "core/policy/eviction.hpp"
-
 namespace pfp::core::policy {
 
 TreeCostBenefit::TreeCostBenefit() : TreeCostBenefit(TreePolicyConfig{}) {}
@@ -20,17 +15,7 @@ void TreeCostBenefit::on_access(BlockId block, AccessOutcome outcome,
 }
 
 void TreeCostBenefit::reclaim_one(Context& ctx) {
-  switch (config_.reclaim) {
-    case ReclaimRule::kCostBased:
-      evict_cheapest(ctx);
-      return;
-    case ReclaimRule::kPrefetchFirst:
-      evict_prefetch_first(ctx);
-      return;
-    case ReclaimRule::kDemandFirst:
-      evict_demand_first(ctx);
-      return;
-  }
+  reclaim_by_rule(config_.reclaim, ctx);
 }
 
 void TreeCostBenefit::reclaim_for_demand(Context& ctx) {
@@ -39,98 +24,17 @@ void TreeCostBenefit::reclaim_for_demand(Context& ctx) {
   reclaim_one(ctx);
 }
 
-void TreeCostBenefit::admit_tree_prefetch(Context& ctx,
-                                          const tree::Candidate& candidate) {
-  const double s = ctx.estimators.s();
-  // Re-prefetch distance x for Eq. 11: by default a displaced block would
-  // be fetched again once it comes within the prefetch horizon (see
-  // DESIGN.md); ablation rules pin x to the extremes.
-  std::uint32_t x = 0;
-  switch (config_.refetch) {
-    case RefetchDistanceRule::kHorizon:
-      x = std::min(candidate.depth - 1,
-                   costben::prefetch_horizon(ctx.timing, s));
-      break;
-    case RefetchDistanceRule::kParentDepth:
-      x = candidate.depth - 1;
-      break;
-    case RefetchDistanceRule::kImmediate:
-      x = 0;
-      break;
-  }
-  cache::PrefetchEntry entry;
-  entry.block = candidate.block;
-  entry.probability = candidate.probability;
-  entry.depth = candidate.depth;
-  entry.eject_cost = costben::cost_eject_prefetch(
-      ctx.timing, s, candidate.probability, candidate.depth, x);
-  entry.obl = false;
-  entry.issued_period = ctx.period;
-  entry.completion_ms = ctx.disks.submit(candidate.block, ctx.now_ms);
-  ctx.cache.admit_prefetch(entry);
-  ++ctx.metrics.prefetches_issued;
-  ++ctx.metrics.tree_prefetches_issued;
-  ctx.metrics.sum_prefetch_probability += candidate.probability;
-}
-
 std::uint32_t TreeCostBenefit::run_cost_benefit(Context& ctx) {
   const auto candidates =
       enumerator_.enumerate(tree_, tree_.current(), config_.limits);
   util::phase_mark(ctx.phases, util::EnginePhase::kEnumeration);
-  if (candidates.empty()) {
-    return 0;
-  }
-  // s is an EWMA refreshed once per access period, so benefits are fixed
-  // within the loop: tabulate dT_pf once and process best-first.
-  const double s = ctx.estimators.s();
-  const costben::BenefitTable benefit_of(ctx.timing, s,
-                                         config_.limits.max_depth, dtpf_);
-  const double floor = probability_floor();
-  order_.clear();
-  order_.reserve(candidates.size());
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    const auto& c = candidates[i];
-    if (c.probability < floor) {
-      continue;  // below the (possibly adaptive) precision floor
-    }
-    const double b = benefit_of(c.probability, c.parent_probability, c.depth);
-    if (b > 0.0) {
-      order_.emplace_back(b, i);
-    }
-  }
-  std::sort(order_.begin(), order_.end(),
-            [](const auto& a, const auto& b) { return a.first > b.first; });
-  util::phase_mark(ctx.phases, util::EnginePhase::kCostBenefit);
-
-  std::uint32_t issued = 0;
-  for (const auto& [benefit_value, index] : order_) {
-    if (issued >= config_.max_prefetches_per_period) {
-      break;
-    }
-    const auto& candidate = candidates[index];
-    ++ctx.metrics.candidates_chosen;
-    if (ctx.cache.contains(candidate.block)) {
-      // Figure 7: chosen, but already resident in one of the caches.
-      ++ctx.metrics.candidates_already_cached;
-      continue;
-    }
-    const double overhead = costben::prefetch_overhead(
-        ctx.timing, candidate.probability, candidate.parent_probability);
-    const double cost = ctx.cache.free_buffers() > 0
-                            ? 0.0
-                            : cheapest_eviction_cost(ctx);
-    if (benefit_value - overhead < cost) {
-      // Section 7 step 4: stop once replacing a block costs more than
-      // prefetching the next-best block gains.
-      break;
-    }
-    if (ctx.cache.free_buffers() == 0) {
-      reclaim_one(ctx);
-    }
-    admit_tree_prefetch(ctx, candidate);
-    ++issued;
-  }
-  return issued;
+  CostBenefitKnobs knobs;
+  knobs.max_depth = config_.limits.max_depth;
+  knobs.max_prefetches_per_period = config_.max_prefetches_per_period;
+  knobs.probability_floor = probability_floor();
+  knobs.refetch = config_.refetch;
+  return run_cost_benefit_loop(candidates, knobs, ctx, order_, dtpf_,
+                               [this](Context& c) { reclaim_one(c); });
 }
 
 }  // namespace pfp::core::policy

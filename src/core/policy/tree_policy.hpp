@@ -12,28 +12,11 @@
 // of every period.
 #pragma once
 
+#include "core/policy/cost_benefit.hpp"
 #include "core/policy/tree_base.hpp"
 #include "core/tree/enumerator.hpp"
 
 namespace pfp::core::policy {
-
-/// How the re-prefetch distance x of Eq. 11 is chosen for a block being
-/// priced for ejection (the paper leaves x unspecified; DESIGN.md
-/// discusses the default).  bench/abl03_refetch_distance measures the
-/// impact of this choice.
-enum class RefetchDistanceRule {
-  kHorizon,      ///< x = min(d_b - 1, prefetch horizon)  (default)
-  kParentDepth,  ///< x = d_b - 1 (re-prefetched at the last moment)
-  kImmediate,    ///< x = 0 (ejected blocks come back as demand fetches)
-};
-
-/// Which buffer a cost-benefit policy reclaims (for demand fetches and
-/// for prefetch admissions).  bench/abl04_eviction_policy compares them.
-enum class ReclaimRule {
-  kCostBased,      ///< cheaper of Eq. 11 / Eq. 13 victims (default)
-  kPrefetchFirst,  ///< oldest prefetched block, then demand LRU
-  kDemandFirst,    ///< demand LRU, then oldest prefetched block
-};
 
 struct TreePolicyConfig {
   tree::TreeConfig tree;
@@ -73,12 +56,16 @@ class TreeCostBenefit : public TreeInstrumentedPrefetcher {
   /// static cutoff; tree-adaptive overrides this with its feedback floor.
   [[nodiscard]] virtual double probability_floor() const noexcept { return 0.0; }
 
-  /// Runs selection/pricing/decision for this period; returns the number
-  /// of prefetches issued (callers fold it into the s estimate).
-  std::uint32_t run_cost_benefit(Context& ctx);
+  /// Introspection (predictions_into) enumerates with the controller's
+  /// configured limits, matching what run_cost_benefit prices.
+  [[nodiscard]] tree::EnumeratorLimits prediction_limits() const override {
+    return config_.limits;
+  }
 
-  /// Admits one tree-predicted block, computing its Eq. 11 ejection price.
-  void admit_tree_prefetch(Context& ctx, const tree::Candidate& candidate);
+  /// Runs selection/pricing/decision for this period via the shared
+  /// run_cost_benefit_loop; returns the number of prefetches issued
+  /// (callers fold it into the s estimate).
+  std::uint32_t run_cost_benefit(Context& ctx);
 
   /// Evicts one buffer according to the configured reclaim rule.
   void reclaim_one(Context& ctx);

@@ -5,11 +5,11 @@
 #include <bit>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <typeinfo>
 
 #include "core/policy/dispatch.hpp"
-#include "core/tree/prefetch_tree.hpp"
 #include "util/assert.hpp"
 
 namespace pfp::engine {
@@ -51,7 +51,14 @@ struct Virtual {
 // --- snapshot stream helpers (little-endian, like core/tree/serialize) --
 
 constexpr std::array<char, 4> kMagic = {'P', 'F', 'E', 'G'};
-constexpr std::uint16_t kVersion = 1;
+// v1: residency + metrics + a tree-or-nothing predictor flag byte.
+// v2: residency + metrics + a predictor FourCC tag and a length-prefixed
+//     opaque predictor blob (any policy family).  v1 images still load.
+constexpr std::uint16_t kVersion = 2;
+// Backstop against garbage length prefixes: no predictor state in this
+// simulator approaches 1 GiB, so anything larger is a corrupt stream,
+// not a big model — reject before trying to allocate it.
+constexpr std::uint64_t kMaxPredictorBlobBytes = 1ull << 30;
 
 void write_u16(std::ostream& out, std::uint16_t v) {
   out.put(static_cast<char>(v & 0xff));
@@ -106,8 +113,8 @@ double read_f64(std::istream& in) {
   return std::bit_cast<double>(read_u64(in));
 }
 
-[[noreturn]] void corrupt(const char* what) {
-  throw std::runtime_error(std::string("engine snapshot stream: ") + what);
+[[noreturn]] void corrupt(const std::string& what) {
+  throw std::runtime_error("engine snapshot stream: " + what);
 }
 
 }  // namespace
@@ -447,10 +454,16 @@ void PrefetchEngine::snapshot(std::ostream& out) const {
     write_f64(out, entry.completion_ms);
   }
 
-  const core::tree::PrefetchTree* tree = policy_->predictor_tree();
-  out.put(tree != nullptr ? '\1' : '\0');
-  if (tree != nullptr) {
-    tree->serialize(out);
+  // Predictor state rides as an opaque, length-prefixed blob keyed by the
+  // policy's FourCC tag — the engine never learns the family's format.
+  const std::uint32_t tag = policy_->predictor_state_tag();
+  write_u32(out, tag);
+  if (tag != core::policy::kPredictorNone) {
+    std::ostringstream blob;
+    policy_->save_predictor_state(blob);
+    const std::string bytes = std::move(blob).str();
+    write_u64(out, bytes.size());
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   }
 }
 
@@ -465,7 +478,8 @@ void PrefetchEngine::restore(std::istream& in) {
   if (!in || magic != kMagic) {
     corrupt("bad magic");
   }
-  if (read_u16(in) != kVersion) {
+  const std::uint16_t version = read_u16(in);
+  if (version != 1 && version != 2) {
     corrupt("unsupported version");
   }
   if (read_u64(in) != config_.cache_blocks) {
@@ -537,20 +551,53 @@ void PrefetchEngine::restore(std::istream& in) {
     cache_.admit_prefetch(entry);
   }
 
-  const int tree_flag = in.get();
-  if (tree_flag != '\0' && tree_flag != '\1') {
-    corrupt("truncated predictor-tree flag");
-  }
-  if (tree_flag == '\1') {
-    const core::tree::PrefetchTree* live = policy_->predictor_tree();
-    if (live == nullptr) {
-      corrupt("snapshot carries a predictor tree but the configured "
-              "policy has none");
+  if (version == 1) {
+    // v1 images could only carry LZ-tree state: a flag byte followed by
+    // the raw PFTR stream, exactly the bytes a tree policy's
+    // load_predictor_state consumes today.
+    const int tree_flag = in.get();
+    if (tree_flag != '\0' && tree_flag != '\1') {
+      corrupt("truncated predictor-tree flag");
     }
-    // Growth bound comes from the live policy's configuration, not the
-    // snapshot: the tree stream stores structure only.
-    auto tree = core::tree::PrefetchTree::deserialize(in, live->config());
-    policy_->restore_predictor_tree(std::move(tree));
+    if (tree_flag == '\1') {
+      if (policy_->predictor_state_tag() != core::policy::kPredictorTree) {
+        corrupt("snapshot carries a predictor tree but the configured "
+                "policy has none");
+      }
+      if (!policy_->load_predictor_state(in) || !in) {
+        corrupt("predictor-tree stream rejected by the policy");
+      }
+    }
+  } else {
+    const std::uint32_t tag = read_u32(in);
+    if (!in) {
+      corrupt("truncated predictor tag");
+    }
+    const std::uint32_t live_tag = policy_->predictor_state_tag();
+    if (tag != live_tag) {
+      corrupt("predictor kind mismatch: snapshot carries " +
+              core::policy::predictor_tag_name(tag) +
+              " state but the configured policy keeps " +
+              core::policy::predictor_tag_name(live_tag));
+    }
+    if (tag != core::policy::kPredictorNone) {
+      const std::uint64_t blob_bytes = read_u64(in);
+      if (!in || blob_bytes > kMaxPredictorBlobBytes) {
+        corrupt("implausible predictor blob length");
+      }
+      std::string bytes(static_cast<std::size_t>(blob_bytes), '\0');
+      in.read(bytes.data(), static_cast<std::streamsize>(blob_bytes));
+      if (!in) {
+        corrupt("truncated predictor blob");
+      }
+      std::istringstream blob(std::move(bytes));
+      if (!policy_->load_predictor_state(blob)) {
+        corrupt("predictor blob rejected by the policy");
+      }
+      if (blob.peek() != std::istream::traits_type::eof()) {
+        corrupt("predictor blob has trailing bytes");
+      }
+    }
   }
 
   metrics_ = restored;

@@ -1,0 +1,84 @@
+// Little-endian scalar (de)serialization helpers for versioned binary
+// streams.
+//
+// Every persistent stream in the simulator ("PFTR" trees, "PFEG" engine
+// snapshots, the predictor blobs) speaks the same dialect: fixed-width
+// little-endian integers, doubles as bit-cast u64.  The helpers are
+// byte-at-a-time so the on-disk format is host-endianness-independent.
+// Readers return garbage on a truncated stream rather than throwing —
+// callers must check the stream state and raise their own typed error,
+// which keeps each format's error vocabulary ("prefetch-tree stream:",
+// "engine snapshot stream:", ...) with its owner.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+namespace pfp::util {
+
+inline void write_u16(std::ostream& out, std::uint16_t v) {
+  out.put(static_cast<char>(v & 0xff));
+  out.put(static_cast<char>((v >> 8) & 0xff));
+}
+
+inline void write_u32(std::ostream& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.put(static_cast<char>(v & 0xff));
+    v >>= 8;
+  }
+}
+
+inline void write_u64(std::ostream& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.put(static_cast<char>(v & 0xff));
+    v >>= 8;
+  }
+}
+
+/// Signed values travel as their two's-complement bit pattern.
+inline void write_i64(std::ostream& out, std::int64_t v) {
+  write_u64(out, static_cast<std::uint64_t>(v));
+}
+
+inline void write_f64(std::ostream& out, double v) {
+  write_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+inline std::uint16_t read_u16(std::istream& in) {
+  std::array<unsigned char, 2> b{};
+  in.read(reinterpret_cast<char*>(b.data()), b.size());
+  return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+}
+
+inline std::uint32_t read_u32(std::istream& in) {
+  std::array<unsigned char, 4> b{};
+  in.read(reinterpret_cast<char*>(b.data()), b.size());
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | b[static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+inline std::uint64_t read_u64(std::istream& in) {
+  std::array<unsigned char, 8> b{};
+  in.read(reinterpret_cast<char*>(b.data()), b.size());
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | b[static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+inline std::int64_t read_i64(std::istream& in) {
+  return static_cast<std::int64_t>(read_u64(in));
+}
+
+inline double read_f64(std::istream& in) {
+  return std::bit_cast<double>(read_u64(in));
+}
+
+}  // namespace pfp::util

@@ -1,6 +1,9 @@
-// Behavioral tests for the eight policies, driven through the simulator
-// on small crafted traces.
+// Behavioral tests for the policies, driven through the simulator on
+// small crafted traces.
 #include <gtest/gtest.h>
+
+#include <set>
+#include <string>
 
 #include "core/policy/factory.hpp"
 #include "sim/simulator.hpp"
@@ -50,28 +53,36 @@ SimConfig config_for(PolicyKind kind, std::size_t blocks = 64) {
 }
 
 TEST(Policies, FactoryMakesEveryKind) {
-  for (const PolicyKind kind :
-       {PolicyKind::kNoPrefetch, PolicyKind::kNextLimit, PolicyKind::kTree,
-        PolicyKind::kTreeNextLimit, PolicyKind::kTreeLvc,
-        PolicyKind::kPerfectSelector, PolicyKind::kTreeThreshold,
-        PolicyKind::kTreeChildren}) {
+  // all_policy_kinds() is the registry: a new kind failing to construct
+  // (or missing from the registry) must fail here, not in a sweep.
+  for (const PolicyKind kind : all_policy_kinds()) {
     PolicySpec spec;
     spec.kind = kind;
     const auto p = make_prefetcher(spec);
-    ASSERT_NE(p, nullptr);
-    EXPECT_FALSE(p->name().empty());
+    ASSERT_NE(p, nullptr) << kind_name(kind);
+    EXPECT_FALSE(p->name().empty()) << kind_name(kind);
   }
 }
 
 TEST(Policies, KindNamesRoundTrip) {
-  for (const PolicyKind kind :
-       {PolicyKind::kNoPrefetch, PolicyKind::kNextLimit, PolicyKind::kTree,
-        PolicyKind::kTreeNextLimit, PolicyKind::kTreeLvc,
-        PolicyKind::kPerfectSelector, PolicyKind::kTreeThreshold,
-        PolicyKind::kTreeChildren}) {
-    EXPECT_EQ(kind_from_name(kind_name(kind)), kind);
+  std::set<std::string> names;
+  for (const PolicyKind kind : all_policy_kinds()) {
+    const std::string name = kind_name(kind);
+    EXPECT_EQ(kind_from_name(name), kind);
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
   }
-  EXPECT_THROW(kind_from_name("nope"), std::invalid_argument);
+}
+
+TEST(Policies, MalformedKindNamesNameTheOffender) {
+  for (const char* bad : {"nope", "", "Tree", "tree ", "markov2"}) {
+    try {
+      kind_from_name(bad);
+      FAIL() << "accepted '" << bad << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_EQ(std::string(e.what()),
+                std::string("unknown policy '") + bad + "'");
+    }
+  }
 }
 
 TEST(Policies, HeadlineListMatchesPaperOrder) {

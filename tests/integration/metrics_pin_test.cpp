@@ -58,6 +58,10 @@ const Golden kGolden[] = {
      8135u, 11663u, 10202u, 153030, 1673001.7000007906},
     {trace::Workload::kCad, core::policy::PolicyKind::kTreeAdaptive,
      4054u, 9105u, 16841u, 252615, 1775256.4400009138},
+    {trace::Workload::kCad, core::policy::PolicyKind::kMarkov,
+     5081u, 17368u, 7551u, 113265, 1635266.7000007527},
+    {trace::Workload::kCad, core::policy::PolicyKind::kAssoc,
+     4987u, 16360u, 8653u, 129795, 1652095.9800006372},
     {trace::Workload::kSitar, core::policy::PolicyKind::kNoPrefetch,
      16665u, 0u, 13335u, 200025, 1715049.3000006385},
     {trace::Workload::kSitar, core::policy::PolicyKind::kNextLimit,
@@ -78,6 +82,10 @@ const Golden kGolden[] = {
      16665u, 4536u, 8799u, 131985, 1647009.3000006182},
     {trace::Workload::kSitar, core::policy::PolicyKind::kTreeAdaptive,
      11432u, 6930u, 11638u, 174570, 1692898.5600007956},
+    {trace::Workload::kSitar, core::policy::PolicyKind::kMarkov,
+     12490u, 15170u, 2340u, 35100, 1552754.60000069},
+    {trace::Workload::kSitar, core::policy::PolicyKind::kAssoc,
+     16641u, 4434u, 8925u, 133875, 1648957.8800005689},
     {trace::Workload::kCello, core::policy::PolicyKind::kNoPrefetch,
      0u, 0u, 30000u, 450000, 1974690.0000011714},
     {trace::Workload::kCello, core::policy::PolicyKind::kNextLimit,
@@ -98,6 +106,10 @@ const Golden kGolden[] = {
      0u, 4947u, 25053u, 375795, 1900485.0000011257},
     {trace::Workload::kCello, core::policy::PolicyKind::kTreeAdaptive,
      0u, 266u, 29734u, 446010, 1970999.2800011917},
+    {trace::Workload::kCello, core::policy::PolicyKind::kMarkov,
+     0u, 3531u, 26469u, 397034.99999999988, 1923372.780001228},
+    {trace::Workload::kCello, core::policy::PolicyKind::kAssoc,
+     0u, 567u, 29433u, 441495, 1966202.4000011473},
     {trace::Workload::kSnake, core::policy::PolicyKind::kNoPrefetch,
      1u, 0u, 29999u, 449985, 1974674.4200011713},
     {trace::Workload::kSnake, core::policy::PolicyKind::kNextLimit,
@@ -118,6 +130,10 @@ const Golden kGolden[] = {
      1u, 8397u, 21602u, 324030, 1848719.420001077},
     {trace::Workload::kSnake, core::policy::PolicyKind::kTreeAdaptive,
      0u, 3983u, 26017u, 390255, 1915570.8200010902},
+    {trace::Workload::kSnake, core::policy::PolicyKind::kMarkov,
+     0u, 21732u, 8268u, 124020, 1649011.6000008665},
+    {trace::Workload::kSnake, core::policy::PolicyKind::kAssoc,
+     0u, 6055u, 23945u, 359175.00000000006, 1883876.0200009751},
 };
 
 class MetricsPin : public ::testing::TestWithParam<Golden> {};
