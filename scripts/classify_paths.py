@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Classify a changed-path list as ``docs-only`` or ``code``.
+
+The CI ``changes`` job feeds ``git diff --name-only`` through this to
+decide whether the slow timing legs (coverage, bench-smoke) can be
+skipped for the run.  A change is docs-only when every touched path is
+documentation: anything under ``docs/`` or any ``*.md`` file anywhere.
+Everything ambiguous errs toward running the legs:
+
+* an empty list (unresolvable diff base, force-push) is ``code``;
+* one non-doc path among a hundred doc paths makes the whole change
+  ``code``.
+
+Usage::
+
+    git diff --name-only "$base" "$head" | python3 scripts/classify_paths.py
+
+Prints exactly one of ``docs-only`` / ``code`` on stdout and exits 0;
+``--self-test`` exercises the decision table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterable, List
+
+
+def is_doc_path(path: str) -> bool:
+    path = path.strip().lstrip("./")
+    return path.startswith("docs/") or path.endswith(".md")
+
+
+def classify(paths: Iterable[str]) -> str:
+    cleaned = [p.strip() for p in paths if p.strip()]
+    if not cleaned:
+        return "code"  # no diff information never skips anything
+    if all(is_doc_path(p) for p in cleaned):
+        return "docs-only"
+    return "code"
+
+
+def self_test() -> int:
+    cases = [
+        (["docs/server.md"], "docs-only"),
+        (["README.md", "docs/perf.md", "CHANGES.md"], "docs-only"),
+        (["docs/diagrams/frame.svg"], "docs-only"),  # assets under docs/
+        ([], "code"),
+        ([" ", ""], "code"),
+        (["src/server/wire.cpp"], "code"),
+        (["docs/server.md", "src/server/wire.cpp"], "code"),
+        (["docs/server.md", ".github/workflows/ci.yml"], "code"),
+        (["mdbook.toml"], "code"),       # .md must be the extension
+        (["src/README.md"], "docs-only"),
+        (["docsx/guide.txt"], "code"),   # docs/ must be the directory
+    ]
+    for paths, want in cases:
+        got = classify(paths)
+        assert got == want, f"classify({paths!r}) = {got!r}, want {want!r}"
+    print("classify_paths: self-test OK")
+    return 0
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="docs-only / code classifier for CI path filtering")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args(argv)
+    if args.self_test:
+        return self_test()
+    print(classify(sys.stdin.read().splitlines()))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,9 +12,13 @@ recorded baseline in ``scripts/coverage_baseline.json``:
     python3 scripts/coverage_gate.py --build-dir build-cov
 
 The gate fails (exit 1) when line coverage drops more than ``tolerance``
-percentage points below the baseline.  The baseline is a *measured*
-number — re-record it with ``--write-baseline`` after a PR that
-legitimately moves it (the diff then shows the movement for review).
+percentage points below the baseline, or when any required subsystem
+directory (``REQUIRED_DIRECTORIES``) contributes no measured lines at
+all — a subsystem whose tests silently stop building would otherwise
+just vanish from the aggregate, often *raising* the percentage.  The
+baseline is a *measured* number — re-record it with ``--write-baseline``
+after a PR that legitimately moves it (the diff then shows the movement
+for review).
 
 Deliberately builds on plain ``gcov --json-format`` so the gate runs
 anywhere gcc does; the CI leg additionally renders a gcovr HTML report
@@ -39,6 +43,28 @@ from typing import Dict, Iterable, List, Tuple
 # many translation units is covered if ANY unit executed the line.
 FileLines = Dict[int, bool]
 FileBranches = Dict[Tuple[int, int], bool]
+
+# Every library subsystem must contribute measured lines.  Presence is
+# gated alongside the ratio because a subsystem that drops out of the
+# build (or whose tests stop running) disappears from the denominator
+# without necessarily moving the percentage down.
+REQUIRED_DIRECTORIES = (
+    "src/cache",
+    "src/core",
+    "src/engine",
+    "src/obs",
+    "src/server",
+    "src/sim",
+    "src/trace",
+    "src/util",
+)
+
+
+def missing_directories(cov: "Coverage",
+                        required: Iterable[str]) -> List[str]:
+    present = {str(pathlib.PurePosixPath(rel).parent) for rel in cov.lines}
+    return [d for d in required
+            if not any(p == d or p.startswith(d + "/") for p in present)]
 
 
 class Coverage:
@@ -136,9 +162,16 @@ def report(cov: Coverage) -> None:
           f"{cov.branch_percent():>7.1f}%")
 
 
-def gate(cov: Coverage, baseline_path: pathlib.Path) -> int:
+def gate(cov: Coverage, baseline_path: pathlib.Path,
+         required: Iterable[str] = REQUIRED_DIRECTORIES) -> int:
     if not cov.lines:
         print("coverage_gate: no src/ coverage data found", file=sys.stderr)
+        return 1
+    missing = missing_directories(cov, required)
+    if missing:
+        print("coverage_gate: FAIL — no coverage data for required "
+              f"subsystem(s): {', '.join(missing)} (did their tests stop "
+              "building or running?)", file=sys.stderr)
         return 1
     baseline = json.loads(baseline_path.read_text())
     floor = baseline["line_percent"] - baseline["tolerance_points"]
@@ -208,12 +241,24 @@ def self_test() -> int:
         baseline.write_text(json.dumps(
             {"line_percent": 90.0, "branch_percent": 50.0,
              "tolerance_points": 0.25}))
-        assert gate(cov, baseline) == 1  # ~66% < 89.75% floor
+        assert gate(cov, baseline, required=()) == 1  # ~66% < 89.75% floor
         baseline.write_text(json.dumps(
             {"line_percent": 60.0, "branch_percent": 50.0,
              "tolerance_points": 0.25}))
-        assert gate(cov, baseline) == 0
+        assert gate(cov, baseline, required=()) == 0
         assert gate(Coverage(), baseline) == 1  # no data never passes
+
+        # Subsystem presence: a required directory with zero measured
+        # lines fails the gate even when the ratio clears the floor.
+        assert gate(cov, baseline, required=("src/util",)) == 0
+        assert gate(cov, baseline,
+                    required=("src/util", "src/server")) == 1
+        assert missing_directories(cov, REQUIRED_DIRECTORIES) == [
+            d for d in REQUIRED_DIRECTORIES if d != "src/util"]
+        # Nested files satisfy their subsystem prefix.
+        cov.add_document(doc("src/server/detail/x.cpp", {1: 1}), root)
+        assert "src/server" not in missing_directories(
+            cov, REQUIRED_DIRECTORIES)
 
     print("coverage_gate: self-test OK")
     return 0

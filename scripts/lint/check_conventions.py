@@ -39,6 +39,13 @@ docs/static-analysis.md for the rationale behind each):
                     a raw spawn elsewhere escapes both the pool's join
                     guarantees and the static analysis.  std::this_thread
                     (yield/sleep) is fine and does not match.
+  raw-socket        raw socket/poll syscalls (socket, bind, listen, accept,
+                    connect, recv/send and friends, poll/epoll, shutdown)
+                    are banned in src/ outside src/server/ and src/util/.
+                    Every byte that crosses the network goes through the
+                    one reviewed surface in util/net.hpp; a stray syscall
+                    elsewhere escapes its EINTR/non-blocking discipline and
+                    the server's event-loop ownership model.
   include-guard     every header under src/ uses #pragma once (repo
                     convention; mixing guard styles breaks the amalgamated
                     include checks).
@@ -48,7 +55,13 @@ docs/static-analysis.md for the rationale behind each):
                     trace-replay drivers (util -> {trace, cache} -> core ->
                     engine -> sim, with obs between util and engine); an
                     upward include would recreate the cycles those refactors
-                    removed.
+                    removed.  src/server/ sits on top of engine: it may
+                    include engine/, obs/ and util/ only (never core/,
+                    cache/, trace/ or sim/ — the wire protocol speaks raw
+                    u64 block ids precisely so it needs none of them), and
+                    NOTHING outside src/server/ may include server/ headers
+                    (it is the top of the stack; an upward include would
+                    drag socket code into the simulation layers).
 
 Waivers: append `lint: allow(<rule>)` in a comment on the offending line, or
 put `lint: allow-file(<rule>)` in a comment anywhere in the file to waive a
@@ -73,6 +86,7 @@ ASSOC_DIR = "src/core/assoc"
 ENGINE_DIR = "src/engine"
 OBS_DIR = "src/obs"
 UTIL_DIR = "src/util"
+SERVER_DIR = "src/server"
 SOURCE_SUFFIXES = {".hpp", ".cpp"}
 
 # Layer boundaries: directory -> include prefixes it may not reach.  The
@@ -96,7 +110,12 @@ LAYERING = {
                  "sim/", "obs/"),
     ASSOC_DIR: ("core/policy/", "core/tree/", "core/markov/", "engine/",
                 "sim/", "obs/"),
+    SERVER_DIR: ("trace/", "cache/", "core/", "sim/"),
 }
+
+# The inverse rule for the top of the stack: server/ headers may be
+# included from src/server/ only.
+SERVER_INCLUDE_PREFIX = "server/"
 
 ALLOW_LINE_RE = re.compile(r"lint:\s*allow\(([a-z-]+)\)")
 ALLOW_FILE_RE = re.compile(r"lint:\s*allow-file\(([a-z-]+)\)")
@@ -122,6 +141,14 @@ NODE_HEAP_MEMBER_RE = re.compile(
 # std::this_thread::yield()/sleep_for() never match: "this_thread" is a
 # different token than "thread" after the ::.
 RAW_THREAD_RE = re.compile(r"\bstd\s*::\s*j?thread\b|\bpthread_create\b")
+# Bare socket-API calls.  The lookbehind skips member/qualified calls
+# (ring.send(...), util::net::connect_tcp(...) is a different token) so
+# only the global-namespace syscall form matches.
+RAW_SOCKET_RE = re.compile(
+    r"(?<![\w.>:])(?:socket|bind|listen|accept4?|connect|"
+    r"recv(?:from|msg)?|send(?:to|msg)?|setsockopt|getsockopt|"
+    r"epoll_(?:create1?|ctl|wait)|poll|ppoll|select|shutdown)\s*\("
+)
 
 
 class Violation(NamedTuple):
@@ -237,6 +264,14 @@ def check_file(root: pathlib.Path, path: pathlib.Path) -> List[Violation]:
                        f"'{match.group(1)}' reaches across the layer stack "
                        f"({layer_dir}/ may not include it; see "
                        "docs/architecture.md)")
+    if not in_dir(rel, SERVER_DIR):
+        for i, raw in enumerate(raw_lines, start=1):
+            match = INCLUDE_RE.match(raw)
+            if match and match.group(1).startswith(SERVER_INCLUDE_PREFIX):
+                report(i, "layering",
+                       f"'{match.group(1)}' is the top of the stack; only "
+                       "src/server/ may include server/ headers (see "
+                       "docs/architecture.md)")
 
     # node-heap-member tracks struct bodies across lines: once a *Node
     # definition opens, flag heap-container members until its braces
@@ -268,6 +303,12 @@ def check_file(root: pathlib.Path, path: pathlib.Path) -> List[Violation]:
                    "raw thread spawn outside src/util/; route work "
                    "through util::ThreadPool so lifetimes stay joined "
                    "and the thread-safety annotations apply")
+        if (not in_dir(rel, UTIL_DIR) and not in_dir(rel, SERVER_DIR)
+                and RAW_SOCKET_RE.search(line)):
+            report(i, "raw-socket",
+                   "raw socket/poll syscall outside src/server/ and "
+                   "src/util/; go through util/net.hpp so every network "
+                   "byte crosses the one reviewed surface")
         if hot and HOT_CONTAINER_RE.search(line):
             report(i, "hot-container",
                    "node-based std container in a hot-path dir; "

@@ -483,6 +483,104 @@ class ObsLayeringRule(LintHarness):
         self.assertEqual(self.rules(found), set())
 
 
+class ServerLayeringRule(LintHarness):
+    def test_server_including_core_fires(self) -> None:
+        found = self.lint_file(
+            "src/server/bad.cpp",
+            '#include "core/policy/factory.hpp"\n')
+        self.assertIn("layering", self.rules(found))
+
+    def test_server_including_trace_cache_sim_fires(self) -> None:
+        found = self.lint_file(
+            "src/server/bad2.cpp",
+            '#include "trace/trace.hpp"\n'
+            '#include "cache/lru_cache.hpp"\n'
+            '#include "sim/simulator.hpp"\n')
+        self.assertEqual(
+            [v.line for v in found if v.rule == "layering"], [1, 2, 3])
+
+    def test_server_including_engine_obs_util_is_fine(self) -> None:
+        found = self.lint_file(
+            "src/server/good.cpp",
+            '#include "engine/tenant_registry.hpp"\n'
+            '#include "obs/prometheus.hpp"\n'
+            '#include "util/net.hpp"\n'
+            '#include "server/wire.hpp"\n')
+        self.assertEqual(self.rules(found), set())
+
+    def test_nothing_outside_server_includes_server(self) -> None:
+        for rel in ("src/engine/bad_up.cpp", "src/sim/bad_up.cpp",
+                    "src/util/bad_up.cpp"):
+            found = self.lint_file(
+                rel, '#include "server/session.hpp"\n')
+            self.assertIn("layering", self.rules(found), rel)
+
+    def test_server_mention_in_comment_is_fine(self) -> None:
+        found = self.lint_file(
+            "src/engine/good_comment.cpp",
+            '// the server/ layer drives this registry\nint x;\n')
+        self.assertEqual(self.rules(found), set())
+
+
+class RawSocketRule(LintHarness):
+    def test_socket_call_outside_net_dirs_fires(self) -> None:
+        found = self.lint_file(
+            "src/engine/bad_net.cpp",
+            "int fd = socket(AF_INET, SOCK_STREAM, 0);\n")
+        self.assertIn("raw-socket", self.rules(found))
+
+    def test_poll_and_epoll_fire(self) -> None:
+        found = self.lint_file(
+            "src/sim/bad_net.cpp",
+            "int n = poll(fds, 2, -1);\n"
+            "int ep = epoll_create1(0);\n")
+        self.assertEqual(
+            [v.line for v in found if v.rule == "raw-socket"], [1, 2])
+
+    def test_send_recv_fire(self) -> None:
+        found = self.lint_file(
+            "src/core/bad_net.cpp",
+            "ssize_t n = send(fd, buf, len, 0);\n"
+            "ssize_t m = recvmsg(fd, &msg, 0);\n")
+        self.assertEqual(
+            [v.line for v in found if v.rule == "raw-socket"], [1, 2])
+
+    def test_syscalls_inside_util_and_server_are_fine(self) -> None:
+        for rel in ("src/util/net_extra.cpp", "src/server/loop_extra.cpp"):
+            found = self.lint_file(
+                rel, "int fd = socket(AF_INET, SOCK_STREAM, 0);\n")
+            self.assertNotIn("raw-socket", self.rules(found), rel)
+
+    def test_member_and_qualified_calls_are_fine(self) -> None:
+        found = self.lint_file(
+            "src/engine/good_net.cpp",
+            "ring.send(item);\n"
+            "queue->send(item);\n"
+            "auto s = util::net::connect_tcp(port);\n"
+            "std::bind(&F::run, this);\n")
+        self.assertEqual(self.rules(found), set())
+
+    def test_similar_identifiers_are_fine(self) -> None:
+        found = self.lint_file(
+            "src/engine/good_net2.cpp",
+            "resend(frame);\n"
+            "disconnect(session);\n"
+            "bool accepted = accept_batch(items);\n")
+        self.assertEqual(self.rules(found), set())
+
+    def test_mention_in_comment_is_fine(self) -> None:
+        found = self.lint_file(
+            "src/engine/good_net3.cpp",
+            "// never call socket() or poll() here\nint x;\n")
+        self.assertEqual(self.rules(found), set())
+
+    def test_line_waiver_silences(self) -> None:
+        found = self.lint_file(
+            "src/engine/waived_net.cpp",
+            "int n = poll(fds, 1, 0);  // lint: allow(raw-socket)\n")
+        self.assertEqual(self.rules(found), set())
+
+
 class ObsHotPathRules(LintHarness):
     def test_hot_container_in_obs_fires(self) -> None:
         found = self.lint_file(

@@ -105,105 +105,156 @@ std::string format_le(double seconds) {
 
 }  // namespace
 
-void render_prometheus(std::ostream& out, const EngineStats& stats,
-                       std::span<const Label> labels) {
-  Writer w(out, render_labels(labels));
+namespace {
+
+// One pre-rendered view: its base label string plus the stats cut.
+struct RenderView {
+  std::string base_labels;
+  const EngineStats* stats;
+};
+
+void render_views(std::ostream& out, std::span<const RenderView> views) {
+  Writer w(out, std::string());
 
   struct CounterRow {
     const char* name;
     const char* help;
-    std::uint64_t value;
+    std::uint64_t EngineStats::* field;
   };
   const CounterRow counters[] = {
-      {"pfp_accesses_total", "Block references processed.", stats.accesses},
+      {"pfp_accesses_total", "Block references processed.",
+       &EngineStats::accesses},
       {"pfp_demand_hits_total", "References served by the demand cache.",
-       stats.demand_hits},
+       &EngineStats::demand_hits},
       {"pfp_prefetch_hits_total",
-       "References served by the prefetch cache.", stats.prefetch_hits},
+       "References served by the prefetch cache.",
+       &EngineStats::prefetch_hits},
       {"pfp_misses_total", "References that required a demand fetch.",
-       stats.misses},
+       &EngineStats::misses},
       {"pfp_prefetches_issued_total", "Prefetch reads submitted to disk.",
-       stats.prefetches_issued},
+       &EngineStats::prefetches_issued},
       {"pfp_prefetch_ejections_total",
        "Prefetched buffers ejected before being referenced.",
-       stats.prefetch_ejections},
+       &EngineStats::prefetch_ejections},
       {"pfp_demand_ejections_total", "Demand buffers ejected.",
-       stats.demand_ejections},
+       &EngineStats::demand_ejections},
       {"pfp_disk_requests_total",
        "Disk reads issued (demand fetches plus prefetches).",
-       stats.disk_requests},
+       &EngineStats::disk_requests},
       {"pfp_trace_events_recorded_total",
-       "Events emitted into the trace ring.", stats.trace_recorded},
+       "Events emitted into the trace ring.", &EngineStats::trace_recorded},
       {"pfp_trace_events_dropped_total",
-       "Trace events lost to ring overwrite.", stats.trace_dropped},
+       "Trace events lost to ring overwrite.", &EngineStats::trace_dropped},
       {"pfp_queue_backpressure_waits_total",
        "Producer spins on a full shard queue.",
-       stats.queue_backpressure_waits},
+       &EngineStats::queue_backpressure_waits},
   };
   for (const CounterRow& row : counters) {
     w.family(row.name, "counter", row.help);
-    w.sample(row.value);
+    for (const RenderView& view : views) {
+      w.sample(view.stats->*row.field, view.base_labels);
+    }
   }
 
   const CounterRow gauges[] = {
       {"pfp_resident_blocks", "Buffers currently resident in the caches.",
-       stats.resident_blocks},
+       &EngineStats::resident_blocks},
       {"pfp_free_buffers", "Unused buffers in the pool.",
-       stats.free_buffers},
-      {"pfp_tree_nodes", "Live predictor-tree nodes.", stats.tree_nodes},
+       &EngineStats::free_buffers},
+      {"pfp_tree_nodes", "Live predictor-tree nodes.",
+       &EngineStats::tree_nodes},
       {"pfp_trace_ring_occupancy", "Events currently held in the ring.",
-       stats.trace_occupancy},
+       &EngineStats::trace_occupancy},
       {"pfp_trace_ring_capacity", "Trace ring capacity in events.",
-       stats.trace_capacity},
+       &EngineStats::trace_capacity},
       {"pfp_queue_occupancy", "Requests queued to shard workers.",
-       stats.queue_occupancy},
+       &EngineStats::queue_occupancy},
       {"pfp_queue_capacity", "Total shard queue capacity.",
-       stats.queue_capacity},
-      {"pfp_shards", "Engines folded into this view.", stats.shards},
-      {"pfp_stats_consistent",
-       "1 when this snapshot is a clean seqlock cut.",
-       stats.consistent ? 1u : 0u},
+       &EngineStats::queue_capacity},
   };
   for (const CounterRow& row : gauges) {
     w.family(row.name, "gauge", row.help);
-    w.sample(row.value);
+    for (const RenderView& view : views) {
+      w.sample(view.stats->*row.field, view.base_labels);
+    }
+  }
+
+  w.family("pfp_shards", "gauge", "Engines folded into this view.");
+  for (const RenderView& view : views) {
+    w.sample(static_cast<std::uint64_t>(view.stats->shards),
+             view.base_labels);
+  }
+  w.family("pfp_stats_consistent", "gauge",
+           "1 when this snapshot is a clean seqlock cut.");
+  for (const RenderView& view : views) {
+    w.sample(static_cast<std::uint64_t>(view.stats->consistent ? 1u : 0u),
+             view.base_labels);
   }
 
   w.family("pfp_elapsed_virtual_seconds", "gauge",
            "Modeled elapsed time under the Section 3 timing model.");
-  w.sample(static_cast<double>(stats.elapsed_virtual_us) / 1e6);
+  for (const RenderView& view : views) {
+    w.sample(static_cast<double>(view.stats->elapsed_virtual_us) / 1e6,
+             view.base_labels);
+  }
 
-  // Phase latencies: one native histogram per phase, le in seconds.
-  // Trailing all-zero buckets are elided (the +Inf row carries the rest).
+  // Phase latencies: one native histogram per (view, phase), le in
+  // seconds.  Trailing all-zero buckets are elided per view (the +Inf
+  // row carries the rest).
   w.family("pfp_phase_latency_seconds", "histogram",
            "Per-phase latency of the access state machine.");
-  std::size_t top = 0;
-  for (std::size_t p = 0; p < util::kEnginePhaseCount; ++p) {
-    for (std::size_t b = 0; b < util::kPhaseBucketCount; ++b) {
-      if (stats.phases.buckets[p][b] != 0 && b + 1 > top) {
-        top = b + 1;
+  for (const RenderView& view : views) {
+    const EngineStats& stats = *view.stats;
+    std::size_t top = 0;
+    for (std::size_t p = 0; p < util::kEnginePhaseCount; ++p) {
+      for (std::size_t b = 0; b < util::kPhaseBucketCount; ++b) {
+        if (stats.phases.buckets[p][b] != 0 && b + 1 > top) {
+          top = b + 1;
+        }
       }
     }
-  }
-  for (std::size_t p = 0; p < util::kEnginePhaseCount; ++p) {
-    const std::string phase_label =
-        std::string("phase=\"") + util::kEnginePhaseNames[p] + "\"";
-    std::uint64_t cumulative = 0;
-    for (std::size_t b = 0; b < top; ++b) {
-      cumulative += stats.phases.buckets[p][b];
-      const double le_seconds =
-          static_cast<double>(util::Log2Histogram::bucket_hi(b)) / 1e9;
-      w.suffixed("_bucket",
-                 phase_label + ",le=\"" + format_le(le_seconds) + "\"",
-                 static_cast<double>(cumulative));
+    for (std::size_t p = 0; p < util::kEnginePhaseCount; ++p) {
+      std::string phase_label = view.base_labels;
+      if (!phase_label.empty()) {
+        phase_label += ',';
+      }
+      phase_label += std::string("phase=\"") +
+                     util::kEnginePhaseNames[p] + "\"";
+      std::uint64_t cumulative = 0;
+      for (std::size_t b = 0; b < top; ++b) {
+        cumulative += stats.phases.buckets[p][b];
+        const double le_seconds =
+            static_cast<double>(util::Log2Histogram::bucket_hi(b)) / 1e9;
+        w.suffixed("_bucket",
+                   phase_label + ",le=\"" + format_le(le_seconds) + "\"",
+                   static_cast<double>(cumulative));
+      }
+      w.suffixed("_bucket", phase_label + ",le=\"+Inf\"",
+                 static_cast<double>(stats.phases.count[p]));
+      w.suffixed("_sum", phase_label,
+                 static_cast<double>(stats.phases.total_ns[p]) / 1e9);
+      w.suffixed("_count", phase_label,
+                 static_cast<double>(stats.phases.count[p]));
     }
-    w.suffixed("_bucket", phase_label + ",le=\"+Inf\"",
-               static_cast<double>(stats.phases.count[p]));
-    w.suffixed("_sum", phase_label,
-               static_cast<double>(stats.phases.total_ns[p]) / 1e9);
-    w.suffixed("_count", phase_label,
-               static_cast<double>(stats.phases.count[p]));
   }
+}
+
+}  // namespace
+
+void render_prometheus(std::ostream& out, const EngineStats& stats,
+                       std::span<const Label> labels) {
+  const RenderView view{render_labels(labels), &stats};
+  render_views(out, std::span<const RenderView>(&view, 1));
+}
+
+void render_prometheus(std::ostream& out,
+                       std::span<const LabeledStats> views) {
+  std::vector<RenderView> rendered;
+  rendered.reserve(views.size());
+  for (const LabeledStats& view : views) {
+    rendered.push_back(RenderView{render_labels(view.labels), &view.stats});
+  }
+  render_views(out, rendered);
 }
 
 }  // namespace pfp::obs

@@ -6,12 +6,20 @@
 // {{"shard", "3"}} or {{"view", "merged"}}; label values are escaped per
 // the exposition format.  Phase latencies render as native Prometheus
 // histograms (cumulative `le` buckets in seconds) with a `phase` label.
+//
+// The multi-view overload renders MANY labeled views (e.g. one per
+// server tenant) into a single valid exposition: the format allows only
+// one HELP/TYPE block per metric name per scrape, so per-view renders
+// cannot simply be concatenated — each family is emitted once with one
+// sample per view instead.  Views must carry distinguishing labels
+// (tenant="...", shard="...") or their samples collide.
 #pragma once
 
 #include <iosfwd>
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "obs/engine_obs.hpp"
 
@@ -22,8 +30,18 @@ struct Label {
   std::string value;
 };
 
+/// One engine view plus the label set identifying it in the exposition.
+struct LabeledStats {
+  std::vector<Label> labels;
+  EngineStats stats;
+};
+
 void render_prometheus(std::ostream& out, const EngineStats& stats,
                        std::span<const Label> labels = {});
+
+/// Multi-view exposition: every family once, one sample per view.
+void render_prometheus(std::ostream& out,
+                       std::span<const LabeledStats> views);
 
 /// Escapes a label value (backslash, double quote, newline).
 [[nodiscard]] std::string escape_label_value(std::string_view value);

@@ -1,0 +1,142 @@
+// The prefetch-as-a-service frontend: loopback TCP, N event-loop
+// threads, multi-tenant PFP1 protocol plus a Prometheus /metrics page.
+//
+// Topology (docs/server.md): loop 0 owns the listener and hands accepted
+// connections round-robin to all loops over mutex-guarded mailboxes
+// (WakeFd interrupts the target's poll).  From then on a connection
+// belongs to exactly one loop thread — its buffers and Session are
+// single-threaded by construction, pinned by a util::ThreadRole
+// capability that clang -Werror=thread-safety enforces.  Cross-tenant
+// parallelism comes from connections landing on different loops;
+// per-tenant ordering comes from the tenant mutex inside Session.
+//
+// Each connection speaks either PFP1 or HTTP, sniffed from the first
+// four bytes ("GET " = HTTP): a Prometheus scraper can point at the same
+// port the binary clients use.  The HTTP side serves exactly one
+// request (/metrics or 404) and closes, HTTP/1.0 style.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/tenant_registry.hpp"
+#include "server/session.hpp"
+#include "util/net.hpp"
+#include "util/thread_annotations.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pfp::server {
+
+struct ServerConfig {
+  /// Loopback TCP port; 0 = kernel-assigned (read it back via port()).
+  std::uint16_t port = 0;
+  /// Event-loop threads (thread-per-core shape; min 1).
+  std::size_t loops = 1;
+  SessionConfig session;
+};
+
+/// One accepted connection's state machine: protocol sniffing, the PFP1
+/// session, and the one-shot HTTP buffers.  Owned by exactly one event
+/// loop; never shared.
+struct ServerConn {
+  ServerConn(util::net::Socket socket, engine::TenantRegistry& registry,
+             const SessionConfig& config)
+      : sock(std::move(socket)), session(registry, config) {}
+
+  util::net::Socket sock;
+  Session session;
+  std::vector<std::uint8_t> pre;       ///< bytes held until sniffing decides
+  std::vector<std::uint8_t> http_in;   ///< HTTP request accumulator
+  std::vector<std::uint8_t> http_out;  ///< HTTP response awaiting flush
+  bool decided = false;  ///< protocol sniffed?
+  bool http = false;     ///< HTTP (true) or PFP1 (false); valid if decided
+  bool close_after_flush = false;
+  bool dead = false;  ///< marked during an iteration, reaped after
+};
+
+/// One event loop's state.  `incoming` is the cross-thread mailbox; all
+/// other fields belong to the loop thread (the `owner` role capability —
+/// run_loop() asserts it once, every other toucher fails the clang
+/// thread-safety build).
+struct ServerLoop {
+  util::net::WakeFd wake;
+  util::Mutex mu;
+  std::vector<util::net::Socket> incoming PFP_GUARDED_BY(mu);
+
+  util::ThreadRole owner;  ///< the one thread running run_loop()
+  std::vector<std::unique_ptr<ServerConn>> conns PFP_GUARDED_BY(owner);
+  util::net::Poller poller PFP_GUARDED_BY(owner);
+  std::vector<util::net::PollEntry> entries PFP_GUARDED_BY(owner);
+  /// Round-robin cursor for handing accepted sockets out (loop 0 only).
+  std::size_t next_loop PFP_GUARDED_BY(owner) = 0;
+
+  /// Trust declaration: "this thread is the loop owner" (see
+  /// util/thread_annotations.hpp; uniqueness itself is TSan's job).
+  void assert_owner() const PFP_ASSERT_CAPABILITY(owner) {}
+};
+
+class PrefetchServer {
+ public:
+  /// Binds 127.0.0.1:port and starts the loops; throws
+  /// std::runtime_error if the port cannot be bound.
+  explicit PrefetchServer(ServerConfig config);
+  ~PrefetchServer();
+
+  PrefetchServer(const PrefetchServer&) = delete;
+  PrefetchServer& operator=(const PrefetchServer&) = delete;
+
+  /// The bound port (resolves port 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// The tenant registry (tests pre-open tenants / inspect state).
+  [[nodiscard]] engine::TenantRegistry& registry() noexcept {
+    return registry_;
+  }
+
+  /// Stops accepting, drains the loops and joins them.  Idempotent;
+  /// the destructor calls it.
+  void stop();
+
+  /// The multi-tenant Prometheus exposition (one labeled view per
+  /// tenant).  The /metrics HTTP handler serves exactly this string, so
+  /// tests can diff the two.  Safe from any thread.
+  [[nodiscard]] std::string render_metrics() const;
+
+ private:
+  void run_loop(std::size_t index);
+  /// Accepts the backlog and deals sockets round-robin (loop 0 only).
+  void accept_pending(ServerLoop& loop) PFP_REQUIRES(loop.owner);
+  /// Moves mailbox sockets into this loop's connection list.
+  void adopt_incoming(ServerLoop& loop) PFP_REQUIRES(loop.owner);
+  /// Drains readable bytes; false = drop the connection.
+  [[nodiscard]] bool service_read(ServerConn& conn);
+  /// Routes bytes through sniffing into the session or HTTP handler;
+  /// false latches close_after_flush.
+  [[nodiscard]] bool on_bytes(ServerConn& conn,
+                              std::span<const std::uint8_t> bytes);
+  [[nodiscard]] bool on_decided_bytes(ServerConn& conn,
+                                      std::span<const std::uint8_t> bytes);
+  /// Builds the one-shot HTTP response once a full request arrived.
+  [[nodiscard]] bool service_http(ServerConn& conn);
+  /// Flushes pending output; false = drop the connection.
+  [[nodiscard]] bool flush_writes(ServerConn& conn);
+  [[nodiscard]] std::size_t pending_out(const ServerConn& conn) const;
+  [[nodiscard]] bool stopping() const;
+
+  ServerConfig config_;
+  engine::TenantRegistry registry_;
+  util::net::Socket listener_;
+  std::uint16_t port_ = 0;
+  mutable util::Mutex state_mu_;
+  bool stop_ PFP_GUARDED_BY(state_mu_) = false;
+  std::vector<std::unique_ptr<ServerLoop>> loops_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::vector<std::future<void>> loop_futures_;
+};
+
+}  // namespace pfp::server

@@ -1,0 +1,366 @@
+#include "server/session.hpp"
+
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "util/thread_annotations.hpp"
+
+namespace pfp::server {
+
+namespace {
+
+wire::ErrorCode to_wire(engine::TenantStatus status) {
+  switch (status) {
+    case engine::TenantStatus::kExists:
+      return wire::ErrorCode::kTenantExists;
+    case engine::TenantStatus::kNoSuchTenant:
+      return wire::ErrorCode::kNoSuchTenant;
+    case engine::TenantStatus::kBadConfig:
+      return wire::ErrorCode::kBadConfig;
+    case engine::TenantStatus::kBadSnapshot:
+      return wire::ErrorCode::kBadSnapshot;
+    case engine::TenantStatus::kUnsupported:
+      return wire::ErrorCode::kUnsupported;
+    case engine::TenantStatus::kOk:
+      break;
+  }
+  return wire::ErrorCode::kInternal;
+}
+
+}  // namespace
+
+wire::WireMetrics to_wire_metrics(const engine::Metrics& m) {
+  wire::WireMetrics w;
+  w.accesses = m.accesses;
+  w.demand_hits = m.demand_hits;
+  w.prefetch_hits = m.prefetch_hits;
+  w.misses = m.misses;
+  w.elapsed_ms = m.elapsed_ms;
+  w.stall_ms = m.stall_ms;
+  w.disk_queue_delay_ms = m.disk_queue_delay_ms;
+  w.disk_requests = m.disk_requests;
+  w.prefetches_issued = m.policy.prefetches_issued;
+  w.obl_prefetches_issued = m.policy.obl_prefetches_issued;
+  w.tree_prefetches_issued = m.policy.tree_prefetches_issued;
+  w.sum_prefetch_probability = m.policy.sum_prefetch_probability;
+  w.candidates_chosen = m.policy.candidates_chosen;
+  w.candidates_already_cached = m.policy.candidates_already_cached;
+  w.prefetch_ejections = m.policy.prefetch_ejections;
+  w.demand_ejections = m.policy.demand_ejections;
+  w.predictable = m.policy.predictable;
+  w.predictable_uncached = m.policy.predictable_uncached;
+  w.lvc_opportunities = m.policy.lvc_opportunities;
+  w.lvc_followed = m.policy.lvc_followed;
+  w.lvc_checks = m.policy.lvc_checks;
+  w.lvc_cached = m.policy.lvc_cached;
+  w.tree_nodes = m.policy.tree_nodes;
+  w.tree_bytes = m.policy.tree_bytes;
+  return w;
+}
+
+bool Session::ingest(std::span<const std::uint8_t> bytes) {
+  if (fatal_) {
+    return false;
+  }
+  in_.insert(in_.end(), bytes.begin(), bytes.end());
+  std::size_t pos = 0;
+  while (!fatal_) {
+    const wire::DecodeResult result = wire::decode(
+        std::span<const std::uint8_t>(in_).subspan(pos));
+    if (result.status == wire::DecodeStatus::kNeedMore) {
+      break;
+    }
+    if (result.status == wire::DecodeStatus::kError) {
+      // The stream cannot be re-synced; name the reason and latch fatal.
+      fatal_ = true;
+      reply_error(wire::FrameHeader{}, result.error,
+                  "connection-fatal framing error");
+      break;
+    }
+    handle_frame(result.frame);
+    pos += result.consumed;
+  }
+  if (pos > 0) {
+    in_.erase(in_.begin(),
+              in_.begin() + static_cast<std::ptrdiff_t>(pos));
+  }
+  return !fatal_;
+}
+
+void Session::consumed(std::size_t bytes) {
+  out_.erase(out_.begin(), out_.begin() + static_cast<std::ptrdiff_t>(bytes));
+}
+
+void Session::reply(const wire::FrameHeader& request, wire::MsgType type,
+                    std::uint8_t flags,
+                    std::span<const std::uint8_t> payload) {
+  wire::FrameHeader header;
+  header.type = type;
+  header.flags = flags;
+  header.tenant = request.tenant;
+  header.payload_len = static_cast<std::uint32_t>(payload.size());
+  header.serial = request.serial;
+  wire::append_frame(out_, header, payload);
+}
+
+void Session::reply_error(const wire::FrameHeader& request,
+                          wire::ErrorCode code, std::string_view detail) {
+  std::vector<std::uint8_t> payload;
+  wire::encode_error(payload, wire::ErrorReply{code, std::string(detail)});
+  reply(request, wire::MsgType::kError, 0, payload);
+  ++errors_sent_;
+}
+
+void Session::handle_frame(const wire::Frame& frame) {
+  ++frames_handled_;
+  const wire::FrameHeader& h = frame.header;
+  switch (h.type) {
+    case wire::MsgType::kPing:
+      if (!frame.payload.empty()) {
+        reply_error(h, wire::ErrorCode::kBadPayload,
+                    "PING carries no payload");
+        return;
+      }
+      reply(h, wire::MsgType::kPingReply, 0, {});
+      return;
+    case wire::MsgType::kTenantOpen:
+      handle_tenant_open(frame);
+      return;
+    case wire::MsgType::kTenantClose:
+      handle_tenant_close(frame);
+      return;
+    case wire::MsgType::kAccess:
+    case wire::MsgType::kAccessMany:
+    case wire::MsgType::kStats:
+    case wire::MsgType::kSnapshot:
+    case wire::MsgType::kRestore:
+      break;
+    default:
+      reply_error(h, wire::ErrorCode::kUnknownType,
+                  "unknown or reply-typed message");
+      return;
+  }
+
+  const std::shared_ptr<engine::Tenant> tenant = registry_.find(h.tenant);
+  if (tenant == nullptr) {
+    reply_error(h, wire::ErrorCode::kNoSuchTenant, "tenant id not open");
+    return;
+  }
+  switch (h.type) {
+    case wire::MsgType::kAccess:
+      handle_access(frame, *tenant);
+      return;
+    case wire::MsgType::kAccessMany:
+      handle_access_many(frame, *tenant);
+      return;
+    case wire::MsgType::kStats:
+      handle_stats(frame, *tenant);
+      return;
+    case wire::MsgType::kSnapshot:
+      handle_snapshot(frame, *tenant);
+      return;
+    case wire::MsgType::kRestore:
+      handle_restore(frame, *tenant);
+      return;
+    default:
+      reply_error(h, wire::ErrorCode::kInternal, "unreachable dispatch");
+      return;
+  }
+}
+
+void Session::handle_tenant_open(const wire::Frame& frame) {
+  const auto request = wire::parse_tenant_open(frame.payload);
+  if (!request.has_value()) {
+    reply_error(frame.header, wire::ErrorCode::kBadPayload,
+                "malformed TENANT_OPEN payload");
+    return;
+  }
+  engine::TenantConfig config;
+  config.name = request->name;
+  config.engine = config_.base_engine;
+  config.engine.cache_blocks =
+      static_cast<std::size_t>(request->cache_blocks);
+  config.shards = request->shards;
+  std::string detail;
+  engine::TenantStatus status =
+      engine::set_policy_by_name(config, request->policy, &detail);
+  if (status != engine::TenantStatus::kOk) {
+    reply_error(frame.header, to_wire(status), detail);
+    return;
+  }
+  status = registry_.open(frame.header.tenant, std::move(config), &detail);
+  if (status != engine::TenantStatus::kOk) {
+    reply_error(frame.header, to_wire(status), detail);
+    return;
+  }
+  reply(frame.header, wire::MsgType::kTenantOpenReply, 0, {});
+}
+
+void Session::handle_tenant_close(const wire::Frame& frame) {
+  if (!frame.payload.empty()) {
+    reply_error(frame.header, wire::ErrorCode::kBadPayload,
+                "TENANT_CLOSE carries no payload");
+    return;
+  }
+  const engine::TenantStatus status = registry_.close(frame.header.tenant);
+  if (status != engine::TenantStatus::kOk) {
+    reply_error(frame.header, to_wire(status), "tenant id not open");
+    return;
+  }
+  reply(frame.header, wire::MsgType::kTenantCloseReply, 0, {});
+}
+
+void Session::handle_access(const wire::Frame& frame,
+                            engine::Tenant& tenant) {
+  wire::Reader reader(frame.payload);
+  const trace::BlockId block = reader.read_u64();
+  if (!reader.exhausted()) {
+    reply_error(frame.header, wire::ErrorCode::kBadPayload,
+                "ACCESS payload is one u64 block id");
+    return;
+  }
+  engine::AccessResult result;
+  {
+    util::MutexLock lock(tenant.mu());
+    result = tenant.access(block);
+  }
+  wire::BatchReply batch;
+  std::uint8_t flags = 0;
+  if (tenant.sharded()) {
+    // Routed asynchronously; counts are unknown until the shard drains.
+    flags |= wire::kFlagAsync;
+  } else {
+    switch (result.outcome) {
+      case engine::Outcome::kDemandHit:
+        batch.demand_hits = 1;
+        break;
+      case engine::Outcome::kPrefetchHit:
+        batch.prefetch_hits = 1;
+        break;
+      case engine::Outcome::kMiss:
+        batch.misses = 1;
+        break;
+    }
+    batch.latency_ms = result.latency_ms;
+  }
+  if (tenant.queue_pressure() >= config_.pressure_threshold) {
+    flags |= wire::kFlagBackpressure;
+  }
+  std::vector<std::uint8_t> payload;
+  wire::encode_batch_reply(payload, batch);
+  reply(frame.header, wire::MsgType::kAccessReply, flags, payload);
+}
+
+void Session::handle_access_many(const wire::Frame& frame,
+                                 engine::Tenant& tenant) {
+  wire::Reader reader(frame.payload);
+  const std::uint32_t count = reader.read_u32();
+  if (!reader.ok() || reader.remaining() != std::size_t{count} * 8) {
+    reply_error(frame.header, wire::ErrorCode::kBadPayload,
+                "ACCESS_MANY count does not match payload length");
+    return;
+  }
+  if (count > config_.max_batch) {
+    // Hard, deterministic reject: depends only on the frame, never on
+    // load, so a client can size batches once and trust them forever.
+    reply_error(frame.header, wire::ErrorCode::kBackpressure,
+                "batch exceeds max_batch; split and retry");
+    return;
+  }
+  batch_.clear();
+  batch_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    batch_.push_back(reader.read_u64());
+  }
+  engine::BatchResult result;
+  {
+    util::MutexLock lock(tenant.mu());
+    result = tenant.access_many(batch_);
+  }
+  wire::BatchReply batch;
+  batch.demand_hits = result.demand_hits;
+  batch.prefetch_hits = result.prefetch_hits;
+  batch.misses = result.misses;
+  batch.latency_ms = result.latency_ms;
+  std::uint8_t flags = 0;
+  if (tenant.sharded()) {
+    flags |= wire::kFlagAsync;
+  }
+  if (tenant.queue_pressure() >= config_.pressure_threshold) {
+    flags |= wire::kFlagBackpressure;
+  }
+  std::vector<std::uint8_t> payload;
+  wire::encode_batch_reply(payload, batch);
+  reply(frame.header, wire::MsgType::kAccessManyReply, flags, payload);
+}
+
+void Session::handle_stats(const wire::Frame& frame,
+                           engine::Tenant& tenant) {
+  if (!frame.payload.empty()) {
+    reply_error(frame.header, wire::ErrorCode::kBadPayload,
+                "STATS carries no payload");
+    return;
+  }
+  engine::Metrics metrics;
+  {
+    util::MutexLock lock(tenant.mu());
+    metrics = tenant.metrics();
+  }
+  std::vector<std::uint8_t> payload;
+  wire::encode_metrics(payload, to_wire_metrics(metrics));
+  reply(frame.header, wire::MsgType::kStatsReply, 0, payload);
+}
+
+void Session::handle_snapshot(const wire::Frame& frame,
+                              engine::Tenant& tenant) {
+  if (!frame.payload.empty()) {
+    reply_error(frame.header, wire::ErrorCode::kBadPayload,
+                "SNAPSHOT carries no payload");
+    return;
+  }
+  std::ostringstream blob;
+  std::string detail;
+  engine::TenantStatus status;
+  {
+    util::MutexLock lock(tenant.mu());
+    status = tenant.snapshot(blob, &detail);
+  }
+  if (status != engine::TenantStatus::kOk) {
+    reply_error(frame.header, to_wire(status), detail);
+    return;
+  }
+  const std::string bytes = std::move(blob).str();
+  if (bytes.size() > wire::kMaxPayload) {
+    reply_error(frame.header, wire::ErrorCode::kInternal,
+                "snapshot exceeds the frame payload bound");
+    return;
+  }
+  reply(frame.header, wire::MsgType::kSnapshotReply, 0,
+        std::span<const std::uint8_t>(
+            reinterpret_cast<const std::uint8_t*>(bytes.data()),
+            bytes.size()));
+}
+
+void Session::handle_restore(const wire::Frame& frame,
+                             engine::Tenant& tenant) {
+  std::string bytes;
+  if (!frame.payload.empty()) {
+    bytes.assign(reinterpret_cast<const char*>(frame.payload.data()),
+                 frame.payload.size());
+  }
+  std::istringstream blob(std::move(bytes));
+  std::string detail;
+  engine::TenantStatus status;
+  {
+    util::MutexLock lock(tenant.mu());
+    status = tenant.restore(blob, &detail);
+  }
+  if (status != engine::TenantStatus::kOk) {
+    reply_error(frame.header, to_wire(status), detail);
+    return;
+  }
+  reply(frame.header, wire::MsgType::kRestoreReply, 0, {});
+}
+
+}  // namespace pfp::server

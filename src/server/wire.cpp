@@ -1,0 +1,368 @@
+#include "server/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace pfp::server::wire {
+
+namespace {
+
+constexpr std::size_t kMaxTenantName = 255;
+
+/// Little-endian u16/u32/u64 reads from a raw pointer (bounds already
+/// checked by the caller).
+std::uint16_t load_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t load_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t load_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+bool known_type(std::uint8_t t) {
+  switch (static_cast<MsgType>(t)) {
+    case MsgType::kAccess:
+    case MsgType::kAccessMany:
+    case MsgType::kStats:
+    case MsgType::kSnapshot:
+    case MsgType::kRestore:
+    case MsgType::kTenantOpen:
+    case MsgType::kTenantClose:
+    case MsgType::kPing:
+    case MsgType::kAccessReply:
+    case MsgType::kAccessManyReply:
+    case MsgType::kStatsReply:
+    case MsgType::kSnapshotReply:
+    case MsgType::kRestoreReply:
+    case MsgType::kTenantOpenReply:
+    case MsgType::kTenantCloseReply:
+    case MsgType::kPingReply:
+    case MsgType::kError:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view error_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadMagic:
+      return "bad-magic";
+    case ErrorCode::kBadVersion:
+      return "bad-version";
+    case ErrorCode::kOversized:
+      return "oversized";
+    case ErrorCode::kUnknownType:
+      return "unknown-type";
+    case ErrorCode::kBadPayload:
+      return "bad-payload";
+    case ErrorCode::kNoSuchTenant:
+      return "no-such-tenant";
+    case ErrorCode::kTenantExists:
+      return "tenant-exists";
+    case ErrorCode::kBadConfig:
+      return "bad-config";
+    case ErrorCode::kBadSnapshot:
+      return "bad-snapshot";
+    case ErrorCode::kBackpressure:
+      return "backpressure";
+    case ErrorCode::kUnsupported:
+      return "unsupported";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+DecodeResult decode(std::span<const std::uint8_t> buf) {
+  DecodeResult result;
+  if (buf.size() < kHeaderSize) {
+    // A partial header can already be provably garbage: reject a wrong
+    // magic/version prefix without waiting for bytes that will never
+    // make it valid.
+    const std::size_t check = buf.size() < 4 ? buf.size() : 4;
+    for (std::size_t i = 0; i < check && i < 3; ++i) {
+      if (buf[i] != kMagic[i]) {
+        result.status = DecodeStatus::kError;
+        result.error = ErrorCode::kBadMagic;
+        return result;
+      }
+    }
+    if (buf.size() >= 4 && buf[3] != kVersion) {
+      result.status = DecodeStatus::kError;
+      result.error = ErrorCode::kBadVersion;
+      return result;
+    }
+    result.status = DecodeStatus::kNeedMore;
+    return result;
+  }
+  if (std::memcmp(buf.data(), kMagic, 3) != 0) {
+    result.status = DecodeStatus::kError;
+    result.error = ErrorCode::kBadMagic;
+    return result;
+  }
+  if (buf[3] != kVersion) {
+    result.status = DecodeStatus::kError;
+    result.error = ErrorCode::kBadVersion;
+    return result;
+  }
+  FrameHeader header;
+  header.type = static_cast<MsgType>(buf[4]);
+  header.flags = buf[5];
+  header.tenant = load_u16(buf.data() + 6);
+  header.payload_len = load_u32(buf.data() + 8);
+  header.serial = load_u32(buf.data() + 12);
+  if (header.payload_len > kMaxPayload) {
+    // The framing itself is intact but the declared length is beyond
+    // anything this protocol produces; skipping it would stall the
+    // connection for up to 4 GiB of garbage, so treat it as fatal.
+    result.status = DecodeStatus::kError;
+    result.error = ErrorCode::kOversized;
+    return result;
+  }
+  const std::size_t total = kHeaderSize + header.payload_len;
+  if (buf.size() < total) {
+    result.status = DecodeStatus::kNeedMore;
+    return result;
+  }
+  // An unknown type is NOT a framing error: the length field still
+  // tells us where the frame ends, so the caller can reply kUnknownType
+  // and keep the connection.  The handler makes that decision; decode
+  // just hands the frame through.
+  (void)known_type(static_cast<std::uint8_t>(header.type));
+  result.status = DecodeStatus::kFrame;
+  result.frame.header = header;
+  result.frame.payload = buf.subspan(kHeaderSize, header.payload_len);
+  result.consumed = total;
+  return result;
+}
+
+void append_frame(std::vector<std::uint8_t>& out, const FrameHeader& header,
+                  std::span<const std::uint8_t> payload) {
+  out.reserve(out.size() + kHeaderSize + payload.size());
+  out.push_back(kMagic[0]);
+  out.push_back(kMagic[1]);
+  out.push_back(kMagic[2]);
+  out.push_back(kVersion);
+  out.push_back(static_cast<std::uint8_t>(header.type));
+  out.push_back(header.flags);
+  put_u16(out, header.tenant);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, header.serial);
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v & 0xff));
+    v >>= 8;
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v & 0xff));
+    v >>= 8;
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_string(std::vector<std::uint8_t>& out, std::string_view s) {
+  put_u16(out, static_cast<std::uint16_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+bool Reader::take(std::size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint16_t Reader::read_u16() {
+  if (!take(2)) {
+    return 0;
+  }
+  const std::uint16_t v = load_u16(data_.data() + pos_);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Reader::read_u32() {
+  if (!take(4)) {
+    return 0;
+  }
+  const std::uint32_t v = load_u32(data_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::read_u64() {
+  if (!take(8)) {
+    return 0;
+  }
+  const std::uint64_t v = load_u64(data_.data() + pos_);
+  pos_ += 8;
+  return v;
+}
+
+double Reader::read_f64() { return std::bit_cast<double>(read_u64()); }
+
+std::span<const std::uint8_t> Reader::read_bytes(std::size_t n) {
+  if (!take(n)) {
+    return {};
+  }
+  const auto view = data_.subspan(pos_, n);
+  pos_ += n;
+  return view;
+}
+
+std::string Reader::read_string() {
+  const std::uint16_t len = read_u16();
+  const auto bytes = read_bytes(len);
+  return std::string(bytes.begin(), bytes.end());
+}
+
+void encode_tenant_open(std::vector<std::uint8_t>& out,
+                        const TenantOpenRequest& req) {
+  put_string(out, req.name);
+  put_string(out, req.policy);
+  put_u64(out, req.cache_blocks);
+  put_u32(out, req.shards);
+}
+
+std::optional<TenantOpenRequest> parse_tenant_open(
+    std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  TenantOpenRequest req;
+  req.name = r.read_string();
+  req.policy = r.read_string();
+  req.cache_blocks = r.read_u64();
+  req.shards = r.read_u32();
+  if (!r.exhausted() || req.name.empty() ||
+      req.name.size() > kMaxTenantName || req.policy.empty()) {
+    return std::nullopt;
+  }
+  return req;
+}
+
+void encode_metrics(std::vector<std::uint8_t>& out, const WireMetrics& m) {
+  put_u64(out, m.accesses);
+  put_u64(out, m.demand_hits);
+  put_u64(out, m.prefetch_hits);
+  put_u64(out, m.misses);
+  put_f64(out, m.elapsed_ms);
+  put_f64(out, m.stall_ms);
+  put_f64(out, m.disk_queue_delay_ms);
+  put_u64(out, m.disk_requests);
+  put_u64(out, m.prefetches_issued);
+  put_u64(out, m.obl_prefetches_issued);
+  put_u64(out, m.tree_prefetches_issued);
+  put_f64(out, m.sum_prefetch_probability);
+  put_u64(out, m.candidates_chosen);
+  put_u64(out, m.candidates_already_cached);
+  put_u64(out, m.prefetch_ejections);
+  put_u64(out, m.demand_ejections);
+  put_u64(out, m.predictable);
+  put_u64(out, m.predictable_uncached);
+  put_u64(out, m.lvc_opportunities);
+  put_u64(out, m.lvc_followed);
+  put_u64(out, m.lvc_checks);
+  put_u64(out, m.lvc_cached);
+  put_u64(out, m.tree_nodes);
+  put_u64(out, m.tree_bytes);
+}
+
+std::optional<WireMetrics> parse_metrics(
+    std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  WireMetrics m;
+  m.accesses = r.read_u64();
+  m.demand_hits = r.read_u64();
+  m.prefetch_hits = r.read_u64();
+  m.misses = r.read_u64();
+  m.elapsed_ms = r.read_f64();
+  m.stall_ms = r.read_f64();
+  m.disk_queue_delay_ms = r.read_f64();
+  m.disk_requests = r.read_u64();
+  m.prefetches_issued = r.read_u64();
+  m.obl_prefetches_issued = r.read_u64();
+  m.tree_prefetches_issued = r.read_u64();
+  m.sum_prefetch_probability = r.read_f64();
+  m.candidates_chosen = r.read_u64();
+  m.candidates_already_cached = r.read_u64();
+  m.prefetch_ejections = r.read_u64();
+  m.demand_ejections = r.read_u64();
+  m.predictable = r.read_u64();
+  m.predictable_uncached = r.read_u64();
+  m.lvc_opportunities = r.read_u64();
+  m.lvc_followed = r.read_u64();
+  m.lvc_checks = r.read_u64();
+  m.lvc_cached = r.read_u64();
+  m.tree_nodes = r.read_u64();
+  m.tree_bytes = r.read_u64();
+  if (!r.exhausted()) {
+    return std::nullopt;
+  }
+  return m;
+}
+
+void encode_batch_reply(std::vector<std::uint8_t>& out, const BatchReply& r) {
+  put_u64(out, r.demand_hits);
+  put_u64(out, r.prefetch_hits);
+  put_u64(out, r.misses);
+  put_f64(out, r.latency_ms);
+}
+
+std::optional<BatchReply> parse_batch_reply(
+    std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  BatchReply reply;
+  reply.demand_hits = r.read_u64();
+  reply.prefetch_hits = r.read_u64();
+  reply.misses = r.read_u64();
+  reply.latency_ms = r.read_f64();
+  if (!r.exhausted()) {
+    return std::nullopt;
+  }
+  return reply;
+}
+
+void encode_error(std::vector<std::uint8_t>& out, const ErrorReply& e) {
+  put_u16(out, static_cast<std::uint16_t>(e.code));
+  put_string(out, e.detail);
+}
+
+std::optional<ErrorReply> parse_error(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  ErrorReply e;
+  e.code = static_cast<ErrorCode>(r.read_u16());
+  e.detail = r.read_string();
+  if (!r.exhausted()) {
+    return std::nullopt;
+  }
+  return e;
+}
+
+}  // namespace pfp::server::wire

@@ -1,0 +1,247 @@
+#include "util/net.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace pfp::util::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw std::runtime_error(errno_message("fcntl(O_NONBLOCK)"));
+  }
+}
+
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+std::string errno_message(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+void Socket::reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket listen_tcp(std::uint16_t port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    throw std::runtime_error(errno_message("socket"));
+  }
+  const int one = 1;
+  if (::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one) <
+      0) {
+    throw std::runtime_error(errno_message("setsockopt(SO_REUSEADDR)"));
+  }
+  const sockaddr_in addr = loopback(port);
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) < 0) {
+    throw std::runtime_error(errno_message("bind"));
+  }
+  if (::listen(sock.fd(), SOMAXCONN) < 0) {
+    throw std::runtime_error(errno_message("listen"));
+  }
+  set_nonblocking(sock.fd());
+  return sock;
+}
+
+std::uint16_t local_port(const Socket& socket) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    throw std::runtime_error(errno_message("getsockname"));
+  }
+  return ntohs(addr.sin_port);
+}
+
+Socket connect_tcp(std::uint16_t port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    throw std::runtime_error(errno_message("socket"));
+  }
+  const sockaddr_in addr = loopback(port);
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) < 0) {
+    throw std::runtime_error(errno_message("connect"));
+  }
+  // Frames are small request/reply units; Nagle only adds latency here.
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return sock;
+}
+
+Socket accept_one(const Socket& listener) {
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    return Socket();
+  }
+  Socket sock(fd);
+  set_nonblocking(sock.fd());
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return sock;
+}
+
+IoResult read_some(const Socket& socket, std::span<std::uint8_t> buf) {
+  for (;;) {
+    const ssize_t n = ::recv(socket.fd(), buf.data(), buf.size(), 0);
+    if (n > 0) {
+      return {IoStatus::kOk, static_cast<std::size_t>(n)};
+    }
+    if (n == 0) {
+      return {IoStatus::kClosed, 0};
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0};
+    }
+    return {IoStatus::kError, 0};
+  }
+}
+
+IoResult write_some(const Socket& socket, std::span<const std::uint8_t> buf) {
+  for (;;) {
+    const ssize_t n =
+        ::send(socket.fd(), buf.data(), buf.size(), MSG_NOSIGNAL);
+    if (n >= 0) {
+      return {IoStatus::kOk, static_cast<std::size_t>(n)};
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0};
+    }
+    return {IoStatus::kError, 0};
+  }
+}
+
+bool write_all(const Socket& socket, std::span<const std::uint8_t> buf) {
+  std::size_t sent = 0;
+  while (sent < buf.size()) {
+    const IoResult r = write_some(socket, buf.subspan(sent));
+    if (r.status == IoStatus::kOk) {
+      sent += r.bytes;
+      continue;
+    }
+    if (r.status == IoStatus::kWouldBlock) {
+      // Client-side sockets are blocking; this only happens if a caller
+      // passed a non-blocking one.  Spin via poll for writability.
+      pollfd pfd{};
+      pfd.fd = socket.fd();
+      pfd.events = static_cast<short>(POLLOUT);
+      ::poll(&pfd, 1, -1);
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool read_exact(const Socket& socket, std::span<std::uint8_t> buf) {
+  std::size_t got = 0;
+  while (got < buf.size()) {
+    const IoResult r = read_some(socket, buf.subspan(got));
+    if (r.status == IoStatus::kOk) {
+      got += r.bytes;
+      continue;
+    }
+    if (r.status == IoStatus::kWouldBlock) {
+      pollfd pfd{};
+      pfd.fd = socket.fd();
+      pfd.events = static_cast<short>(POLLIN);
+      ::poll(&pfd, 1, -1);
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+int Poller::wait(std::vector<PollEntry>& entries, int timeout_ms) {
+  // Reuse one pollfd array across waits; sized in u64 units so the
+  // header stays free of <poll.h>.
+  const std::size_t bytes = entries.size() * sizeof(pollfd);
+  scratch_.resize((bytes + sizeof(std::uint64_t) - 1) /
+                  sizeof(std::uint64_t));
+  auto* fds = reinterpret_cast<pollfd*>(scratch_.data());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    fds[i].fd = entries[i].fd;
+    fds[i].events = static_cast<short>(
+        (entries[i].want_read ? POLLIN : 0) |
+        (entries[i].want_write ? POLLOUT : 0));
+    fds[i].revents = 0;
+  }
+  const int n =
+      ::poll(fds, static_cast<nfds_t>(entries.size()), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) {
+      for (PollEntry& entry : entries) {
+        entry.ready = Readiness{};
+      }
+      return 0;
+    }
+    throw std::runtime_error(errno_message("poll"));
+  }
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    entries[i].ready.readable = (fds[i].revents & POLLIN) != 0;
+    entries[i].ready.writable = (fds[i].revents & POLLOUT) != 0;
+    entries[i].ready.error =
+        (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+  }
+  return n;
+}
+
+WakeFd::WakeFd() {
+  int fds[2];
+  if (::pipe(fds) < 0) {
+    throw std::runtime_error(errno_message("pipe"));
+  }
+  read_end_ = Socket(fds[0]);
+  write_end_ = Socket(fds[1]);
+  set_nonblocking(read_end_.fd());
+  set_nonblocking(write_end_.fd());
+}
+
+void WakeFd::wake() noexcept {
+  const std::uint8_t byte = 1;
+  // A full pipe means the loop is already signalled; EINTR means the
+  // byte may not have landed, so retry once — callers hold no locks.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (::write(write_end_.fd(), &byte, 1) >= 0 || errno != EINTR) {
+      return;
+    }
+  }
+}
+
+void WakeFd::drain() noexcept {
+  std::uint8_t buf[64];
+  while (::read(read_end_.fd(), buf, sizeof buf) > 0) {
+  }
+}
+
+}  // namespace pfp::util::net

@@ -1,0 +1,154 @@
+// Minimal TCP socket and readiness primitives for the server frontend.
+//
+// The server layer (src/server/) owns all protocol logic; this header
+// owns the raw OS surface — RAII file descriptors, loopback listen/
+// connect, non-blocking reads/writes with EINTR handling, a poll(2)
+// readiness multiplexer, and a self-pipe WakeFd so event loops can be
+// interrupted from other threads.  Raw socket calls are banned outside
+// src/server/ + src/util/ by scripts/lint/check_conventions.py
+// (`raw-socket`), so every byte that crosses the network goes through
+// this one reviewed surface.
+//
+// Threading: a Socket/Poller belongs to exactly one event-loop thread
+// (see server::PrefetchServer); WakeFd is the only cross-thread object —
+// wake() may be called from any thread, drain() only by the owning loop.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pfp::util::net {
+
+/// Move-only RAII file descriptor (closes on destruction).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket() { reset(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.release()) {}
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  /// Relinquishes ownership without closing.
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  /// Closes the descriptor (idempotent).
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Result of a non-blocking read/write attempt.
+enum class IoStatus {
+  kOk,          ///< `bytes` transferred (> 0)
+  kWouldBlock,  ///< no progress possible right now (EAGAIN)
+  kClosed,      ///< orderly peer shutdown (reads only)
+  kError,       ///< connection-fatal errno (reset, pipe, ...)
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::kError;
+  std::size_t bytes = 0;
+};
+
+/// Binds and listens on 127.0.0.1:`port` (0 = kernel-assigned), sets the
+/// listener non-blocking and SO_REUSEADDR.  Throws std::runtime_error
+/// with the errno text on failure.
+[[nodiscard]] Socket listen_tcp(std::uint16_t port);
+
+/// The port a listener (or any bound socket) is actually bound to.
+[[nodiscard]] std::uint16_t local_port(const Socket& socket);
+
+/// Blocking loopback connect (client side; tests and load tools).
+/// Throws std::runtime_error on failure.
+[[nodiscard]] Socket connect_tcp(std::uint16_t port);
+
+/// Accepts one pending connection, already set non-blocking; an invalid
+/// Socket when the backlog is empty.
+[[nodiscard]] Socket accept_one(const Socket& listener);
+
+/// Non-blocking read into `buf`; EINTR is retried internally.
+[[nodiscard]] IoResult read_some(const Socket& socket,
+                                 std::span<std::uint8_t> buf);
+
+/// Non-blocking write from `buf`; EINTR is retried internally.  A short
+/// write returns kOk with the partial count.
+[[nodiscard]] IoResult write_some(const Socket& socket,
+                                  std::span<const std::uint8_t> buf);
+
+/// Blocking helpers for client-side code (load_gen, tests): loop until
+/// the whole buffer moved or the connection failed.  Return false on
+/// EOF/error.
+[[nodiscard]] bool write_all(const Socket& socket,
+                             std::span<const std::uint8_t> buf);
+[[nodiscard]] bool read_exact(const Socket& socket,
+                              std::span<std::uint8_t> buf);
+
+/// Readiness interest/result bits (a stable subset of poll(2)'s).
+struct Readiness {
+  bool readable = false;
+  bool writable = false;
+  bool error = false;  ///< POLLERR/POLLHUP/POLLNVAL
+};
+
+/// One registered descriptor's interest set and last poll result.
+struct PollEntry {
+  int fd = -1;
+  bool want_read = false;
+  bool want_write = false;
+  Readiness ready;  ///< filled by Poller::wait
+};
+
+/// poll(2) wrapper: the caller owns the entry list (rebuilt or edited
+/// between waits), wait() fills each entry's `ready` and returns the
+/// number of ready descriptors (0 on timeout).  Throws on EINVAL-class
+/// failures; EINTR reads as a timeout.
+class Poller {
+ public:
+  /// `timeout_ms` < 0 blocks indefinitely.
+  int wait(std::vector<PollEntry>& entries, int timeout_ms);
+
+ private:
+  // Scratch pollfd array, kept to avoid per-wait allocation.
+  std::vector<std::uint64_t> scratch_;  // holds struct pollfd bytes
+};
+
+/// Self-pipe wakeup: wake() (any thread) makes the read end readable so
+/// a poll-parked loop returns; drain() (owning loop only) clears it.
+class WakeFd {
+ public:
+  /// Throws std::runtime_error if the pipe cannot be created.
+  WakeFd();
+
+  [[nodiscard]] int read_fd() const noexcept { return read_end_.fd(); }
+  /// Any thread; a full pipe is fine (the loop is already signalled).
+  void wake() noexcept;
+  /// Owning loop only: consume pending wake bytes.
+  void drain() noexcept;
+
+ private:
+  Socket read_end_;
+  Socket write_end_;
+};
+
+/// errno rendered as "what: strerror" (for exception messages).
+[[nodiscard]] std::string errno_message(const std::string& what);
+
+}  // namespace pfp::util::net

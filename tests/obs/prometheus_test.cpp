@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <span>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "obs/engine_obs.hpp"
 #include "util/phase.hpp"
@@ -118,6 +120,51 @@ TEST(Prometheus, MergedViewReportsShardsAndConsistency) {
   render_prometheus(out, a);
   EXPECT_NE(out.str().find("pfp_shards 2\n"), std::string::npos);
   EXPECT_NE(out.str().find("pfp_stats_consistent 0\n"), std::string::npos);
+}
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t at = text.find(needle); at != std::string::npos;
+       at = text.find(needle, at + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(Prometheus, MultiViewEmitsEachFamilyOnceWithOneSamplePerView) {
+  std::vector<LabeledStats> views;
+  views.push_back(LabeledStats{{Label{"tenant", "alpha"}}, sample_stats()});
+  EngineStats beta = sample_stats();
+  beta.accesses = 7;
+  views.push_back(LabeledStats{{Label{"tenant", "beta"}}, beta});
+
+  std::ostringstream out;
+  render_prometheus(out, std::span<const LabeledStats>(views));
+  const std::string text = out.str();
+
+  // The exposition format allows one HELP/TYPE block per family per
+  // scrape; both views' samples must share it.
+  EXPECT_EQ(count_occurrences(text, "# HELP pfp_accesses_total"), 1u);
+  EXPECT_EQ(count_occurrences(text, "# TYPE pfp_accesses_total"), 1u);
+  EXPECT_NE(text.find("pfp_accesses_total{tenant=\"alpha\"} 100\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("pfp_accesses_total{tenant=\"beta\"} 7\n"),
+            std::string::npos);
+  EXPECT_EQ(count_occurrences(text, "# HELP pfp_phase_latency_seconds"),
+            1u);
+}
+
+TEST(Prometheus, SingleViewDelegatesToMultiViewByteIdentically) {
+  const Label labels[] = {{"tenant", "x"}};
+  std::ostringstream single;
+  render_prometheus(single, sample_stats(), labels);
+
+  const LabeledStats view{{Label{"tenant", "x"}}, sample_stats()};
+  std::ostringstream multi;
+  render_prometheus(multi, std::span<const LabeledStats>(&view, 1));
+
+  EXPECT_EQ(single.str(), multi.str());
 }
 
 TEST(EngineStatsMerge, ElapsedTakesMaxCountersSum) {

@@ -1,0 +1,213 @@
+#include "server/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pfp::server::wire {
+namespace {
+
+std::vector<std::uint8_t> make_frame(MsgType type, std::uint16_t tenant,
+                                     std::uint32_t serial,
+                                     std::span<const std::uint8_t> payload) {
+  FrameHeader header;
+  header.type = type;
+  header.tenant = tenant;
+  header.serial = serial;
+  std::vector<std::uint8_t> bytes;
+  append_frame(bytes, header, payload);
+  return bytes;
+}
+
+TEST(WireFrame, HeaderAndPayloadRoundTrip) {
+  std::vector<std::uint8_t> payload;
+  put_u64(payload, 0xDEADBEEFCAFEF00DULL);
+  const std::vector<std::uint8_t> bytes =
+      make_frame(MsgType::kAccess, 0xBEEF, 0x12345678, payload);
+  ASSERT_EQ(bytes.size(), kHeaderSize + 8);
+
+  const DecodeResult result = decode(bytes);
+  ASSERT_EQ(result.status, DecodeStatus::kFrame);
+  EXPECT_EQ(result.consumed, bytes.size());
+  EXPECT_EQ(result.frame.header.type, MsgType::kAccess);
+  EXPECT_EQ(result.frame.header.tenant, 0xBEEF);
+  EXPECT_EQ(result.frame.header.serial, 0x12345678u);
+  EXPECT_EQ(result.frame.header.payload_len, 8u);
+  Reader reader(result.frame.payload);
+  EXPECT_EQ(reader.read_u64(), 0xDEADBEEFCAFEF00DULL);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(WireFrame, EveryProperPrefixNeedsMore) {
+  std::vector<std::uint8_t> payload;
+  put_u32(payload, 7);
+  const std::vector<std::uint8_t> bytes =
+      make_frame(MsgType::kStats, 1, 2, payload);
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    const DecodeResult result =
+        decode(std::span<const std::uint8_t>(bytes.data(), n));
+    EXPECT_EQ(result.status, DecodeStatus::kNeedMore)
+        << "prefix length " << n;
+  }
+}
+
+TEST(WireFrame, BadMagicIsFatalEvenOnOneBytePrefix) {
+  const std::uint8_t bytes[] = {'X'};
+  const DecodeResult result = decode(bytes);
+  EXPECT_EQ(result.status, DecodeStatus::kError);
+  EXPECT_EQ(result.error, ErrorCode::kBadMagic);
+}
+
+TEST(WireFrame, BadVersionIsFatalOnFourBytePrefix) {
+  const std::uint8_t bytes[] = {'P', 'F', 'P', 2};
+  const DecodeResult result = decode(bytes);
+  EXPECT_EQ(result.status, DecodeStatus::kError);
+  EXPECT_EQ(result.error, ErrorCode::kBadVersion);
+}
+
+TEST(WireFrame, OversizedDeclaredLengthIsFatal) {
+  std::vector<std::uint8_t> bytes =
+      make_frame(MsgType::kPing, 0, 0, {});
+  const std::uint32_t huge = kMaxPayload + 1;
+  bytes[8] = static_cast<std::uint8_t>(huge & 0xff);
+  bytes[9] = static_cast<std::uint8_t>((huge >> 8) & 0xff);
+  bytes[10] = static_cast<std::uint8_t>((huge >> 16) & 0xff);
+  bytes[11] = static_cast<std::uint8_t>((huge >> 24) & 0xff);
+  const DecodeResult result = decode(bytes);
+  EXPECT_EQ(result.status, DecodeStatus::kError);
+  EXPECT_EQ(result.error, ErrorCode::kOversized);
+}
+
+TEST(WireFrame, UnknownTypePassesThroughToTheDispatcher) {
+  // Type validation is the session's job (it can send a recoverable
+  // typed error); the decoder only rejects what breaks re-sync.
+  const std::vector<std::uint8_t> bytes =
+      make_frame(static_cast<MsgType>(0x55), 3, 4, {});
+  const DecodeResult result = decode(bytes);
+  ASSERT_EQ(result.status, DecodeStatus::kFrame);
+  EXPECT_EQ(static_cast<std::uint8_t>(result.frame.header.type), 0x55);
+}
+
+TEST(WireFrame, BackToBackFramesDecodeIndependently) {
+  std::vector<std::uint8_t> bytes = make_frame(MsgType::kPing, 1, 10, {});
+  const std::vector<std::uint8_t> second =
+      make_frame(MsgType::kStats, 2, 20, {});
+  bytes.insert(bytes.end(), second.begin(), second.end());
+
+  const DecodeResult first = decode(bytes);
+  ASSERT_EQ(first.status, DecodeStatus::kFrame);
+  EXPECT_EQ(first.frame.header.serial, 10u);
+  const DecodeResult next =
+      decode(std::span<const std::uint8_t>(bytes).subspan(first.consumed));
+  ASSERT_EQ(next.status, DecodeStatus::kFrame);
+  EXPECT_EQ(next.frame.header.serial, 20u);
+  EXPECT_EQ(first.consumed + next.consumed, bytes.size());
+}
+
+TEST(WireReader, OverrunLatchesAndReturnsZeros) {
+  const std::uint8_t two[] = {0xAA, 0xBB};
+  Reader reader{std::span<const std::uint8_t>(two)};
+  EXPECT_EQ(reader.read_u32(), 0u);  // only 2 bytes available
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.read_u64(), 0u);  // stays latched
+  EXPECT_TRUE(reader.read_bytes(1).empty());
+  EXPECT_FALSE(reader.exhausted());
+}
+
+TEST(WireReader, ExhaustedMeansEveryByteConsumed) {
+  std::vector<std::uint8_t> bytes;
+  put_u16(bytes, 0x1234);
+  Reader reader{std::span<const std::uint8_t>(bytes)};
+  EXPECT_EQ(reader.read_u16(), 0x1234);
+  EXPECT_TRUE(reader.exhausted());
+
+  bytes.push_back(0);  // one trailing byte
+  Reader trailing{std::span<const std::uint8_t>(bytes)};
+  EXPECT_EQ(trailing.read_u16(), 0x1234);
+  EXPECT_FALSE(trailing.exhausted());
+}
+
+TEST(WirePayload, TenantOpenRoundTripsAndRejectsTrailingGarbage) {
+  TenantOpenRequest request;
+  request.name = "cello-replica";
+  request.policy = "tree-next-limit";
+  request.cache_blocks = 4096;
+  request.shards = 3;
+  std::vector<std::uint8_t> payload;
+  encode_tenant_open(payload, request);
+
+  const auto parsed = parse_tenant_open(payload);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->name, request.name);
+  EXPECT_EQ(parsed->policy, request.policy);
+  EXPECT_EQ(parsed->cache_blocks, request.cache_blocks);
+  EXPECT_EQ(parsed->shards, request.shards);
+
+  payload.push_back(0x00);
+  EXPECT_FALSE(parse_tenant_open(payload).has_value());
+}
+
+TEST(WirePayload, MetricsRoundTripBitExact) {
+  WireMetrics m;
+  m.accesses = 1001;
+  m.demand_hits = 600;
+  m.prefetch_hits = 300;
+  m.misses = 101;
+  m.elapsed_ms = 12.375;  // exactly representable
+  m.stall_ms = 0.5;
+  m.disk_queue_delay_ms = 1.0 / 3.0;  // NOT exactly representable in text
+  m.disk_requests = 77;
+  m.prefetches_issued = 321;
+  m.sum_prefetch_probability = 0.1 + 0.2;  // classic rounding trap
+  m.tree_nodes = 4242;
+  m.tree_bytes = 99999;
+
+  std::vector<std::uint8_t> payload;
+  encode_metrics(payload, m);
+  const auto parsed = parse_metrics(payload);
+  ASSERT_TRUE(parsed.has_value());
+  // Doubles travel as bit-cast u64, so equality is exact — this is what
+  // makes load_gen's served-vs-replay verification meaningful.
+  EXPECT_EQ(*parsed, m);
+
+  payload.pop_back();
+  EXPECT_FALSE(parse_metrics(payload).has_value());
+}
+
+TEST(WirePayload, BatchReplyRoundTrip) {
+  BatchReply batch;
+  batch.demand_hits = 5;
+  batch.prefetch_hits = 2;
+  batch.misses = 1;
+  batch.latency_ms = 3.25;
+  std::vector<std::uint8_t> payload;
+  encode_batch_reply(payload, batch);
+  const auto parsed = parse_batch_reply(payload);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->demand_hits, 5u);
+  EXPECT_EQ(parsed->prefetch_hits, 2u);
+  EXPECT_EQ(parsed->misses, 1u);
+  EXPECT_EQ(parsed->latency_ms, 3.25);
+}
+
+TEST(WirePayload, ErrorReplyCarriesCodeAndDetail) {
+  std::vector<std::uint8_t> payload;
+  encode_error(payload,
+               ErrorReply{ErrorCode::kNoSuchTenant, "tenant 9 not open"});
+  const auto parsed = parse_error(payload);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->code, ErrorCode::kNoSuchTenant);
+  EXPECT_EQ(parsed->detail, "tenant 9 not open");
+}
+
+TEST(WirePayload, ErrorNamesAreStable) {
+  EXPECT_EQ(error_name(ErrorCode::kBadMagic), "bad-magic");
+  EXPECT_EQ(error_name(ErrorCode::kNoSuchTenant), "no-such-tenant");
+  EXPECT_EQ(error_name(ErrorCode::kBackpressure), "backpressure");
+}
+
+}  // namespace
+}  // namespace pfp::server::wire

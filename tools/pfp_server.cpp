@@ -1,0 +1,72 @@
+// pfp_server: the prefetch-as-a-service daemon.
+//
+//   pfp_server --port 7411 --loops 4
+//   pfp_server --port 0 --port-file /tmp/pfp.port   # tests: bind any
+//
+// Tenants are created by clients over the wire (TENANT_OPEN); the
+// process itself has no workload configuration.  A Prometheus scraper
+// can GET /metrics on the same port.  SIGINT/SIGTERM stop the server
+// cleanly (loops drain, tenants flush).
+
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "server/server.hpp"
+#include "util/options.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int /*signum*/) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pfp::util::Options options;
+  options.add("port", "7411", "loopback TCP port (0 = kernel-assigned)");
+  options.add("loops", "1", "event-loop threads");
+  options.add("max-batch", "65536",
+              "hard per-frame ACCESS_MANY block bound");
+  options.add("pressure-threshold", "0.75",
+              "queue-occupancy fraction that sets the backpressure flag");
+  options.add("port-file", "",
+              "write the bound port here (for scripted harnesses)");
+  if (!options.parse(argc, argv)) {
+    return 2;
+  }
+
+  pfp::server::ServerConfig config;
+  config.port = static_cast<std::uint16_t>(options.u64("port"));
+  config.loops = static_cast<std::size_t>(options.u64("loops"));
+  config.session.max_batch =
+      static_cast<std::size_t>(options.u64("max-batch"));
+  config.session.pressure_threshold = options.real("pressure-threshold");
+
+  try {
+    pfp::server::PrefetchServer server(std::move(config));
+    const std::string port_file = options.str("port-file");
+    if (!port_file.empty()) {
+      std::ofstream out(port_file);
+      out << server.port() << "\n";
+    }
+    std::cout << "pfp_server listening on 127.0.0.1:" << server.port()
+              << " (" << options.u64("loops") << " loop(s))" << std::endl;
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    while (g_stop == 0) {
+      pause();  // interrupted by the signals above
+    }
+    std::cout << "pfp_server: stopping" << std::endl;
+    server.stop();
+  } catch (const std::exception& err) {
+    std::cerr << "pfp_server: " << err.what() << std::endl;
+    return 1;
+  }
+  return 0;
+}
